@@ -1,0 +1,169 @@
+"""EXP-AB — ablations over the design choices DESIGN.md calls out.
+
+Three ablations:
+
+1. **leader-set choice** (§7): the protocol works with any feedback vertex
+   set; the choice changes premium sizes and phase lengths.  Sweep the
+   valid leader sets of the Figure 3a digraph.
+2. **footnote-7 path pruning** (§8.2): premium capital with and without
+   same-contract forwarding premiums.
+3. **the cost of hedging**: transaction counts, run lengths, and peak
+   native capital locked, hedged vs base, for each protocol family —
+   the price paid for sore-loser protection.
+
+Run directly to print the tables:  python benchmarks/bench_ablation.py
+"""
+
+from repro.core.hedged_broker import HedgedBrokerDeal, broker_premium_tables
+from repro.core.hedged_multi_party import HedgedMultiPartySwap
+from repro.core.hedged_two_party import HedgedTwoPartySwap
+from repro.core.premiums import escrow_premium_amounts, leader_redemption_total
+from repro.graph.digraph import figure3_graph
+from repro.graph.feedback import is_feedback_vertex_set
+from repro.graph.schedule import MultiPartySchedule
+from repro.protocols.base_broker import BaseBrokerDeal, BrokerSpec
+from repro.protocols.base_multi_party import BaseMultiPartySwap
+from repro.protocols.base_two_party import BaseTwoPartySwap
+from repro.protocols.instance import execute
+
+try:
+    from benchmarks.tables import format_table
+except ImportError:  # running the file directly from within benchmarks/
+    from tables import format_table
+
+
+def generate_leader_choice_table():
+    """Every valid leader set of Figure 3a: premiums and run length."""
+    graph = figure3_graph()
+    candidates = [("A",), ("B",), ("A", "B"), ("A", "C"), ("B", "C"), ("A", "B", "C")]
+    rows = []
+    for leaders in candidates:
+        if not is_feedback_vertex_set(graph, leaders):
+            continue
+        schedule = MultiPartySchedule(graph, leaders)
+        escrow = escrow_premium_amounts(graph, leaders, 1)
+        redemption = sum(leader_redemption_total(graph, l, 1) for l in leaders)
+        rows.append(
+            (
+                "{" + ",".join(leaders) + "}",
+                sum(escrow.values()),
+                redemption,
+                schedule.forward_len,
+                schedule.horizon,
+            )
+        )
+    return (
+        "leader set", "total escrow premium (p)", "leaders' redemption total (p)",
+        "escrow phase (Δ)", "total run (Δ)",
+    ), rows
+
+
+def generate_pruning_table():
+    """Footnote-7 pruning: premium capital per party, on vs off."""
+    spec = BrokerSpec()
+    rows = []
+    for optimize in (True, False):
+        tables = broker_premium_tables(spec, premium=1, optimize=optimize)
+        total_t = sum(tables["trading"].values())
+        total_e = sum(tables["escrow"].values())
+        keys = sum(len(v) for v in tables["required_keys"].values())
+        rows.append(
+            (
+                "pruned (footnote 7)" if optimize else "unpruned",
+                total_t,
+                total_e,
+                keys,
+            )
+        )
+    return ("mode", "total T (p)", "total E (p)", "required premium slots"), rows
+
+
+def _run_cost(builder):
+    instance = builder()
+    result = execute(instance)
+    txs = len(result.transactions)
+    # peak native locked across all contracts and heights is approximated
+    # by the sum of all native amounts that ever entered contracts
+    native_in = 0
+    for event in result.events:
+        if "premium" in event.name and event.name.endswith("deposited"):
+            native_in += int(event.data.get("amount", 0))
+        if event.name == "premium_endowed":
+            native_in += int(event.data.get("amount", 0))
+    return txs, instance.horizon, native_in
+
+
+def generate_overhead_table():
+    rows = []
+    pairs = [
+        ("two-party", lambda: BaseTwoPartySwap().build(), lambda: HedgedTwoPartySwap().build()),
+        (
+            "multi-party (fig. 3a)",
+            lambda: BaseMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build(),
+            lambda: HedgedMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build(),
+        ),
+        ("broker", lambda: BaseBrokerDeal().build(), lambda: HedgedBrokerDeal().build()),
+    ]
+    for name, base_builder, hedged_builder in pairs:
+        base_txs, base_len, _ = _run_cost(base_builder)
+        hedged_txs, hedged_len, premium_capital = _run_cost(hedged_builder)
+        rows.append(
+            (
+                name,
+                base_txs,
+                hedged_txs,
+                base_len,
+                hedged_len,
+                premium_capital,
+            )
+        )
+    return (
+        "protocol", "base txs", "hedged txs", "base run (Δ)", "hedged run (Δ)",
+        "premium capital (p units)",
+    ), rows
+
+
+# ----------------------------------------------------------------------
+def test_every_valid_leader_set_works(benchmark):
+    header, rows = benchmark(generate_leader_choice_table)
+    assert len(rows) >= 5  # {C} is the only invalid singleton
+    # more leaders never lengthen the escrow phase
+    by_size = {}
+    for label, e, r, fwd, run in rows:
+        size = label.count(",") + 1
+        by_size.setdefault(size, []).append(fwd)
+    assert min(by_size[3]) <= min(by_size[1])
+
+
+def test_all_leader_sets_execute_cleanly():
+    graph = figure3_graph()
+    for leaders in [("A",), ("B",), ("A", "B"), ("A", "B", "C")]:
+        instance = HedgedMultiPartySwap(graph=graph, leaders=leaders).build()
+        result = execute(instance)
+        assert not result.reverted(), leaders
+
+
+def test_pruning_saves_capital(benchmark):
+    header, rows = benchmark(generate_pruning_table)
+    pruned = next(r for r in rows if r[0].startswith("pruned"))
+    unpruned = next(r for r in rows if r[0] == "unpruned")
+    assert pruned[1] < unpruned[1]
+    assert pruned[2] < unpruned[2]
+    assert pruned[3] < unpruned[3]
+
+
+def test_hedging_overhead_is_bounded(benchmark):
+    header, rows = benchmark(generate_overhead_table)
+    for name, base_txs, hedged_txs, base_len, hedged_len, capital in rows:
+        assert hedged_txs > base_txs  # premiums cost transactions...
+        assert hedged_txs <= 6 * base_txs  # ...but only a constant factor
+        assert hedged_len <= 3 * base_len + 6
+        assert capital > 0
+
+
+if __name__ == "__main__":
+    print(format_table("EXP-AB: leader-set choice (Figure 3a)", *generate_leader_choice_table()))
+    print()
+    print(format_table("EXP-AB: footnote-7 pruning", *generate_pruning_table()))
+    print()
+    print(format_table("EXP-AB: the cost of hedging", *generate_overhead_table()))

@@ -1,0 +1,121 @@
+"""EXP-F2 / EXP-T2 — Figure 2 and the §6 bootstrapping claims.
+
+Regenerates the premium ladder table (swap value × premium rate → rounds
+needed and initial risk, including the "$1,000,000 hedged by $4 in 3
+rounds" cell) and the renege-cost series for the staged protocol.
+
+Run directly to print the tables:  python benchmarks/bench_bootstrap.py
+"""
+
+from repro.core.bootstrap import (
+    BootstrapSpec,
+    BootstrappedSwap,
+    extract_bootstrap_outcome,
+    initial_risk,
+    plan_stages,
+    premium_ladder,
+    rounds_estimate,
+    rounds_needed,
+)
+from repro.parties.strategies import halt_at
+from repro.protocols.instance import execute
+
+try:
+    from benchmarks.tables import format_table
+except ImportError:  # running the file directly from within benchmarks/
+    from tables import format_table
+
+
+def generate_rounds_table():
+    """EXP-T2: rounds needed to reach a $4-scale risk across swap sizes."""
+    rows = []
+    for value in (10_000, 100_000, 1_000_000, 10_000_000):
+        for rate in (10, 100):
+            target = 4
+            rounds = rounds_needed(value, value, rate, target)
+            rows.append(
+                (
+                    f"{value:,}",
+                    f"1/{rate}",
+                    target,
+                    rounds,
+                    f"{rounds_estimate(value, value, rate, target):.2f}",
+                    initial_risk(value, value, rate, rounds),
+                )
+            )
+    header = ("swap value", "premium rate", "target risk", "rounds", "log_P((A+B)/p)", "initial risk")
+    return header, rows
+
+
+def generate_ladder_table():
+    """EXP-F2: the Figure 2 ladder for the paper's $1M example."""
+    ladder = premium_ladder(1_000_000, 1_000_000, 100, 3)
+    rows = [
+        (level, f"{a:,}", f"{b:,}")
+        for level, (a, b) in enumerate(ladder)
+    ]
+    return ("level", "A_i", "B_i"), rows
+
+
+def generate_renege_series():
+    """Loss and lockup when a party walks out at each ladder stage."""
+    spec = BootstrapSpec()
+    stages = plan_stages(spec)
+    rows = []
+    for stage in stages:
+        halt = stage.offset + 4  # after escrows, before redemption
+        instance = BootstrappedSwap(spec).build()
+        result = execute(instance, {"Bob": lambda a, r=halt: halt_at(a, r)})
+        out = extract_bootstrap_outcome(instance, result)
+        deviator_loss = -out.premium_net["Bob"]
+        rows.append(
+            (
+                stage.index,
+                "swap" if stage.is_final_swap else f"level-{stage.level}",
+                f"{stage.premium_combined:,}",
+                f"{deviator_loss:,}",
+                f"{out.premium_net['Alice']:,}",
+                out.max_lockup,
+            )
+        )
+    header = ("stage", "kind", "stage premium", "Bob's loss", "Alice net", "max lockup(Δ)")
+    return header, rows
+
+
+# ----------------------------------------------------------------------
+def test_million_dollar_cell(benchmark):
+    header, rows = benchmark(generate_rounds_table)
+    cell = next(r for r in rows if r[0] == "1,000,000" and r[1] == "1/100")
+    assert cell[3] == 3  # §6: three rounds
+    assert cell[5] == 4  # §6: $4 initial risk
+
+
+def test_ladder_matches_figure2(benchmark):
+    header, rows = benchmark(generate_ladder_table)
+    assert rows[0] == (0, "1,000,000", "1,000,000")
+    assert rows[3] == (3, "1", "4")
+
+
+def test_renege_losses_bounded_and_compliant_whole(benchmark):
+    header, rows = benchmark(generate_renege_series)
+    for stage_idx, kind, premium, loss, alice_net, lockup in rows:
+        assert int(loss.replace(",", "")) <= int(premium.replace(",", ""))
+        assert int(alice_net.replace(",", "")) >= 0
+        assert lockup <= 8  # one stage span (§6: one swap + Δ)
+
+
+def test_bootstrap_throughput(benchmark):
+    def run():
+        instance = BootstrappedSwap(BootstrapSpec()).build()
+        return execute(instance)
+
+    result = benchmark(run)
+    assert not result.reverted()
+
+
+if __name__ == "__main__":
+    print(format_table("EXP-T2: bootstrap rounds needed", *generate_rounds_table()))
+    print()
+    print(format_table("EXP-F2: the $1M ladder (P = 100)", *generate_ladder_table()))
+    print()
+    print(format_table("EXP-F2: renege cost per ladder stage", *generate_renege_series()))

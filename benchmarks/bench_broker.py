@@ -1,0 +1,176 @@
+"""EXP-F4 — Figure 4: the broker protocol and its §8.2 premium structure.
+
+Regenerates the premium tables (E, T, R with and without the footnote-7
+optimization), the deviation/payoff matrix for all three parties, and the
+multi-round trading premium recurrence.
+
+Run directly to print the tables:  python benchmarks/bench_broker.py
+"""
+
+from repro.core.hedged_broker import (
+    HedgedBrokerDeal,
+    broker_premium_tables,
+    extract_broker_outcome,
+    multi_round_trading_premiums,
+)
+from repro.parties.strategies import halt_at, skip_methods
+from repro.protocols.base_broker import BrokerSpec
+from repro.protocols.instance import execute
+
+try:
+    from benchmarks.tables import format_table
+except ImportError:  # running the file directly from within benchmarks/
+    from tables import format_table
+
+SPEC = BrokerSpec()
+
+
+def generate_premium_structure():
+    rows = []
+    for optimize in (True, False):
+        tables = broker_premium_tables(SPEC, premium=1, optimize=optimize)
+        tag = "footnote-7" if optimize else "unoptimized"
+        for arc, amount in sorted(tables["trading"].items()):
+            rows.append((tag, f"T{arc}", amount))
+        for arc, amount in sorted(tables["escrow"].items()):
+            rows.append((tag, f"E{arc}", amount))
+    return ("mode", "premium", "amount (p)"), rows
+
+
+def generate_deviation_matrix():
+    scenarios = [
+        ("compliant", None, None),
+        ("Bob omits B1", "Bob", lambda a: skip_methods(a, "escrow_asset")),
+        ("Bob omits B2", "Bob", lambda a: halt_at(a, 7)),
+        ("Carol omits C1", "Carol", lambda a: skip_methods(a, "escrow_asset")),
+        ("Carol omits C2", "Carol", lambda a: halt_at(a, 7)),
+        ("Alice omits trades", "Alice", lambda a: halt_at(a, 6)),
+        ("Alice omits A3", "Alice", lambda a: halt_at(a, 7)),
+        ("Alice skips premiums", "Alice", lambda a: skip_methods(a, "deposit_trading_premium")),
+    ]
+    rows = []
+    for label, deviator, transform in scenarios:
+        instance = HedgedBrokerDeal(premium=1).build()
+        result = execute(instance, {deviator: transform} if deviator else {})
+        out = extract_broker_outcome(instance, result)
+        rows.append(
+            (
+                label,
+                "yes" if out.completed else "no",
+                out.premium_net["Alice"],
+                out.premium_net["Bob"],
+                out.premium_net["Carol"],
+            )
+        )
+    return ("scenario", "completed", "Alice net", "Bob net", "Carol net"), rows
+
+
+def generate_multi_round_table():
+    """§8.2 extension: premiums for a 3-round trading chain."""
+    rounds = [[("A", "M1")], [("M1", "M2")], [("M2", "C")]]
+    tables = multi_round_trading_premiums(
+        rounds, escrow_arcs=[("B", "A")], origination_totals={"C": 2, "M1": 2, "M2": 2, "A": 2, "B": 2}
+    )
+    rows = []
+    for name in ("E", "T_1", "T_2", "T_3"):
+        for arc, amount in sorted(tables[name].items()):
+            rows.append((name, str(arc), amount))
+    return ("table", "arc", "amount (p)"), rows
+
+
+def generate_resale_chain_matrix():
+    """§8.2 extension executed: r-broker resale chains under deviation."""
+    from repro.core.multi_round_deal import DealSpec, MultiRoundDeal, extract_deal_outcome
+
+    rows = []
+    for brokers in (("Solo",), ("Ann", "Mike"), ("A1", "A2", "A3")):
+        spec = DealSpec(brokers=brokers)
+        for label, deviations in (
+            ("compliant", {}),
+            ("seller fails", {spec.seller: lambda a: skip_methods(a, "escrow_asset")}),
+            ("first broker fails", {brokers[0]: lambda a: skip_methods(a, "trade")}),
+        ):
+            instance = MultiRoundDeal(spec, premium=1).build()
+            result = execute(instance, deviations)
+            out = extract_deal_outcome(instance, result)
+            compliant_min = min(
+                net for name, net in out.premium_net.items() if name not in deviations
+            )
+            rows.append(
+                (
+                    len(brokers),
+                    label,
+                    "yes" if out.completed else "no",
+                    compliant_min,
+                    min(out.premium_net.values()),
+                )
+            )
+    return ("chain length r", "scenario", "completed", "min compliant net", "deviator net"), rows
+
+
+# ----------------------------------------------------------------------
+def test_premium_structure_matches_section82(benchmark):
+    header, rows = benchmark(generate_premium_structure)
+    values = {(mode, name): amount for mode, name, amount in rows}
+    # optimized: T = R_w(w) = 2p, E = T(A) = 4p
+    assert values[("footnote-7", "T('Alice', 'Bob')")] == 2
+    assert values[("footnote-7", "E('Bob', 'Alice')")] == 4
+    # the optimization strictly reduces premiums
+    assert values[("unoptimized", "T('Alice', 'Bob')")] > 2
+    assert values[("unoptimized", "E('Bob', 'Alice')")] > 4
+
+
+def test_deviation_matrix_matches_paper(benchmark):
+    header, rows = benchmark(generate_deviation_matrix)
+    by = {r[0]: r for r in rows}
+    assert by["compliant"][1] == "yes"
+    assert by["compliant"][2:] == (0, 0, 0)
+    # §8.2: Bob's omissions compensate Carol (and Alice breaks even or gains)
+    for scenario in ("Bob omits B1", "Bob omits B2"):
+        assert by[scenario][3] < 0  # Bob pays
+        assert by[scenario][4] >= 1  # Carol compensated
+        assert by[scenario][2] >= 0  # Alice whole
+    # Alice's omissions compensate both escrowers
+    for scenario in ("Alice omits trades", "Alice omits A3"):
+        assert by[scenario][2] < 0
+        assert by[scenario][3] >= 1 and by[scenario][4] >= 1
+    # premium-phase walkouts end with only refunds
+    assert by["Alice skips premiums"][2:] == (0, 0, 0)
+
+
+def test_multi_round_recurrence_shape(benchmark):
+    header, rows = benchmark(generate_multi_round_table)
+    values = {(name, arc): amount for name, arc, amount in rows}
+    assert values[("T_3", "('M2', 'C')")] == 2  # last round: R_C(C)
+    assert values[("T_2", "('M1', 'M2')")] == 2  # covers M2's round-3 premium
+    assert values[("E", "('B', 'A')")] == 2  # covers A's round-1 premium
+
+
+def test_resale_chains_hold_bounds(benchmark):
+    header, rows = benchmark.pedantic(generate_resale_chain_matrix, rounds=1, iterations=1)
+    for r, label, completed, compliant_min, deviator_net in rows:
+        if label == "compliant":
+            assert completed == "yes" and compliant_min == 0
+        else:
+            assert completed == "no"
+            assert compliant_min >= 0  # every compliant party whole
+            assert deviator_net < 0  # the sore loser pays
+
+
+def test_hedged_broker_throughput(benchmark):
+    def run():
+        instance = HedgedBrokerDeal(premium=1).build()
+        return execute(instance)
+
+    result = benchmark(run)
+    assert not result.reverted()
+
+
+if __name__ == "__main__":
+    print(format_table("EXP-F4: §8.2 premium structure", *generate_premium_structure()))
+    print()
+    print(format_table("EXP-F4: broker deviation matrix", *generate_deviation_matrix()))
+    print()
+    print(format_table("EXP-F4: multi-round trading premiums", *generate_multi_round_table()))
+    print()
+    print(format_table("EXP-F4: r-broker resale chains", *generate_resale_chain_matrix()))

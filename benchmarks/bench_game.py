@@ -1,0 +1,81 @@
+"""EXP-G1 — rational deviation vs volatility (§1 motivation, Xu et al.).
+
+Regenerates the success-rate table of the two-party swap as a stopping game
+on a GBM price ratio: without premiums, rational parties defect on any
+adverse move (the Xu et al. observation the paper cites); premiums of a few
+percent — e.g. CRR-priced ones — restore the success rate.
+
+Run directly to print the tables:  python benchmarks/bench_game.py
+"""
+
+from repro.analysis.game import SwapGame, success_table
+from repro.analysis.options import suggest_premium
+
+try:
+    from benchmarks.tables import format_table
+except ImportError:  # running the file directly from within benchmarks/
+    from tables import format_table
+
+SIGMAS = (0.25, 0.5, 1.0, 2.0)
+PREMIUMS = (0.0, 0.01, 0.02, 0.05, 0.10)
+
+
+def generate_success_table():
+    rows = []
+    for result in success_table(list(SIGMAS), list(PREMIUMS), n_paths=20_000):
+        rows.append(
+            (
+                result.sigma_annual,
+                f"{result.premium_fraction:.0%}",
+                f"{result.success_rate:.3f}",
+                f"{result.bob_defection_rate:.3f}",
+                f"{result.alice_defection_rate:.3f}",
+                f"{result.mean_compliant_loss:.4f}",
+            )
+        )
+    return (
+        "sigma/yr", "premium", "success", "Bob defects", "Alice defects", "residual loss",
+    ), rows
+
+
+def generate_crr_premium_table():
+    """CRR-priced premiums per §4 and the success rate they buy."""
+    rows = []
+    for sigma in SIGMAS:
+        fair = suggest_premium(1.0, sigma, lockup_deltas=3, delta_hours=12)
+        game = SwapGame(sigma_annual=sigma, premium_fraction=fair, n_paths=20_000).play()
+        rows.append(
+            (
+                sigma,
+                f"{fair:.4f}",
+                f"{game.success_rate:.3f}",
+                f"{SwapGame(sigma_annual=sigma, premium_fraction=0.0, n_paths=20_000).play().success_rate:.3f}",
+            )
+        )
+    return ("sigma/yr", "CRR fair premium", "hedged success", "base success"), rows
+
+
+# ----------------------------------------------------------------------
+def test_premiums_restore_success(benchmark):
+    header, rows = benchmark.pedantic(generate_success_table, rounds=1, iterations=1)
+    by = {(r[0], r[1]): float(r[2]) for r in rows}
+    for sigma in SIGMAS:
+        # success increases monotonically with the premium at every sigma
+        series = [by[(sigma, f"{p:.0%}")] for p in PREMIUMS]
+        assert all(b >= a for a, b in zip(series, series[1:]))
+        assert series[-1] > series[0]
+    # zero-premium success is poor at high volatility (Xu et al. shape)
+    assert by[(2.0, "0%")] < 0.25
+
+
+def test_crr_premiums_beat_base(benchmark):
+    header, rows = benchmark.pedantic(generate_crr_premium_table, rounds=1, iterations=1)
+    for sigma, fair, hedged, base in rows:
+        assert float(hedged) > float(base)
+        assert 0.0 < float(fair) < 0.2  # a few percent, as the paper expects
+
+
+if __name__ == "__main__":
+    print(format_table("EXP-G1: swap success vs volatility and premium", *generate_success_table()))
+    print()
+    print(format_table("EXP-G1: CRR-priced premiums", *generate_crr_premium_table()))

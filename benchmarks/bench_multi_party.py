@@ -1,0 +1,117 @@
+"""EXP-F3 — Figure 3: hashkey paths and the hedged multi-party swap.
+
+Regenerates (a) the Figure 3b hashkey-path table for leader Alice, (b) the
+Equation 1/2 premium tables on that digraph, and (c) the four-phase hedged
+run trace summary.
+
+Run directly to print the tables:  python benchmarks/bench_multi_party.py
+"""
+
+from repro.core.hedged_multi_party import (
+    HedgedMultiPartySwap,
+    extract_multi_party_outcome,
+)
+from repro.core.premiums import (
+    escrow_premium_amounts,
+    leader_redemption_total,
+    redemption_premium_table,
+)
+from repro.graph.digraph import figure3_graph
+from repro.protocols.instance import execute
+
+try:
+    from benchmarks.tables import format_table
+except ImportError:  # running the file directly from within benchmarks/
+    from tables import format_table
+
+
+def generate_hashkey_paths():
+    """EXP-F3a: the Figure 3b path table for hashkey k_A."""
+    graph = figure3_graph()
+    rows = []
+    for arc in sorted(graph.arcs):
+        for path in sorted(graph.hashkey_paths(arc, "A")):
+            rows.append((str(arc), "(" + ",".join(path) + ")", len(path)))
+    return ("arc", "path q", "|q|"), rows
+
+
+def generate_premium_tables():
+    """EXP-F3b: Equations 1 and 2 on the Figure 3a digraph (p = 1)."""
+    graph = figure3_graph()
+    rows = []
+    for arc, paths in sorted(redemption_premium_table(graph, "A", 1).items()):
+        for path, amount in sorted(paths.items()):
+            rows.append(("R_A", str(arc), "(" + ",".join(path) + ")", amount))
+    for arc, amount in sorted(escrow_premium_amounts(graph, ("A",), 1).items()):
+        rows.append(("E", str(arc), "-", amount))
+    rows.append(("R(A)", "(total)", "-", leader_redemption_total(graph, "A", 1)))
+    return ("kind", "arc", "path", "amount (p)"), rows
+
+
+def generate_phase_trace():
+    """EXP-F3c: event counts per phase of the compliant hedged run."""
+    instance = HedgedMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build()
+    schedule = instance.meta["schedule"]
+    result = execute(instance)
+    boundaries = [
+        ("1: escrow premiums", 0, schedule.p2_start),
+        ("2: redemption premiums", schedule.p2_start, schedule.p3_start),
+        ("3: principal escrow", schedule.p3_start, schedule.p4_start),
+        ("4: hashkeys/redemption", schedule.p4_start, schedule.end + 1),
+    ]
+    rows = []
+    for name, lo, hi in boundaries:
+        events = [
+            e for e in result.events
+            if lo < e.height <= hi and e.name != "deployed"
+        ]
+        kinds = sorted({e.name for e in events})
+        rows.append((name, f"{lo + 1}..{hi}", len(events), ", ".join(kinds)))
+    outcome = extract_multi_party_outcome(instance, result)
+    assert outcome.all_redeemed
+    return ("phase", "heights", "events", "event kinds"), rows
+
+
+# ----------------------------------------------------------------------
+def test_hashkey_paths_match_figure3b(benchmark):
+    header, rows = benchmark(generate_hashkey_paths)
+    table = {(arc, path) for arc, path, _ in rows}
+    assert ("('B', 'A')", "(A)") in table
+    assert ("('C', 'A')", "(A)") in table
+    assert ("('B', 'C')", "(C,A)") in table
+    assert ("('A', 'B')", "(B,A)") in table
+    assert ("('A', 'B')", "(B,C,A)") in table
+    assert len(rows) == 5  # exactly the five paths of Figure 3b
+
+
+def test_premium_tables_match_equations(benchmark):
+    header, rows = benchmark(generate_premium_tables)
+    amounts = {(kind, arc, path): amount for kind, arc, path, amount in rows}
+    assert amounts[("R_A", "('C', 'A')", "(A)")] == 3
+    assert amounts[("E", "('A', 'B')", "-")] == 10
+    assert amounts[("R(A)", "(total)", "-")] == 5
+
+
+def test_phase_trace_completes(benchmark):
+    header, rows = benchmark(generate_phase_trace)
+    assert len(rows) == 4
+    assert all(count > 0 for _, _, count, _ in rows)
+    # redemption happens only in phase 4
+    assert "principal_redeemed" in rows[3][3]
+
+
+def test_hedged_multi_party_throughput(benchmark):
+    def run():
+        instance = HedgedMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build()
+        return execute(instance)
+
+    result = benchmark(run)
+    assert not result.reverted()
+
+
+if __name__ == "__main__":
+    print(format_table("EXP-F3a: Figure 3b hashkey paths (leader A)", *generate_hashkey_paths()))
+    print()
+    print(format_table("EXP-F3b: premium tables (Equations 1-2)", *generate_premium_tables()))
+    print()
+    print(format_table("EXP-F3c: hedged four-phase trace", *generate_phase_trace()))

@@ -1,0 +1,82 @@
+"""EXP-T3 — §7.1's premium-complexity claim.
+
+"If there is a unique path between any two parties, then each leader's
+premium is linear in n ...  In the worst case, for a complete digraph, each
+leader's premium is exponential in n."  This bench sweeps ring digraphs
+(unique paths) and complete digraphs, regenerating the growth series, and
+shows the §6 fix: bootstrapping still reaches any premium in O(log)
+rounds.
+
+Run directly to print the tables:  python benchmarks/bench_premium_growth.py
+"""
+
+from repro.core.bootstrap import rounds_needed
+from repro.core.premiums import leader_redemption_total, worst_case_leader_premium
+from repro.graph.digraph import complete_graph, ring_graph
+
+try:
+    from benchmarks.tables import format_table
+except ImportError:  # running the file directly from within benchmarks/
+    from tables import format_table
+
+RING_SIZES = (2, 3, 4, 5, 6, 7, 8)
+COMPLETE_SIZES = (2, 3, 4, 5, 6)
+
+
+def generate_growth_table():
+    rows = []
+    for n in RING_SIZES:
+        ring = leader_redemption_total(ring_graph(n), "P0", 1)
+        if n in COMPLETE_SIZES:
+            leaders = tuple(f"P{i}" for i in range(n - 1))  # min FVS of K_n
+            comp = worst_case_leader_premium(complete_graph(n), leaders, 1)
+        else:
+            comp = "-"
+        rows.append((n, ring, comp))
+    return ("n", "ring leader premium (p)", "complete leader premium (p)"), rows
+
+
+def generate_bootstrap_fix_table():
+    """§7.1: 'This premium can be reduced ... by O(log n) rounds of
+    premium bootstrapping' — rounds needed to fund the worst-case premium."""
+    rows = []
+    for n in COMPLETE_SIZES:
+        leaders = tuple(f"P{i}" for i in range(n - 1))
+        premium = worst_case_leader_premium(complete_graph(n), leaders, 1)
+        # fund a `premium`-sized deposit starting from a 1-unit risk at P=4
+        rounds = rounds_needed(premium, premium, 4, max(1, premium // 16))
+        rows.append((n, premium, rounds))
+    return ("n", "worst-case premium (p)", "bootstrap rounds (P=4)"), rows
+
+
+# ----------------------------------------------------------------------
+def test_ring_growth_is_linear(benchmark):
+    header, rows = benchmark(generate_growth_table)
+    ring = [r[1] for r in rows]
+    diffs = [b - a for a, b in zip(ring, ring[1:])]
+    assert all(d == diffs[0] for d in diffs)  # constant increments = linear
+
+
+def test_complete_growth_is_superlinear():
+    header, rows = generate_growth_table()
+    comp = [r[2] for r in rows if r[2] != "-"]
+    ratios = [b / a for a, b in zip(comp, comp[1:])]
+    # geometric-or-faster growth: every step multiplies by more than 4,
+    # and the ratios increase once past the degenerate n=2 case
+    assert all(r > 4 for r in ratios)
+    assert all(r2 > r1 for r1, r2 in zip(ratios[1:], ratios[2:]))
+    assert comp[-1] > 50 * comp[0]
+
+
+def test_bootstrap_rounds_grow_slowly(benchmark):
+    header, rows = benchmark(generate_bootstrap_fix_table)
+    premiums = [r[1] for r in rows]
+    rounds = [r[2] for r in rows]
+    assert premiums[-1] / premiums[0] > 10
+    assert max(rounds) <= 4  # logarithmic in the premium size
+
+
+if __name__ == "__main__":
+    print(format_table("EXP-T3: leader premium vs n", *generate_growth_table()))
+    print()
+    print(format_table("EXP-T3: bootstrapping the worst case", *generate_bootstrap_fix_table()))

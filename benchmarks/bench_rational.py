@@ -1,0 +1,107 @@
+"""EXP-G2 — rational deviation inside live protocol runs.
+
+EXP-G1 models the deviation game analytically; this experiment runs it on
+the actual protocols.  A price shock hits Alice's asset mid-swap; Bob is
+*rational* — he walks away exactly when walking beats completing.  In the
+base protocol any drop makes him walk (his option is free).  In the hedged
+protocol the forfeited premium deters every shock smaller than the premium
+fraction, and when he does walk, Alice is compensated.
+
+Run directly to print the table:  python benchmarks/bench_rational.py
+"""
+
+from repro.core.hedged_two_party import HedgedTwoPartySpec, HedgedTwoPartySwap
+from repro.core.outcomes import extract_two_party_outcome
+from repro.parties.rational import price_shock, rational_bob
+from repro.protocols.base_two_party import BaseTwoPartySwap, TwoPartySpec
+from repro.protocols.instance import execute
+
+try:
+    from benchmarks.tables import format_table
+except ImportError:  # running the file directly from within benchmarks/
+    from tables import format_table
+
+SHOCKS = (0.0, 0.005, 0.01, 0.02, 0.05, 0.10)
+PREMIUM_FRACTION = 0.02  # p_b = 2 on a 100-token principal
+SHOCK_HEIGHT = 3  # the market moves right after Alice escrows
+
+
+def _run_base(shock: float):
+    builder = BaseTwoPartySwap()
+    instance = builder.build()
+    spec = instance.meta["spec"]
+    price = price_shock(1.0, shock, at_height=2)  # after Alice's escrow (h1)
+    transform = lambda actor: rational_bob(actor, spec, price, premium_contract=None)
+    result = execute(instance, {"Bob": transform})
+    return instance, extract_two_party_outcome(instance, result)
+
+
+def _run_hedged(shock: float):
+    spec = HedgedTwoPartySpec(premium_a=2, premium_b=2)  # p_b = 2% of 100
+    builder = HedgedTwoPartySwap(spec)
+    instance = builder.build()
+    price = price_shock(1.0, shock, at_height=SHOCK_HEIGHT)
+    premium_contract = instance.contracts["apricot_escrow"]
+    transform = lambda actor: rational_bob(
+        actor, spec, price, premium_contract=premium_contract
+    )
+    result = execute(instance, {"Bob": transform})
+    return instance, extract_two_party_outcome(instance, result)
+
+
+def generate_shock_table():
+    rows = []
+    for shock in SHOCKS:
+        _, base_out = _run_base(shock)
+        _, hedged_out = _run_hedged(shock)
+        rows.append(
+            (
+                f"{shock:.1%}",
+                "yes" if base_out.swapped else "WALKS",
+                "yes" if hedged_out.swapped else "WALKS",
+                hedged_out.alice_premium_net,
+                hedged_out.bob_premium_net,
+            )
+        )
+    return (
+        "price drop", "base completes", f"hedged (p_b={PREMIUM_FRACTION:.0%}) completes",
+        "Alice net", "Bob net",
+    ), rows
+
+
+# ----------------------------------------------------------------------
+def test_free_option_walks_on_any_drop(benchmark):
+    header, rows = benchmark.pedantic(generate_shock_table, rounds=1, iterations=1)
+    by = {r[0]: r for r in rows}
+    assert by["0.0%"][1] == "yes"  # no shock: both complete
+    assert by["0.0%"][2] == "yes"
+    # base Bob walks on even the smallest drop — the §1 free option
+    for shock in ("0.5%", "1.0%", "2.0%", "5.0%", "10.0%"):
+        assert by[shock][1] == "WALKS", shock
+
+
+def test_premium_deters_small_shocks():
+    header, rows = generate_shock_table()
+    by = {r[0]: r for r in rows}
+    # shocks below the premium fraction: hedged Bob rationally completes
+    assert by["0.5%"][2] == "yes"
+    assert by["1.0%"][2] == "yes"
+    # at or beyond the premium the option is worth exercising...
+    assert by["5.0%"][2] == "WALKS"
+    assert by["10.0%"][2] == "WALKS"
+    # ...but then Alice is compensated and Bob pays
+    assert by["10.0%"][3] > 0
+    assert by["10.0%"][4] < 0
+
+
+def test_walking_is_never_free_in_the_hedged_protocol():
+    header, rows = generate_shock_table()
+    for row in rows:
+        if row[2] == "WALKS":
+            assert row[4] < 0  # Bob pays for exercising his option
+
+
+if __name__ == "__main__":
+    print(format_table(
+        "EXP-G2: rational Bob under a mid-swap price shock", *generate_shock_table()
+    ))

@@ -1,0 +1,27 @@
+"""Tiny table formatter shared by the benchmark harness.
+
+Every experiment module exposes ``generate_*`` functions returning
+``(header, rows)`` pairs; running a module directly prints the regenerated
+paper artifact, and the pytest-benchmark tests both time the generators and
+assert the paper's qualitative claims on the produced rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    lines = [title, "=" * len(title)]
+    lines.append(sep.join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append(sep.join("-" * widths[i] for i in range(len(header))))
+    for row in materialized:
+        lines.append(sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

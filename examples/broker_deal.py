@@ -1,0 +1,85 @@
+"""Brokered commerce (§8, Figure 4), hedged.
+
+Alice brokers: Bob sells tickets for 100 coins, Carol pays 101, Alice keeps
+the 1-coin markup — using Carol's coins to buy Bob's tickets without owning
+either asset.  The example prints the §8.2 premium tables, runs the happy
+path, then shows the two payoffs the paper calls out: Bob omitting his
+escrow (B1) and Bob withholding his hashkey (B2).
+
+Run with:  python examples/broker_deal.py
+"""
+
+from repro.core.hedged_broker import (
+    HedgedBrokerDeal,
+    broker_premium_tables,
+    extract_broker_outcome,
+)
+from repro.parties.strategies import halt_at, skip_methods
+from repro.protocols.base_broker import BrokerSpec
+from repro.protocols.instance import execute
+
+
+def show_tables() -> None:
+    spec = BrokerSpec()
+    tables = broker_premium_tables(spec, premium=1, optimize=True)
+    print("=== §8.2 premium tables (p = 1, footnote-7 optimized) ===")
+    print("trading premiums:", {f"T{k}": v for k, v in tables["trading"].items()})
+    print("escrow premiums: ", {f"E{k}": v for k, v in tables["escrow"].items()})
+    print("per-arc activation sets:", {
+        str(arc): sorted(keys) for arc, keys in tables["required_keys"].items()
+    })
+
+
+def happy_path() -> None:
+    print("\n=== compliant deal ===")
+    instance = HedgedBrokerDeal(premium=1).build()
+    result = execute(instance)
+    out = extract_broker_outcome(instance, result)
+    print("completed:", out.completed)
+    print("coins:    ", out.coins_delta, "(Alice keeps the markup)")
+    print("tickets:  ", out.tickets_delta)
+    print("premiums: ", out.premium_net)
+    assert out.completed
+
+
+def bob_omits_escrow() -> None:
+    print("\n=== Bob omits B1 (never escrows his tickets) ===")
+    instance = HedgedBrokerDeal(premium=1).build()
+    result = execute(instance, {"Bob": lambda a: skip_methods(a, "escrow_asset")})
+    out = extract_broker_outcome(instance, result)
+    print("premiums:", out.premium_net)
+    assert out.premium_net["Bob"] < 0
+    assert out.premium_net["Carol"] > 0 and out.premium_net["Alice"] >= 0
+    print("'Bob pays a premium to Carol and to Alice' — §8.2.")
+
+
+def bob_withholds_key() -> None:
+    print("\n=== Bob completes B1 but omits B2 (withholds his hashkey) ===")
+    instance = HedgedBrokerDeal(premium=1).build()
+    result = execute(instance, {"Bob": lambda a: halt_at(a, 7)})
+    out = extract_broker_outcome(instance, result)
+    print("premiums:", out.premium_net)
+    assert out.premium_net["Bob"] < 0 and out.premium_net["Carol"] > 0
+    print("'he pays a premium to Carol' — §8.2.")
+
+
+def resale_chain() -> None:
+    print("\n=== §8.2 extension: a two-broker resale chain ===")
+    from repro.core.multi_round_deal import DealSpec, MultiRoundDeal, extract_deal_outcome
+
+    spec = DealSpec()  # Seller -> Ann -> Mike -> Buyer
+    instance = MultiRoundDeal(spec, premium=1).build()
+    result = execute(instance)
+    out = extract_deal_outcome(instance, result)
+    print("completed:", out.completed, f"(rounds traded: {out.rounds_traded})")
+    print("coins:    ", out.coins_delta, "(each broker keeps a margin)")
+    print("premiums: ", out.premium_net)
+    assert out.completed
+
+
+if __name__ == "__main__":
+    show_tables()
+    happy_path()
+    bob_omits_escrow()
+    bob_withholds_key()
+    resale_chain()

@@ -1,0 +1,27 @@
+"""repro — hedged cross-chain transactions.
+
+A production-quality reproduction of Yingjie Xue and Maurice Herlihy,
+*"Hedging Against Sore Loser Attacks in Cross-Chain Transactions"*
+(PODC 2021, arXiv:2105.06322): a multi-chain simulator with contract-level
+escrow, the base protocols the paper transforms (HTLC swaps, Herlihy '18
+multi-party swaps, brokered deals, auctions), their hedged counterparts
+with the paper's premium structures, a model-checking analog, and the
+economic analysis layer (CRR premium pricing, rational-deviation games).
+
+Quickstart::
+
+    from repro.core import HedgedTwoPartySwap, extract_two_party_outcome
+    from repro.protocols.instance import execute
+
+    instance = HedgedTwoPartySwap().build()
+    result = execute(instance)
+    outcome = extract_two_party_outcome(instance, result)
+    assert outcome.swapped and outcome.alice_premium_net == 0
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for the paper-versus-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,31 @@
+"""Economic analysis: premium sizing and rational-deviation modelling.
+
+The paper prices premiums "using formulas such as the Cox-Ross-Rubinstein
+option pricing model" (§4) and motivates the whole construction with the
+observation that an unhedged swap hands both parties a free American option
+(§1, footnote 1).  This package supplies:
+
+- :mod:`repro.analysis.options` — a CRR binomial pricer (European and
+  American calls/puts) and :func:`suggest_premium`,
+- :mod:`repro.analysis.market` — geometric-Brownian-motion price paths,
+- :mod:`repro.analysis.game` — a rational-deviation model of the two-party
+  swap in the spirit of Xu et al. [17]: success rate and defection
+  incentives versus volatility, base versus hedged,
+- :mod:`repro.analysis.risk` — sore-loser exposure tables measured from
+  actual protocol runs (EXP-T1).
+"""
+
+from repro.analysis.options import crr_price, suggest_premium
+from repro.analysis.market import gbm_paths, gbm_terminal
+from repro.analysis.game import SwapGame, GameResult
+from repro.analysis.risk import sore_loser_exposure
+
+__all__ = [
+    "crr_price",
+    "suggest_premium",
+    "gbm_paths",
+    "gbm_terminal",
+    "SwapGame",
+    "GameResult",
+    "sore_loser_exposure",
+]

@@ -1,0 +1,44 @@
+"""Geometric Brownian motion price paths.
+
+Supplies the volatile-market substrate for the game-theoretic experiments
+(DESIGN.md substitution table: the paper motivates sore-loser attacks with
+"a volatile market where asset values may fluctuate"; we generate that
+market synthetically and deterministically).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gbm_paths(
+    s0: float,
+    mu: float,
+    sigma: float,
+    steps: int,
+    dt: float,
+    n_paths: int,
+    seed: int = 7,
+) -> np.ndarray:
+    """Simulate ``n_paths`` GBM paths; shape ``(n_paths, steps + 1)``.
+
+    ``dt`` is the step size in years; column 0 is ``s0``.
+    """
+    rng = np.random.default_rng(seed)
+    shocks = rng.standard_normal((n_paths, steps))
+    drift = (mu - 0.5 * sigma**2) * dt
+    diffusion = sigma * np.sqrt(dt) * shocks
+    log_paths = np.cumsum(drift + diffusion, axis=1)
+    paths = np.empty((n_paths, steps + 1))
+    paths[:, 0] = s0
+    paths[:, 1:] = s0 * np.exp(log_paths)
+    return paths
+
+
+def gbm_terminal(
+    s0: float, mu: float, sigma: float, horizon: float, n_paths: int, seed: int = 7
+) -> np.ndarray:
+    """Terminal values only (exact sampling, no path discretization)."""
+    rng = np.random.default_rng(seed)
+    shocks = rng.standard_normal(n_paths)
+    return s0 * np.exp((mu - 0.5 * sigma**2) * horizon + sigma * np.sqrt(horizon) * shocks)

@@ -1,0 +1,95 @@
+"""Cox-Ross-Rubinstein binomial option pricing (§4, reference [3]).
+
+The paper: "The premiums can be estimated using formulas such as the
+Cox-Ross-Rubinstein option pricing model."  A party who may renege holds,
+in effect, an American option on the swap (footnote 1: Bob's choice after
+Alice escrows "is called an 'American call option'"); a fair premium is
+the value of that optionality over the lockup window.
+
+:func:`crr_price` is the standard recombining binomial tree;
+:func:`suggest_premium` maps a swap's parameters onto it: the option to
+walk away from receiving the counterparty's asset at par is an at-the-money
+American option with maturity equal to the victim's lockup duration.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ProtocolError
+
+
+def crr_price(
+    spot: float,
+    strike: float,
+    sigma: float,
+    maturity: float,
+    rate: float = 0.0,
+    steps: int = 200,
+    kind: str = "call",
+    american: bool = False,
+) -> float:
+    """Price an option on a CRR binomial tree.
+
+    ``sigma`` is annualized volatility, ``maturity`` in years, ``rate`` the
+    continuously compounded risk-free rate.  ``kind`` is ``"call"`` or
+    ``"put"``; ``american=True`` allows early exercise.
+    """
+    if spot <= 0 or strike <= 0:
+        raise ProtocolError("spot and strike must be positive")
+    if sigma <= 0 or maturity <= 0:
+        return max(0.0, (spot - strike) if kind == "call" else (strike - spot))
+    if steps < 1:
+        raise ProtocolError("steps must be >= 1")
+    if kind not in ("call", "put"):
+        raise ProtocolError(f"unknown option kind {kind!r}")
+
+    dt = maturity / steps
+    up = math.exp(sigma * math.sqrt(dt))
+    down = 1.0 / up
+    growth = math.exp(rate * dt)
+    q = (growth - down) / (up - down)
+    if not 0.0 < q < 1.0:
+        raise ProtocolError("arbitrage in tree parameters (rate too large?)")
+    discount = math.exp(-rate * dt)
+
+    def payoff(price: float) -> float:
+        return max(0.0, price - strike) if kind == "call" else max(0.0, strike - price)
+
+    values = [payoff(spot * up**j * down ** (steps - j)) for j in range(steps + 1)]
+    for step in range(steps - 1, -1, -1):
+        for j in range(step + 1):
+            cont = discount * (q * values[j + 1] + (1 - q) * values[j])
+            if american:
+                exercise = payoff(spot * up**j * down ** (step - j))
+                cont = max(cont, exercise)
+            values[j] = cont
+    return values[0]
+
+
+def suggest_premium(
+    asset_value: float,
+    sigma_annual: float,
+    lockup_deltas: int,
+    delta_hours: float = 12.0,
+    rate: float = 0.0,
+    steps: int = 200,
+) -> float:
+    """A fair sore-loser premium for an escrow of ``asset_value``.
+
+    The counterparty's ability to renege is an at-the-money American put
+    on the victim's asset (they walk exactly when its value has dropped)
+    over the lockup window of ``lockup_deltas`` periods of ``delta_hours``
+    each.  The put's value is what the victim should demand as a premium.
+    """
+    years = lockup_deltas * delta_hours / (24.0 * 365.0)
+    return crr_price(
+        spot=asset_value,
+        strike=asset_value,
+        sigma=sigma_annual,
+        maturity=years,
+        rate=rate,
+        steps=steps,
+        kind="put",
+        american=True,
+    )

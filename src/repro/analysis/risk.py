@@ -1,0 +1,105 @@
+"""Sore-loser exposure measured from actual protocol runs (EXP-T1).
+
+§5.1's claims, measured rather than asserted: in the base swap, if Bob
+walks after Alice escrows, her principal is locked for 3Δ and Bob pays
+nothing; if Alice walks after Bob escrows, his principal is locked for Δ.
+In the hedged swap the same walk-aways trigger the premium transfers of
+§5.2.  :func:`sore_loser_exposure` runs every halt-round deviation of both
+protocols and tabulates victim, lockup duration, and compensation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hedged_two_party import HedgedTwoPartySwap
+from repro.core.outcomes import extract_two_party_outcome
+from repro.parties.strategies import Deviant
+from repro.protocols.base_two_party import BaseTwoPartySwap
+from repro.protocols.instance import execute
+
+
+@dataclass(frozen=True)
+class ExposureRow:
+    """One deviation scenario's measured exposure."""
+
+    protocol: str  # "base" | "hedged"
+    deviator: str
+    halt_round: int
+    victim: str
+    victim_lockup: int  # heights the victim's principal sat in escrow
+    victim_compensation: int  # premium units received by the victim
+    deviator_penalty: int  # premium units paid by the deviator
+
+
+def _lockups(outcome) -> dict[str, int]:
+    return {k: v for k, v in outcome.principal_lockups.items() if v is not None}
+
+
+def sore_loser_exposure(premium_a: int = 2, premium_b: int = 1) -> list[ExposureRow]:
+    """Measure every halt-round deviation of the base and hedged swaps."""
+    rows: list[ExposureRow] = []
+
+    def run(protocol: str, builder, horizon: int) -> None:
+        for deviator in ("Alice", "Bob"):
+            for rnd in range(horizon):
+                instance = builder()
+                spec = instance.meta["spec"]
+                result = execute(
+                    instance,
+                    {deviator: lambda a, r=rnd: Deviant(a, halt_round=r)},
+                )
+                outcome = extract_two_party_outcome(instance, result)
+                if outcome.swapped:
+                    continue  # the halt came too late to matter
+                victim = "Bob" if deviator == "Alice" else "Alice"
+                victim_contract = (
+                    "banana_escrow" if victim == "Bob" else "apricot_escrow"
+                )
+                if protocol == "base":
+                    victim_contract = (
+                        "banana_htlc" if victim == "Bob" else "apricot_htlc"
+                    )
+                lockup = outcome.principal_lockups.get(victim_contract) or 0
+                comp = (
+                    outcome.bob_premium_net
+                    if victim == "Bob"
+                    else outcome.alice_premium_net
+                )
+                penalty = -(
+                    outcome.alice_premium_net
+                    if deviator == "Alice"
+                    else outcome.bob_premium_net
+                )
+                rows.append(
+                    ExposureRow(
+                        protocol=protocol,
+                        deviator=deviator,
+                        halt_round=rnd,
+                        victim=victim,
+                        victim_lockup=lockup,
+                        victim_compensation=max(comp, 0),
+                        deviator_penalty=max(penalty, 0),
+                    )
+                )
+
+    base_inst = BaseTwoPartySwap().build()
+    run("base", lambda: BaseTwoPartySwap().build(), base_inst.horizon)
+
+    def hedged_builder():
+        from repro.core.hedged_two_party import HedgedTwoPartySpec
+
+        spec = HedgedTwoPartySpec(premium_a=premium_a, premium_b=premium_b)
+        return HedgedTwoPartySwap(spec).build()
+
+    hedged_inst = hedged_builder()
+    run("hedged", hedged_builder, hedged_inst.horizon)
+    return rows
+
+
+def worst_uncompensated_lockup(rows: list[ExposureRow], protocol: str) -> int:
+    """The longest lockup any victim suffered with zero compensation."""
+    return max(
+        (r.victim_lockup for r in rows if r.protocol == protocol and r.victim_compensation == 0),
+        default=0,
+    )

@@ -1,0 +1,26 @@
+"""Blockchain substrate: assets, journaled ledgers, chains, and events.
+
+This package models the minimum a cross-chain protocol needs from a
+blockchain: tamper-proof per-chain ledgers, block height as synchronized
+time (1 height = Δ), deterministic transaction execution with revert
+semantics, and event logs.  Chains are mutually isolated — a contract can
+only touch the ledger of the chain it lives on.
+"""
+
+from repro.chain.assets import Asset, NATIVE_SYMBOL, native_asset
+from repro.chain.ledger import Ledger
+from repro.chain.block import Transaction, Receipt
+from repro.chain.events import Event
+from repro.chain.blockchain import Blockchain, ChainView
+
+__all__ = [
+    "Asset",
+    "NATIVE_SYMBOL",
+    "native_asset",
+    "Ledger",
+    "Transaction",
+    "Receipt",
+    "Event",
+    "Blockchain",
+    "ChainView",
+]

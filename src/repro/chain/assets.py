@@ -1,0 +1,36 @@
+"""Asset identifiers.
+
+An :class:`Asset` names a fungible token managed by exactly one chain.
+Amounts everywhere in the library are integers (base units), which keeps
+premium arithmetic exact — Equations 1 and 2 of the paper are closed under
+integer ``p``.  Each chain has a *native* asset used to pay premiums on that
+chain (§4: "We assume each blockchain has a native currency that can be used
+to pay premiums on that chain").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NATIVE_SYMBOL = "native"
+
+
+@dataclass(frozen=True, order=True)
+class Asset:
+    """A fungible asset: ``chain`` that manages it and a ``symbol``."""
+
+    chain: str
+    symbol: str
+
+    @property
+    def is_native(self) -> bool:
+        """True for the chain's native (premium) currency."""
+        return self.symbol == NATIVE_SYMBOL
+
+    def __str__(self) -> str:
+        return f"{self.symbol}@{self.chain}"
+
+
+def native_asset(chain: str) -> Asset:
+    """The native premium currency of ``chain``."""
+    return Asset(chain, NATIVE_SYMBOL)

@@ -1,0 +1,121 @@
+"""A journaled single-chain ledger.
+
+The ledger tracks integer balances per (asset, account).  All mutation goes
+through :meth:`Ledger.transfer` / :meth:`Ledger.mint`, which append undo
+records to the active journal frame; :class:`repro.chain.blockchain.Blockchain`
+opens a frame per transaction and rolls back on contract revert.  Total
+supply per asset is conserved by every operation except ``mint``/``burn``,
+which only test fixtures and genesis allocation use.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.chain.assets import Asset
+from repro.errors import InsufficientFunds, LedgerError
+
+
+class Ledger:
+    """Integer balances for one chain, with nested-journal rollback."""
+
+    def __init__(self, chain: str) -> None:
+        self.chain = chain
+        self._balances: dict[tuple[Asset, str], int] = defaultdict(int)
+        self._journal: list[list[tuple[tuple[Asset, str], int]]] = []
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def balance(self, asset: Asset, account: str) -> int:
+        """Current balance of ``account`` in ``asset``."""
+        return self._balances[(asset, account)]
+
+    def total_supply(self, asset: Asset) -> int:
+        """Sum of all balances of ``asset`` (conserved by transfers)."""
+        return sum(v for (a, _), v in self._balances.items() if a == asset)
+
+    def accounts_holding(self, asset: Asset) -> dict[str, int]:
+        """Non-zero holders of ``asset`` mapped to their balances."""
+        return {
+            account: amount
+            for (a, account), amount in self._balances.items()
+            if a == asset and amount != 0
+        }
+
+    def snapshot(self) -> dict[tuple[Asset, str], int]:
+        """A copy of all non-zero balances (for payoff accounting)."""
+        return {k: v for k, v in self._balances.items() if v != 0}
+
+    # ------------------------------------------------------------------
+    # journaled mutation
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Open a journal frame (one per transaction)."""
+        self._journal.append([])
+
+    def commit(self) -> None:
+        """Discard the innermost journal frame, keeping its effects."""
+        if not self._journal:
+            raise LedgerError("commit without begin")
+        frame = self._journal.pop()
+        if self._journal:
+            # merge into the enclosing frame so an outer rollback still works
+            self._journal[-1].extend(frame)
+
+    def rollback(self) -> None:
+        """Undo every write of the innermost journal frame."""
+        if not self._journal:
+            raise LedgerError("rollback without begin")
+        frame = self._journal.pop()
+        for key, old_value in reversed(frame):
+            self._balances[key] = old_value
+
+    def _write(self, key: tuple[Asset, str], value: int) -> None:
+        if self._journal:
+            self._journal[-1].append((key, self._balances[key]))
+        self._balances[key] = value
+
+    def mint(self, asset: Asset, account: str, amount: int) -> None:
+        """Create ``amount`` of ``asset`` in ``account`` (genesis/fixtures)."""
+        self._require_local(asset)
+        if amount < 0:
+            raise LedgerError(f"cannot mint negative amount {amount}")
+        key = (asset, account)
+        self._write(key, self._balances[key] + amount)
+
+    def burn(self, asset: Asset, account: str, amount: int) -> None:
+        """Destroy ``amount`` of ``asset`` held by ``account``."""
+        self._require_local(asset)
+        self._require_funds(asset, account, amount)
+        key = (asset, account)
+        self._write(key, self._balances[key] - amount)
+
+    def transfer(self, asset: Asset, source: str, dest: str, amount: int) -> None:
+        """Move ``amount`` of ``asset`` from ``source`` to ``dest``."""
+        self._require_local(asset)
+        if amount < 0:
+            raise LedgerError(f"cannot transfer negative amount {amount}")
+        if source == dest:
+            return
+        self._require_funds(asset, source, amount)
+        src_key, dst_key = (asset, source), (asset, dest)
+        self._write(src_key, self._balances[src_key] - amount)
+        self._write(dst_key, self._balances[dst_key] + amount)
+
+    # ------------------------------------------------------------------
+    # guards
+    # ------------------------------------------------------------------
+    def _require_local(self, asset: Asset) -> None:
+        if asset.chain != self.chain:
+            raise LedgerError(
+                f"asset {asset} is managed by chain {asset.chain!r}, "
+                f"not {self.chain!r} — chains are isolated"
+            )
+
+    def _require_funds(self, asset: Asset, account: str, amount: int) -> None:
+        held = self._balances[(asset, account)]
+        if amount > held:
+            raise InsufficientFunds(
+                f"{account} holds {held} {asset}, needs {amount}"
+            )

@@ -1,0 +1,102 @@
+"""The model-checking driver.
+
+``ModelChecker`` enumerates adversary profiles — every subset of parties up
+to ``max_adversaries``, each assigned every strategy from the per-party
+strategy space — executes the protocol for each profile, and evaluates all
+property predicates on the outcome.  Scenarios are independent full
+simulations, so exploration is embarrassingly deterministic: the same
+profile always yields the same trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import combinations, product
+from typing import Callable, Iterable
+
+from repro.checker.strategies import NamedStrategy
+from repro.protocols.instance import ProtocolInstance, execute
+from repro.sim.runner import RunResult
+
+Property = Callable[[ProtocolInstance, RunResult, frozenset[str]], list[str]]
+Builder = Callable[[], ProtocolInstance]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property violation in one scenario."""
+
+    scenario: str
+    message: str
+
+
+@dataclass
+class CheckReport:
+    """Everything the checker observed."""
+
+    scenarios: int = 0
+    transactions: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"{self.scenarios} scenarios, {self.transactions} transactions, "
+            f"{self.elapsed_seconds:.2f}s: {status}"
+        )
+
+
+class ModelChecker:
+    """Exhaustive exploration of deviation profiles for one protocol."""
+
+    def __init__(
+        self,
+        builder: Builder,
+        properties: Iterable[Property],
+        strategies: dict[str, list[NamedStrategy]],
+        max_adversaries: int = 1,
+        include_compliant: bool = True,
+    ) -> None:
+        self.builder = builder
+        self.properties = list(properties)
+        self.strategies = strategies
+        self.max_adversaries = max_adversaries
+        self.include_compliant = include_compliant
+
+    def profiles(self) -> Iterable[dict[str, NamedStrategy]]:
+        """All adversary profiles in deterministic order."""
+        if self.include_compliant:
+            yield {}
+        parties = sorted(self.strategies)
+        for size in range(1, self.max_adversaries + 1):
+            for subset in combinations(parties, size):
+                spaces = [self.strategies[p] for p in subset]
+                for combo in product(*spaces):
+                    yield dict(zip(subset, combo))
+
+    def run(self) -> CheckReport:
+        """Execute every profile and evaluate every property."""
+        report = CheckReport()
+        start = time.perf_counter()
+        for profile in self.profiles():
+            label = (
+                "; ".join(f"{p}:{s.label}" for p, s in sorted(profile.items()))
+                or "all-compliant"
+            )
+            instance = self.builder()
+            deviations = {p: s.transform for p, s in profile.items()}
+            result = execute(instance, deviations)
+            report.scenarios += 1
+            report.transactions += len(result.transactions)
+            adversaries = frozenset(profile)
+            for prop in self.properties:
+                for message in prop(instance, result, adversaries):
+                    report.violations.append(Violation(label, message))
+        report.elapsed_seconds = time.perf_counter() - start
+        return report

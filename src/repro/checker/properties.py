@@ -1,0 +1,166 @@
+"""Property predicates asserted on every explored scenario.
+
+Each property is a callable ``(instance, result, adversaries) -> list[str]``
+returning human-readable violation messages (empty = holds).  They encode
+the paper's lemmas:
+
+- :func:`no_stuck_escrow` — liveness: "no asset is escrowed forever":
+  after the final settlement tick no contract still holds any balance,
+- :func:`two_party_hedged` — Definition 1 / §5.2 payoff claims for every
+  compliant party,
+- :func:`multi_party_lemmas` — Lemmas 1–6: safety (no compliant party
+  gives an asset without receiving its incoming ones) and the hedged bound
+  (net premium ≥ p per escrowed-but-unredeemed asset; ≥ 0 otherwise),
+- :func:`broker_bounds` — the §8.2 compensation claims,
+- :func:`auction_lemmas` — Lemmas 7 and 8 plus the §9.2 premium payout.
+"""
+
+from __future__ import annotations
+
+from repro.core.hedged_multi_party import extract_multi_party_outcome
+from repro.core.outcomes import extract_two_party_outcome
+from repro.protocols.instance import ProtocolInstance
+from repro.sim.runner import RunResult
+
+
+def no_stuck_escrow(
+    instance: ProtocolInstance, result: RunResult, adversaries: frozenset[str]
+) -> list[str]:
+    """Every contract must end empty: escrows resolve to redeem or refund."""
+    violations = []
+    for chain in instance.world.chains.values():
+        for (asset, account), balance in chain.ledger.snapshot().items():
+            if account in chain.contracts and balance != 0:
+                violations.append(
+                    f"{chain.name}/{account} still holds {balance} {asset}"
+                )
+    return violations
+
+
+def compliant_txs_never_revert(
+    instance: ProtocolInstance, result: RunResult, adversaries: frozenset[str]
+) -> list[str]:
+    """Compliant actors must never have a transaction rejected."""
+    return [
+        f"compliant tx reverted: {tx} ({tx.receipt.error})"
+        for tx in result.reverted()
+        if tx.sender not in adversaries
+    ]
+
+
+def two_party_hedged(
+    instance: ProtocolInstance, result: RunResult, adversaries: frozenset[str]
+) -> list[str]:
+    """Definition 1 for the hedged two-party swap."""
+    from repro.core.outcomes import compliant_payoff_acceptable
+
+    spec = instance.meta["spec"]
+    outcome = extract_two_party_outcome(instance, result)
+    violations = []
+    for party in (spec.alice, spec.bob):
+        if party in adversaries:
+            continue
+        if not compliant_payoff_acceptable(outcome, party, spec):
+            violations.append(
+                f"{party}: unacceptable payoff (premium_net="
+                f"{outcome.alice_premium_net if party == spec.alice else outcome.bob_premium_net}, "
+                f"swapped={outcome.swapped})"
+            )
+    if not adversaries and not outcome.swapped:
+        violations.append("liveness: compliant run did not swap")
+    return violations
+
+
+def multi_party_lemmas(
+    instance: ProtocolInstance, result: RunResult, adversaries: frozenset[str]
+) -> list[str]:
+    """Lemmas 1–6 for the hedged multi-party swap."""
+    outcome = extract_multi_party_outcome(instance, result)
+    violations = []
+    for party in outcome.parties:
+        if party in adversaries:
+            continue
+        if not outcome.safety_holds(party):
+            violations.append(f"{party}: safety violated (gave without receiving)")
+        if not outcome.hedged_holds(party):
+            violations.append(
+                f"{party}: hedged bound violated (net={outcome.premium_net[party]}, "
+                f"unredeemed={outcome.unredeemed_escrow_count(party)}, p={outcome.premium})"
+            )
+    if not adversaries:
+        if not outcome.all_redeemed:
+            violations.append("liveness: compliant run left arcs unredeemed")
+        if any(net != 0 for net in outcome.premium_net.values()):
+            violations.append(f"Lemma 1: premiums not all refunded: {outcome.premium_net}")
+    return violations
+
+
+def broker_bounds(
+    instance: ProtocolInstance, result: RunResult, adversaries: frozenset[str]
+) -> list[str]:
+    """§8.2 compensation bounds for the hedged broker."""
+    from repro.core.hedged_broker import extract_broker_outcome
+
+    spec = instance.meta["spec"]
+    out = extract_broker_outcome(instance, result)
+    violations = []
+
+    def check_escrower(party: str, state: str) -> None:
+        if party in adversaries:
+            return
+        # locked-but-unpaid escrowers are owed at least p
+        need = out.premium if (state == "refunded" and not out.completed) else 0
+        if out.premium_net[party] < need:
+            violations.append(
+                f"{party}: net {out.premium_net[party]} < required {need}"
+            )
+
+    check_escrower(spec.seller, out.ticket_state)
+    check_escrower(spec.buyer, out.coin_state)
+    if spec.broker not in adversaries and out.premium_net[spec.broker] < 0:
+        violations.append(f"{spec.broker}: net {out.premium_net[spec.broker]} < 0")
+    # principal safety
+    if not out.completed:
+        if spec.seller not in adversaries and out.tickets_delta[spec.seller] != 0:
+            violations.append(f"{spec.seller} lost tickets in a failed deal")
+        if spec.buyer not in adversaries and out.coins_delta[spec.buyer] != 0:
+            violations.append(f"{spec.buyer} lost coins in a failed deal")
+    if not adversaries and not out.completed:
+        violations.append("liveness: compliant deal did not complete")
+    return violations
+
+
+def auction_lemmas(
+    instance: ProtocolInstance, result: RunResult, adversaries: frozenset[str]
+) -> list[str]:
+    """Lemmas 7 and 8 plus the §9.2 bidder compensation."""
+    from repro.core.hedged_auction import extract_auction_outcome
+
+    spec = instance.meta["spec"]
+    out = extract_auction_outcome(instance, result)
+    violations = []
+    compliant_bidders = [b for b in spec.bidders if b not in adversaries]
+
+    # Lemma 8: no compliant bidder's bid can be stolen.
+    for bidder in compliant_bidders:
+        if out.bid_stolen(bidder):
+            violations.append(f"{bidder}: bid stolen")
+
+    # Lemma 7 (needs a compliant bidder to do the forwarding).
+    if compliant_bidders:
+        ticket = instance.contract("ticket")
+        coin = instance.contract("coin")
+        if set(ticket.accepted) != set(coin.accepted):
+            violations.append(
+                f"Lemma 7: accepted sets differ "
+                f"({sorted(ticket.accepted)} vs {sorted(coin.accepted)})"
+            )
+
+    # §9.2: a wrecked hedged auction compensates every compliant bidder.
+    if spec.premium and out.coin_outcome == "refunded":
+        for bidder in compliant_bidders:
+            if out.bids.get(bidder) and out.premium_net[bidder] < spec.premium:
+                violations.append(
+                    f"{bidder}: wrecked auction paid {out.premium_net[bidder]} < p"
+                )
+    return violations

@@ -1,0 +1,81 @@
+"""Adversary strategy generators for the model checker.
+
+A *strategy* is a named transform turning a compliant actor into a
+deviant one.  The generators below enumerate the contract-constrained
+adversary (§3.2): halting at every round, skipping every subset of action
+types, and their combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable
+
+from repro.parties.base import Actor
+from repro.parties.strategies import Deviant, Laggard, SkipRule
+
+Transform = Callable[[Actor], Actor]
+
+
+@dataclass(frozen=True)
+class NamedStrategy:
+    """A labelled actor transform (label shows up in reports)."""
+
+    label: str
+    transform: Transform
+
+
+def halt_strategies(horizon: int, step: int = 1) -> list[NamedStrategy]:
+    """Sore-loser halts at every round of the protocol."""
+    out = []
+    for rnd in range(0, horizon, step):
+        out.append(
+            NamedStrategy(
+                label=f"halt@{rnd}",
+                transform=lambda actor, r=rnd: Deviant(actor, halt_round=r),
+            )
+        )
+    return out
+
+
+def skip_strategies(methods: tuple[str, ...], max_subset: int = 2) -> list[NamedStrategy]:
+    """Skip every non-empty subset of the given action types (≤ max_subset)."""
+    out = []
+    for size in range(1, min(max_subset, len(methods)) + 1):
+        for subset in combinations(methods, size):
+            rules = tuple(SkipRule(method=m) for m in subset)
+            out.append(
+                NamedStrategy(
+                    label="skip:" + "+".join(subset),
+                    transform=lambda actor, rr=rules: Deviant(actor, skip_rules=rr),
+                )
+            )
+    return out
+
+
+def lag_strategies(max_lag: int = 3) -> list[NamedStrategy]:
+    """Timing adversaries: delay every action by 1..max_lag rounds (§1's
+    "run the protocol as slowly as possible" incentive)."""
+    return [
+        NamedStrategy(
+            label=f"lag+{lag}",
+            transform=lambda actor, l=lag: Laggard(actor, l),
+        )
+        for lag in range(1, max_lag + 1)
+    ]
+
+
+def full_strategy_space(
+    horizon: int,
+    methods: tuple[str, ...],
+    halt_step: int = 1,
+    max_skip_subset: int = 2,
+    max_lag: int = 2,
+) -> list[NamedStrategy]:
+    """Halts, action-subset skips, and lags (the checker's default space)."""
+    return (
+        halt_strategies(horizon, halt_step)
+        + skip_strategies(methods, max_skip_subset)
+        + lag_strategies(max_lag)
+    )

@@ -1,0 +1,255 @@
+"""Command-line interface: run any protocol and print its trace/outcome.
+
+Examples::
+
+    python -m repro.cli two-party
+    python -m repro.cli two-party --hedged --deviate Bob@3
+    python -m repro.cli multi-party --graph ring:4 --deviate P2@9
+    python -m repro.cli broker --deviate Alice@6
+    python -m repro.cli auction --strategy publish-loser
+    python -m repro.cli bootstrap --value 1000000 --rate 100
+    python -m repro.cli check two-party
+
+``--deviate NAME@ROUND`` wraps the named party in a sore-loser halt; it can
+be repeated.  ``check`` runs the exhaustive model checker for a protocol
+family and prints the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.checker import ModelChecker, full_strategy_space, halt_strategies, properties as props
+from repro.core.bootstrap import BootstrapSpec, BootstrappedSwap, extract_bootstrap_outcome
+from repro.core.hedged_auction import (
+    AuctioneerStrategy,
+    HedgedAuction,
+    SealedBidAuction,
+    extract_auction_outcome,
+)
+from repro.core.hedged_broker import HedgedBrokerDeal, extract_broker_outcome
+from repro.core.multi_round_deal import DealSpec, MultiRoundDeal, extract_deal_outcome
+from repro.core.hedged_multi_party import (
+    HedgedMultiPartySwap,
+    extract_multi_party_outcome,
+)
+from repro.core.hedged_two_party import HedgedTwoPartySwap
+from repro.core.outcomes import extract_two_party_outcome
+from repro.errors import ReproError
+from repro.graph.digraph import SwapGraph, complete_graph, figure3_graph, ring_graph
+from repro.parties.strategies import halt_at
+from repro.protocols.base_broker import BaseBrokerDeal
+from repro.protocols.base_multi_party import BaseMultiPartySwap
+from repro.protocols.base_two_party import BaseTwoPartySwap
+from repro.protocols.instance import ProtocolInstance, execute
+from repro.sim.trace import render_lanes, render_timeline
+
+
+def _parse_deviations(specs: list[str]):
+    out = {}
+    for item in specs or []:
+        try:
+            name, round_text = item.split("@", 1)
+            rnd = int(round_text)
+        except ValueError:
+            raise SystemExit(f"--deviate expects NAME@ROUND, got {item!r}")
+        out[name] = lambda actor, r=rnd: halt_at(actor, r)
+    return out
+
+
+def _parse_graph(text: str) -> SwapGraph:
+    if text == "figure3":
+        return figure3_graph()
+    kind, _, n = text.partition(":")
+    if kind == "ring":
+        return ring_graph(int(n or 3))
+    if kind == "complete":
+        return complete_graph(int(n or 3))
+    raise SystemExit(f"unknown graph {text!r}: use figure3, ring:N, or complete:N")
+
+
+def _finish(instance: ProtocolInstance, args, outcome) -> None:
+    result = instance.meta.pop("_result")
+    if args.timeline:
+        print(render_timeline(result))
+    else:
+        print(render_lanes(result, width=args.width))
+    print()
+    print("outcome:", outcome)
+
+
+def cmd_two_party(args) -> None:
+    builder = HedgedTwoPartySwap() if args.hedged else BaseTwoPartySwap()
+    instance = builder.build()
+    result = execute(instance, _parse_deviations(args.deviate))
+    instance.meta["_result"] = result
+    _finish(instance, args, extract_two_party_outcome(instance, result))
+
+
+def cmd_multi_party(args) -> None:
+    graph = _parse_graph(args.graph)
+    if args.hedged:
+        builder = HedgedMultiPartySwap(graph=graph, premium=args.premium)
+    else:
+        builder = BaseMultiPartySwap(graph=graph)
+    instance = builder.build()
+    result = execute(instance, _parse_deviations(args.deviate))
+    instance.meta["_result"] = result
+    _finish(instance, args, extract_multi_party_outcome(instance, result))
+
+
+def cmd_broker(args) -> None:
+    builder = HedgedBrokerDeal(premium=args.premium) if args.hedged else BaseBrokerDeal()
+    instance = builder.build()
+    result = execute(instance, _parse_deviations(args.deviate))
+    instance.meta["_result"] = result
+    _finish(instance, args, extract_broker_outcome(instance, result))
+
+
+def cmd_deal(args) -> None:
+    brokers = tuple(f"Broker{i + 1}" for i in range(args.brokers))
+    spec = DealSpec(brokers=brokers)
+    instance = MultiRoundDeal(spec, premium=args.premium).build()
+    result = execute(instance, _parse_deviations(args.deviate))
+    instance.meta["_result"] = result
+    _finish(instance, args, extract_deal_outcome(instance, result))
+
+
+def cmd_auction(args) -> None:
+    strategy = AuctioneerStrategy(args.strategy)
+    builder = SealedBidAuction(strategy=strategy) if args.sealed else HedgedAuction(strategy=strategy)
+    instance = builder.build()
+    result = execute(instance, _parse_deviations(args.deviate))
+    instance.meta["_result"] = result
+    _finish(instance, args, extract_auction_outcome(instance, result))
+
+
+def cmd_bootstrap(args) -> None:
+    spec = BootstrapSpec(
+        amount_a=args.value, amount_b=args.value, rate=args.rate, rounds=args.rounds
+    )
+    instance = BootstrappedSwap(spec).build()
+    result = execute(instance, _parse_deviations(args.deviate))
+    instance.meta["_result"] = result
+    _finish(instance, args, extract_bootstrap_outcome(instance, result))
+
+
+def cmd_check(args) -> None:
+    if args.protocol == "two-party":
+        instance = HedgedTwoPartySwap().build()
+        space = full_strategy_space(
+            instance.horizon, ("deposit_premium", "escrow_principal", "redeem")
+        )
+        checker = ModelChecker(
+            builder=lambda: HedgedTwoPartySwap().build(),
+            properties=[props.no_stuck_escrow, props.two_party_hedged],
+            strategies={p: space for p in instance.actors},
+            max_adversaries=args.adversaries,
+        )
+    elif args.protocol == "multi-party":
+        graph = _parse_graph(args.graph)
+        instance = HedgedMultiPartySwap(graph=graph).build()
+        checker = ModelChecker(
+            builder=lambda: HedgedMultiPartySwap(graph=_parse_graph(args.graph)).build(),
+            properties=[props.no_stuck_escrow, props.multi_party_lemmas],
+            strategies={p: halt_strategies(instance.horizon) for p in instance.actors},
+            max_adversaries=args.adversaries,
+        )
+    elif args.protocol == "broker":
+        instance = HedgedBrokerDeal().build()
+        checker = ModelChecker(
+            builder=lambda: HedgedBrokerDeal().build(),
+            properties=[props.no_stuck_escrow, props.broker_bounds],
+            strategies={p: halt_strategies(instance.horizon) for p in instance.actors},
+            max_adversaries=args.adversaries,
+        )
+    elif args.protocol == "auction":
+        instance = HedgedAuction().build()
+        checker = ModelChecker(
+            builder=lambda: HedgedAuction().build(),
+            properties=[props.no_stuck_escrow, props.auction_lemmas],
+            strategies={p: halt_strategies(instance.horizon) for p in instance.actors},
+            max_adversaries=args.adversaries,
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown protocol {args.protocol}")
+    report = checker.run()
+    print(report.summary())
+    for violation in report.violations[:20]:
+        print(f"  {violation.scenario}: {violation.message}")
+    if not report.ok:
+        raise SystemExit(1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hedged cross-chain transaction protocols (Xue-Herlihy PODC'21)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, hedged_default=True):
+        p.add_argument("--deviate", action="append", metavar="NAME@ROUND",
+                       help="halt a party from a round on (repeatable)")
+        p.add_argument("--timeline", action="store_true", help="flat timeline output")
+        p.add_argument("--width", type=int, default=36, help="lane width")
+        if hedged_default is not None:
+            group = p.add_mutually_exclusive_group()
+            group.add_argument("--hedged", dest="hedged", action="store_true", default=True)
+            group.add_argument("--base", dest="hedged", action="store_false",
+                               help="run the unhedged base protocol")
+
+    p = sub.add_parser("two-party", help="two-party atomic swap (§5)")
+    common(p)
+    p.set_defaults(func=cmd_two_party)
+
+    p = sub.add_parser("multi-party", help="multi-party swap (§7)")
+    common(p)
+    p.add_argument("--graph", default="figure3", help="figure3 | ring:N | complete:N")
+    p.add_argument("--premium", type=int, default=1)
+    p.set_defaults(func=cmd_multi_party)
+
+    p = sub.add_parser("broker", help="brokered deal (§8)")
+    common(p)
+    p.add_argument("--premium", type=int, default=1)
+    p.set_defaults(func=cmd_broker)
+
+    p = sub.add_parser("deal", help="multi-round resale chain (§8.2 extension)")
+    common(p, hedged_default=None)
+    p.add_argument("--brokers", type=int, default=2, help="chain length r")
+    p.add_argument("--premium", type=int, default=1)
+    p.set_defaults(func=cmd_deal)
+
+    p = sub.add_parser("auction", help="ticket auction (§9)")
+    common(p, hedged_default=None)
+    p.add_argument("--strategy", default="honest",
+                   choices=[s.value for s in AuctioneerStrategy])
+    p.add_argument("--sealed", action="store_true", help="commit-reveal bids")
+    p.set_defaults(func=cmd_auction)
+
+    p = sub.add_parser("bootstrap", help="bootstrapped swap (§6)")
+    common(p, hedged_default=None)
+    p.add_argument("--value", type=int, default=1_000_000)
+    p.add_argument("--rate", type=int, default=100)
+    p.add_argument("--rounds", type=int, default=3)
+    p.set_defaults(func=cmd_bootstrap)
+
+    p = sub.add_parser("check", help="run the model checker")
+    p.add_argument("protocol", choices=["two-party", "multi-party", "broker", "auction"])
+    p.add_argument("--graph", default="figure3")
+    p.add_argument("--adversaries", type=int, default=1)
+    p.set_defaults(func=cmd_check)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    try:
+        args.func(args)
+    except ReproError as err:
+        raise SystemExit(f"error: {err}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Smart-contract substrate and the paper's escrow contracts.
+
+`repro.contracts.base` provides the runtime (contract accounts, revert
+semantics, settlement ticks).  The remaining modules implement the actual
+contracts used by the base and hedged protocols:
+
+- :mod:`repro.contracts.htlc` — plain hashed-timelock contract (§5.1),
+- :mod:`repro.contracts.hedged_escrow` — premium-carrying two-party escrow
+  (§5.2, Figure 1),
+- :mod:`repro.contracts.swap_arc` — multi-party swap arc contract, base
+  (Herlihy '18) and hedged (§7.1) variants,
+- :mod:`repro.contracts.broker` — ticket/coin contracts for brokered
+  commerce (§8), base and hedged,
+- :mod:`repro.contracts.auction` — coin/ticket auction contracts (§9),
+  base and hedged.
+"""
+
+from repro.contracts.base import Contract
+
+__all__ = ["Contract"]

@@ -1,0 +1,78 @@
+"""Contract base class and runtime helpers.
+
+A contract is a deterministic, passive program owning an account on exactly
+one chain.  Public methods (no leading underscore) are callable via
+transactions; each takes a :class:`repro.chain.blockchain.CallContext` as
+its first argument.  ``self.require(...)`` reverts the enclosing transaction
+when a precondition fails.  ``on_tick(height)`` runs once per height after
+user transactions and performs timeout settlement (refunds and premium
+awards); on a real chain these would be keeper transactions anyone can send
+— economically equivalent, and the paper's contracts are specified the same
+way ("if the contract does not receive the matching secret before time t has
+elapsed, the asset is refunded").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.chain.assets import Asset
+from repro.errors import ContractError, StateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chain.blockchain import Blockchain
+
+
+class Contract:
+    """Base class for every contract in the library."""
+
+    kind = "contract"
+
+    def __init__(self) -> None:
+        self.chain: "Blockchain" | None = None
+        self.address: str = ""
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def install(self, chain: "Blockchain", address: str) -> None:
+        """Bind the contract to its chain; called by ``Blockchain.deploy``."""
+        if self.chain is not None:
+            raise StateError(f"{self.kind} already deployed at {self.address}")
+        self.chain = chain
+        self.address = address
+
+    def on_tick(self, height: int) -> None:
+        """Timeout settlement hook; default does nothing."""
+
+    # ------------------------------------------------------------------
+    # helpers available to subclasses
+    # ------------------------------------------------------------------
+    def require(self, condition: bool, message: str) -> None:
+        """Revert the transaction unless ``condition`` holds."""
+        if not condition:
+            raise ContractError(message)
+
+    def emit(self, name: str, **data: Any) -> None:
+        """Log an event on the host chain."""
+        self._chain().emit(self.address, name, data)
+
+    def balance(self, asset: Asset) -> int:
+        """The contract's own holdings of ``asset``."""
+        return self._chain().ledger.balance(asset, self.address)
+
+    def pull(self, asset: Asset, source: str, amount: int) -> None:
+        """Escrow: move ``amount`` from ``source`` into the contract."""
+        try:
+            self._chain().ledger.transfer(asset, source, self.address, amount)
+        except Exception as err:  # ledger errors revert the transaction
+            raise ContractError(str(err)) from err
+
+    def push(self, asset: Asset, dest: str, amount: int) -> None:
+        """Pay out ``amount`` from the contract to ``dest``."""
+        self._chain().ledger.transfer(asset, self.address, dest, amount)
+
+    def _chain(self) -> "Blockchain":
+        if self.chain is None:
+            raise StateError(f"{self.kind} used before deployment")
+        return self.chain

@@ -1,0 +1,88 @@
+"""The paper's contribution: hedged cross-chain protocols.
+
+- :mod:`repro.core.hedged_two_party` — the hedged two-party swap (§5.2),
+- :mod:`repro.core.bootstrap` — premium bootstrapping (§6),
+- :mod:`repro.core.premiums` — Equations 1 and 2 (redemption and escrow
+  premiums on swap digraphs) plus the footnote-7 pruned variants,
+- :mod:`repro.core.hedged_multi_party` — the hedged multi-party swap (§7.1),
+- :mod:`repro.core.hedged_broker` — hedged brokered commerce (§8.2),
+- :mod:`repro.core.hedged_auction` — the hedged auction (§9),
+- :mod:`repro.core.outcomes` — payoff extraction and the hedged-property
+  predicates used by tests and the model checker.
+"""
+
+from repro.core.bootstrap import (
+    BootstrapSpec,
+    BootstrappedSwap,
+    initial_risk,
+    premium_ladder,
+    rounds_estimate,
+    rounds_needed,
+)
+from repro.core.hedged_auction import (
+    AuctioneerStrategy,
+    AuctionSpec,
+    HedgedAuction,
+    extract_auction_outcome,
+)
+from repro.core.hedged_broker import (
+    BrokerOutcome,
+    HedgedBrokerDeal,
+    broker_premium_tables,
+    extract_broker_outcome,
+    multi_round_trading_premiums,
+)
+from repro.core.hedged_multi_party import (
+    HedgedMultiPartySwap,
+    MultiPartyOutcome,
+    extract_multi_party_outcome,
+)
+from repro.core.hedged_two_party import HedgedTwoPartySpec, HedgedTwoPartySwap
+from repro.core.multi_round_deal import (
+    DealSpec,
+    MultiRoundDeal,
+    deal_premium_tables,
+    extract_deal_outcome,
+)
+from repro.core.outcomes import TwoPartyOutcome, extract_two_party_outcome
+from repro.core.premiums import (
+    escrow_premium_amounts,
+    leader_redemption_total,
+    redemption_premium_amount,
+    redemption_premium_flow,
+    redemption_premium_table,
+)
+
+__all__ = [
+    "BootstrapSpec",
+    "BootstrappedSwap",
+    "initial_risk",
+    "premium_ladder",
+    "rounds_estimate",
+    "rounds_needed",
+    "AuctioneerStrategy",
+    "AuctionSpec",
+    "HedgedAuction",
+    "extract_auction_outcome",
+    "BrokerOutcome",
+    "HedgedBrokerDeal",
+    "broker_premium_tables",
+    "extract_broker_outcome",
+    "multi_round_trading_premiums",
+    "HedgedMultiPartySwap",
+    "MultiPartyOutcome",
+    "extract_multi_party_outcome",
+    "HedgedTwoPartySpec",
+    "HedgedTwoPartySwap",
+    "DealSpec",
+    "MultiRoundDeal",
+    "deal_premium_tables",
+    "extract_deal_outcome",
+    "TwoPartyOutcome",
+    "extract_two_party_outcome",
+    "escrow_premium_amounts",
+    "leader_redemption_total",
+    "redemption_premium_amount",
+    "redemption_premium_flow",
+    "redemption_premium_table",
+]

@@ -1,0 +1,622 @@
+"""Multi-round brokered deals — the §8.2 trading-rounds extension, runnable.
+
+A *resale chain*: the seller's tickets pass through ``r`` brokers before
+reaching the buyer, while the buyer's coins flow back through the same
+brokers (each keeping a margin) to the seller.  With ``r = 1`` this is
+exactly the Figure-4 deal; larger ``r`` exercises the paper's premium
+recurrence ``E(v,w) = T_1(w)``, ``T_k(v,w) = T_{k+1}(w)``,
+``T_r(v,w) = R_w(w)`` end to end.
+
+Deal digraph (r = 2, brokers A then M)::
+
+    tickets:  Seller -> A -> M -> Buyer
+    coins:    Buyer -> M -> A -> Seller
+
+Trading rounds are numbered **per broker**: in round ``k`` broker ``k``
+performs *both* of its transfers — the ticket hop toward the buyer and the
+coin hop toward the seller — exactly as Figure 4's Alice performs A1 and A2
+in the single trading phase.  This numbering is what makes the premium
+passthrough close: each party's deposits are covered by a premium whose
+beneficiary it is, with purely local (single-chain) award conditions.  The
+amounts generalize the paper's recurrence via ``cover(w, k)`` — the total
+of ``w``'s obligations after round ``k``: its next round's trading premiums
+if it trades again, else its redemption total ``R_w(w)``; then
+``T_k(v, w) = cover(w, k)`` and ``E(v, w) = cover(w, 0)``.  For ``r = 1``
+this is literally the paper's ``E = T_1(w)``, ``T_1(v,w) = R_w(w)``.
+
+Every party is a leader; redemption premiums flow backward with footnote-7
+pruning; each contract redeems only when escrowed, traded in *every* round,
+and holding all hashkeys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.block import Transaction
+from repro.contracts.deal import DealDeadlines, PipelineDealContract, TradeStep
+from repro.core.premiums import (
+    pruned_redemption_premium_amount,
+    required_redemption_keys,
+)
+from repro.crypto.hashing import Secret
+from repro.crypto.hashkeys import HashKey, SignedPath
+from repro.errors import ProtocolError
+from repro.graph.digraph import Arc, ArcSpec, SwapGraph
+from repro.parties.base import Actor
+from repro.protocols.instance import ProtocolInstance
+from repro.sim.runner import RunResult
+from repro.sim.world import World, WorldView
+
+
+@dataclass(frozen=True)
+class DealSpec:
+    """Parameters of an r-round resale chain."""
+
+    seller: str = "Seller"
+    buyer: str = "Buyer"
+    brokers: tuple[str, ...] = ("Ann", "Mike")
+    ticket_chain: str = "ticket-chain"
+    coin_chain: str = "coin-chain"
+    ticket_token: str = "ticket"
+    coin_token: str = "coin"
+    tickets: int = 1
+    seller_price: int = 100
+    margin: int = 1  # per broker
+
+    @property
+    def rounds(self) -> int:
+        return len(self.brokers)
+
+    @property
+    def buyer_price(self) -> int:
+        return self.seller_price + self.margin * self.rounds
+
+    def parties(self) -> tuple[str, ...]:
+        return (self.seller, self.buyer) + self.brokers
+
+    def ticket_path(self) -> tuple[str, ...]:
+        return (self.seller,) + self.brokers + (self.buyer,)
+
+    def coin_path(self) -> tuple[str, ...]:
+        return (self.buyer,) + tuple(reversed(self.brokers)) + (self.seller,)
+
+    def graph(self) -> SwapGraph:
+        tickets = self.ticket_path()
+        coins = self.coin_path()
+        arcs: list[Arc] = []
+        specs: dict[Arc, ArcSpec] = {}
+        for u, v in zip(tickets, tickets[1:]):
+            arcs.append((u, v))
+            specs[(u, v)] = ArcSpec(self.ticket_chain, self.ticket_token, self.tickets)
+        for u, v in zip(coins, coins[1:]):
+            arcs.append((u, v))
+            specs[(u, v)] = ArcSpec(self.coin_chain, self.coin_token, self.buyer_price)
+        return SwapGraph(self.parties(), tuple(arcs), specs)
+
+    def contract_of(self) -> dict[Arc, str]:
+        tickets = self.ticket_path()
+        coins = self.coin_path()
+        out: dict[Arc, str] = {}
+        for u, v in zip(tickets, tickets[1:]):
+            out[(u, v)] = "ticket"
+        for u, v in zip(coins, coins[1:]):
+            out[(u, v)] = "coin"
+        return out
+
+    def broker_arcs(self, j: int) -> tuple[Arc, Arc]:
+        """Broker j's round-(j+1) transfers: (ticket hop, coin hop)."""
+        tickets = self.ticket_path()
+        coins = list(reversed(self.coin_path()))  # Seller ... Buyer order
+        broker = self.brokers[j]
+        ticket_next = tickets[j + 2]  # next broker or the buyer
+        coin_prev = coins[j]  # previous broker or the seller
+        return (broker, ticket_next), (broker, coin_prev)
+
+
+def deal_premium_tables(spec: DealSpec, premium: int) -> dict[str, object]:
+    """All premium amounts for the chain deal (footnote-7 pruned).
+
+    ``cover(w, k)`` totals the beneficiary's obligations after round ``k``:
+    the next round's trading premiums if ``w`` is a broker that still
+    trades, else ``R_w(w)``.  Computed backward from the last broker.
+    """
+    graph = spec.graph()
+    contract_of = spec.contract_of()
+
+    def origination_total(leader: str) -> int:
+        total = 0
+        seen: set[str] = set()
+        for arc in sorted(graph.in_arcs(leader)):
+            host = contract_of[arc]
+            if host in seen:
+                continue
+            seen.add(host)
+            total += pruned_redemption_premium_amount(
+                graph, (leader,), arc[0], premium, contract_of
+            )
+        return total
+
+    originations = {p: origination_total(p) for p in spec.parties()}
+
+    # Per-broker trading premiums, computed backward (last broker first).
+    trading: dict[Arc, int] = {}
+    broker_total: dict[str, int] = {}
+    for j in range(spec.rounds - 1, -1, -1):
+        ticket_arc, coin_arc = spec.broker_arcs(j)
+        ticket_recipient, coin_recipient = ticket_arc[1], coin_arc[1]
+        ticket_amount = (
+            broker_total[ticket_recipient]
+            if ticket_recipient in spec.brokers
+            else originations[ticket_recipient]
+        )
+        coin_amount = originations[coin_recipient]  # earlier tier: only R left
+        trading[ticket_arc] = ticket_amount
+        trading[coin_arc] = coin_amount
+        broker_total[spec.brokers[j]] = ticket_amount + coin_amount
+
+    # Escrow premiums cover each broker's worst-case *deficit* over the
+    # scenarios in which that escrow premium fires: the hosting contract is
+    # activated with no escrow, so all its trading premiums are awarded,
+    # while the other contract's premiums may fire too (it activated and
+    # died) or all refund (it never activated).  The premium is awarded in
+    # exactly these per-broker shares, so a compliant broker blocked by an
+    # escrow failure breaks even in every combination.
+    def deficits(firing_hosts: frozenset[str]) -> dict[str, int]:
+        paid: dict[str, int] = {b: 0 for b in spec.brokers}
+        received: dict[str, int] = {b: 0 for b in spec.brokers}
+        for (v, w), amount in trading.items():
+            if contract_of[(v, w)] not in firing_hosts:
+                continue
+            if v in paid:
+                paid[v] += amount
+            if w in received:
+                received[w] += amount
+        return {b: max(0, paid[b] - received[b]) for b in spec.brokers}
+
+    def shares_for(host: str) -> tuple[tuple[str, int], ...]:
+        alone = deficits(frozenset({host}))
+        both = deficits(frozenset({"ticket", "coin"}))
+        return tuple(
+            (b, max(alone[b], both[b]))
+            for b in spec.brokers
+            if max(alone[b], both[b]) > 0
+        )
+
+    escrow_shares = {
+        (spec.seller, spec.brokers[0]): shares_for("ticket"),
+        (spec.buyer, spec.brokers[-1]): shares_for("coin"),
+    }
+    escrow = {arc: sum(a for _, a in s) for arc, s in escrow_shares.items()}
+    return {
+        "originations": originations,
+        "trading": trading,
+        "escrow": escrow,
+        "escrow_shares": escrow_shares,
+        "broker_total": broker_total,
+        "required_keys": required_redemption_keys(graph, spec.parties(), contract_of),
+        "contract_of": contract_of,
+    }
+
+
+class DealActorBase(Actor):
+    """Premium flow + hashkey forwarding shared by all deal parties."""
+
+    def __init__(self, name, keypair, spec, secret, addrs, deadlines):
+        super().__init__(name, keypair)
+        self.spec = spec
+        self.secret = secret
+        self.ticket_addr, self.coin_addr = addrs
+        self.deadlines = deadlines
+        self.graph = spec.graph()
+        self.host_of = spec.contract_of()
+        self.rpremium_done: set[str] = set()
+        self.released_own = False
+        self.forwarded: set[tuple[str, str]] = set()
+
+    # -- addressing -------------------------------------------------------
+    def contracts(self, view: WorldView):
+        ticket = view.chain(self.spec.ticket_chain).contract(self.ticket_addr)
+        coin = view.chain(self.spec.coin_chain).contract(self.coin_addr)
+        return ticket, coin
+
+    def _addr_for_host(self, host: str) -> tuple[str, str]:
+        if host == "ticket":
+            return (self.spec.ticket_chain, self.ticket_addr)
+        return (self.spec.coin_chain, self.coin_addr)
+
+    def _contract_for_arc(self, view: WorldView, arc: Arc):
+        chain_name, address = self._addr_for_host(self.host_of[arc])
+        return view.chain(chain_name).contract(address)
+
+    # -- premium structure observation --------------------------------------
+    def _pre_premiums_present(self, view: WorldView) -> bool:
+        ticket, coin = self.contracts(view)
+        for contract in (ticket, coin):
+            if contract.escrow_premium_state == "absent":
+                return False
+            if any(state == "absent" for state in contract.trading_premium_state.values()):
+                return False
+        return True
+
+    # -- redemption premium flow --------------------------------------------
+    def _originate_rpremiums(self, view: WorldView) -> list[Transaction]:
+        self.rpremium_done.add(self.name)
+        payload = f"rpremium:{self.secret.hashlock.digest}"
+        chain = SignedPath.create(payload, self.keypair, self.name)
+        txs = []
+        seen_hosts: set[str] = set()
+        for arc in sorted(self.graph.in_arcs(self.name)):
+            host = self.host_of[arc]
+            if host in seen_hosts:
+                continue
+            seen_hosts.add(host)
+            chain_name, address = self._addr_for_host(host)
+            txs.append(
+                self.tx(chain_name, address, "deposit_redemption_premium",
+                        arc=arc, path_chain=chain)
+            )
+        return txs
+
+    def _forward_rpremiums(self, view: WorldView) -> list[Transaction]:
+        txs: list[Transaction] = []
+        for leader in sorted(self.graph.parties):
+            if leader in self.rpremium_done:
+                continue
+            for out_arc in sorted(self.graph.out_arcs(self.name)):
+                contract = self._contract_for_arc(view, out_arc)
+                deposit = contract.rdeposits.get((out_arc, leader))
+                if deposit is None:
+                    continue
+                self.rpremium_done.add(leader)
+                seen = deposit.chain
+                if self.name in seen.vertices:
+                    break
+                extended = seen.extend(self.keypair, self.name)
+                observe_host = self.host_of[out_arc]
+                for in_arc in sorted(self.graph.in_arcs(self.name)):
+                    if self.host_of[in_arc] == observe_host:
+                        continue  # footnote-7 pruning
+                    in_contract = self._contract_for_arc(view, in_arc)
+                    if (in_arc, leader) in in_contract.rdeposits:
+                        continue
+                    chain_name, address = self._addr_for_host(self.host_of[in_arc])
+                    txs.append(
+                        self.tx(chain_name, address, "deposit_redemption_premium",
+                                arc=in_arc, path_chain=extended)
+                    )
+                break
+        return txs
+
+    # -- hashkeys ------------------------------------------------------------
+    def _release_own(self, view: WorldView) -> list[Transaction]:
+        """Present my own key on BOTH contracts directly.
+
+        Direct dual presentation (|q| = 1) keeps the contracts' key sets
+        symmetric: either every released key reaches both contracts or a
+        withheld key blocks both, so the deal completes or dies atomically
+        with no reliance on any single forwarder.
+        """
+        self.released_own = True
+        own = HashKey.originate(self.secret, self.keypair, self.name)
+        txs = []
+        for host in ("ticket", "coin"):
+            chain_name, address = self._addr_for_host(host)
+            contract = view.chain(chain_name).contract(address)
+            if self.name not in contract.accepted:
+                txs.append(self.tx(chain_name, address, "present_hashkey", hashkey=own))
+        return txs
+
+    def _forward_keys(self, view: WorldView) -> list[Transaction]:
+        ticket, coin = self.contracts(view)
+        spec = self.spec
+        sides = [
+            (ticket, coin, spec.coin_chain, self.coin_addr),
+            (coin, ticket, spec.ticket_chain, self.ticket_addr),
+        ]
+        txs = []
+        for source, target, target_chain, target_addr in sides:
+            for leader, hashkey in sorted(source.accepted.items()):
+                if leader in target.accepted:
+                    continue
+                if (leader, target_chain) in self.forwarded:
+                    continue
+                if self.name in hashkey.path:
+                    continue
+                extended_path = (self.name,) + hashkey.path
+                if not self.graph.is_path(extended_path):
+                    continue
+                self.forwarded.add((leader, target_chain))
+                txs.append(
+                    self.tx(target_chain, target_addr, "present_hashkey",
+                            hashkey=hashkey.extend(self.keypair, self.name))
+                )
+        return txs
+
+    # -- common phase driver ---------------------------------------------------
+    def _premium_phase(self, rnd: int, view: WorldView) -> list[Transaction]:
+        d, txs = self.deadlines, []
+        if d.redemption_premium_base <= rnd < d.activation:
+            if self.name not in self.rpremium_done:
+                if self._pre_premiums_present(view):
+                    txs.extend(self._originate_rpremiums(view))
+                else:
+                    self.rpremium_done.add(self.name)
+            txs.extend(self._forward_rpremiums(view))
+        return txs
+
+
+class DealEscrower(DealActorBase):
+    """Seller or buyer: escrow premium, asset, guarded key release."""
+
+    def __init__(self, name, keypair, spec, secret, addrs, deadlines, side):
+        super().__init__(name, keypair, spec, secret, addrs, deadlines)
+        self.side = side  # "ticket" | "coin"
+
+    def on_round(self, rnd: int, view: WorldView) -> list[Transaction]:
+        d, txs = self.deadlines, []
+        ticket, coin = self.contracts(view)
+        mine = ticket if self.side == "ticket" else coin
+        chain_name, address = self._addr_for_host(self.side)
+
+        if rnd == 0 and mine.escrow_premium_state == "absent":
+            txs.append(self.tx(chain_name, address, "deposit_escrow_premium"))
+
+        txs.extend(self._premium_phase(rnd, view))
+
+        if (
+            d.escrow - 1 <= rnd < d.trade_base + 1
+            and mine.escrow_state == "absent"
+            and mine.contract_activated
+        ):
+            txs.append(self.tx(chain_name, address, "escrow_asset"))
+
+        if rnd >= d.hashkey_base:
+            both_done = ticket.fully_traded and coin.fully_traded
+            # Withhold only when MY contract could actually redeem (fully
+            # traded) while the other cannot — otherwise releasing is free
+            # and recovers the redemption premium deposits (Lemma 4 style).
+            safe = both_done or not mine.fully_traded
+            if safe and not self.released_own:
+                txs.extend(self._release_own(view))
+            txs.extend(self._forward_keys(view))
+        return txs
+
+
+class DealBroker(DealActorBase):
+    """A middleman: trading premiums, per-round trades, free release."""
+
+    def __init__(self, name, keypair, spec, secret, addrs, deadlines, duties):
+        super().__init__(name, keypair, spec, secret, addrs, deadlines)
+        # duties: list of (host, round) pairs this broker trades
+        self.duties = tuple(sorted(duties, key=lambda d: d[1]))
+        self.t_posted: set[tuple[str, int]] = set()
+
+    def _earlier_premiums_present(self, view: WorldView, round_k: int) -> bool:
+        ticket, coin = self.contracts(view)
+        for contract in (ticket, coin):
+            if contract.escrow_premium_state == "absent":
+                return False
+            for step in contract.steps:
+                if step.round < round_k and contract.trading_premium_state[step.round] == "absent":
+                    return False
+        return True
+
+    def on_round(self, rnd: int, view: WorldView) -> list[Transaction]:
+        d, txs = self.deadlines, []
+        ticket, coin = self.contracts(view)
+
+        # Trading premium deposits: T_k lands by 1 + k (post in round k).
+        for host, round_k in self.duties:
+            if (host, round_k) in self.t_posted:
+                continue
+            if rnd == round_k and self._earlier_premiums_present(view, round_k):
+                chain_name, address = self._addr_for_host(host)
+                self.t_posted.add((host, round_k))
+                txs.append(
+                    self.tx(chain_name, address, "deposit_trading_premium", round=round_k)
+                )
+
+        txs.extend(self._premium_phase(rnd, view))
+
+        # Trades: round k lands by trade_base + k; act one round earlier.
+        both_escrowed = (
+            ticket.escrow_state == "escrowed" and coin.escrow_state == "escrowed"
+        )
+        if both_escrowed:
+            for host, round_k in self.duties:
+                if rnd == d.trade_base + round_k - 1:
+                    contract = ticket if host == "ticket" else coin
+                    prior_ok = all(
+                        c.traded.get(k, True)
+                        for c in (ticket, coin)
+                        for k in c.traded
+                        if k < round_k
+                    )
+                    if (
+                        prior_ok
+                        and not contract.traded[round_k]
+                        and contract.contract_activated
+                        and ticket.contract_activated
+                        and coin.contract_activated
+                    ):
+                        chain_name, address = self._addr_for_host(host)
+                        txs.append(self.tx(chain_name, address, "trade", round=round_k))
+
+        if rnd >= d.hashkey_base:
+            if not self.released_own:
+                txs.extend(self._release_own(view))
+            txs.extend(self._forward_keys(view))
+        return txs
+
+
+@dataclass
+class DealOutcome:
+    """Condensed result of a multi-round deal run."""
+
+    premium: int
+    premium_net: dict[str, int]
+    tickets_delta: dict[str, int]
+    coins_delta: dict[str, int]
+    ticket_state: str
+    coin_state: str
+    rounds_traded: tuple[int, int]
+
+    @property
+    def completed(self) -> bool:
+        return self.ticket_state == "redeemed" and self.coin_state == "redeemed"
+
+
+def extract_deal_outcome(instance: ProtocolInstance, result: RunResult) -> DealOutcome:
+    spec: DealSpec = instance.meta["spec"]
+    payoffs = result.payoffs
+    assert payoffs is not None
+    ticket = instance.contract("ticket")
+    coin = instance.contract("coin")
+    ticket_asset = instance.world.chain(spec.ticket_chain).asset(spec.ticket_token)
+    coin_asset = instance.world.chain(spec.coin_chain).asset(spec.coin_token)
+    parties = spec.parties()
+    return DealOutcome(
+        premium=int(instance.meta.get("premium", 0)),
+        premium_net={p: payoffs.premium_net(p) for p in parties},
+        tickets_delta={p: payoffs.delta(p).get(ticket_asset, 0) for p in parties},
+        coins_delta={p: payoffs.delta(p).get(coin_asset, 0) for p in parties},
+        ticket_state=ticket.escrow_state,
+        coin_state=coin.escrow_state,
+        rounds_traded=(
+            sum(1 for t in ticket.traded.values() if t),
+            sum(1 for t in coin.traded.values() if t),
+        ),
+    )
+
+
+class MultiRoundDeal:
+    """Builder for the r-round resale chain."""
+
+    def __init__(self, spec: DealSpec | None = None, premium: int = 1,
+                 secrets: dict[str, Secret] | None = None) -> None:
+        self.spec = spec or DealSpec()
+        if self.spec.rounds < 1:
+            raise ProtocolError("a deal needs at least one broker")
+        self.premium = premium
+        self.secrets = secrets or {
+            p: Secret.generate(f"{p}-secret") for p in self.spec.parties()
+        }
+
+    def build(self) -> ProtocolInstance:
+        spec, p = self.spec, self.premium
+        graph = spec.graph()
+        tables = deal_premium_tables(spec, p)
+        trading = tables["trading"]
+        escrow_shares = tables["escrow_shares"]
+        required = tables["required_keys"]
+        contract_of = tables["contract_of"]
+        deadlines = DealDeadlines.for_rounds(spec.rounds, len(spec.parties()))
+
+        world = World([spec.ticket_chain, spec.coin_chain])
+        keys = {name: world.register_party(name) for name in spec.parties()}
+        world.fund(spec.ticket_chain, spec.seller, spec.ticket_token, spec.tickets)
+        world.fund(spec.coin_chain, spec.buyer, spec.coin_token, spec.buyer_price)
+        bound = 16 * p * len(spec.parties()) ** 3
+        for chain_name in (spec.ticket_chain, spec.coin_chain):
+            for name in spec.parties():
+                world.fund(chain_name, name, "native", bound)
+
+        hashlocks = {name: self.secrets[name].hashlock for name in spec.parties()}
+        tickets_path = spec.ticket_path()
+        coins_path = spec.coin_path()
+
+        def steps_for(side: int) -> tuple[TradeStep, ...]:
+            """side 0 = ticket hops, side 1 = coin hops; round = broker+1."""
+            steps = []
+            for j in range(spec.rounds):
+                arc = spec.broker_arcs(j)[side]
+                steps.append(
+                    TradeStep(
+                        round=j + 1,
+                        trader=arc[0],
+                        recipient=arc[1],
+                        arc=arc,
+                        premium_amount=trading[arc],
+                        deadline=deadlines.trade_base + j + 1,
+                    )
+                )
+            return tuple(steps)
+
+        ticket_host = world.chain(spec.ticket_chain)
+        coin_host = world.chain(spec.coin_chain)
+        ticket_escrow_arc = (tickets_path[0], tickets_path[1])
+        coin_escrow_arc = (coins_path[0], coins_path[1])
+
+        ticket_addr = ticket_host.deploy(
+            PipelineDealContract(
+                graph=graph,
+                public_of=world.public_of,
+                hashlocks=hashlocks,
+                escrow_arc=ticket_escrow_arc,
+                steps=steps_for(0),
+                asset=ticket_host.asset(spec.ticket_token),
+                amount=spec.tickets,
+                payouts=((spec.buyer, spec.tickets),),
+                deadlines=deadlines,
+                premium=p,
+                escrow_premium_shares=escrow_shares[ticket_escrow_arc],
+                required_keys=required,
+                contract_of=contract_of,
+            )
+        )
+        coin_payouts = tuple(
+            [(spec.seller, spec.seller_price)]
+            + [(broker, spec.margin) for broker in spec.brokers]
+        )
+        coin_addr = coin_host.deploy(
+            PipelineDealContract(
+                graph=graph,
+                public_of=world.public_of,
+                hashlocks=hashlocks,
+                escrow_arc=coin_escrow_arc,
+                steps=steps_for(1),
+                asset=coin_host.asset(spec.coin_token),
+                amount=spec.buyer_price,
+                payouts=coin_payouts,
+                deadlines=deadlines,
+                premium=p,
+                escrow_premium_shares=escrow_shares[coin_escrow_arc],
+                required_keys=required,
+                contract_of=contract_of,
+            )
+        )
+
+        addrs = (ticket_addr, coin_addr)
+        actors: dict[str, Actor] = {
+            spec.seller: DealEscrower(
+                spec.seller, keys[spec.seller], spec, self.secrets[spec.seller],
+                addrs, deadlines, "ticket",
+            ),
+            spec.buyer: DealEscrower(
+                spec.buyer, keys[spec.buyer], spec, self.secrets[spec.buyer],
+                addrs, deadlines, "coin",
+            ),
+        }
+        for j, broker in enumerate(spec.brokers):
+            duties = [("ticket", j + 1), ("coin", j + 1)]
+            actors[broker] = DealBroker(
+                broker, keys[broker], spec, self.secrets[broker],
+                addrs, deadlines, duties,
+            )
+
+        return ProtocolInstance(
+            world=world,
+            actors=actors,
+            horizon=deadlines.horizon,
+            contracts={
+                "ticket": (spec.ticket_chain, ticket_addr),
+                "coin": (spec.coin_chain, coin_addr),
+            },
+            meta={
+                "spec": spec,
+                "deadlines": deadlines,
+                "premium": p,
+                "tables": tables,
+            },
+        )

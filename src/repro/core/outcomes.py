@@ -1,0 +1,119 @@
+"""Outcome extraction and the paper's payoff predicates.
+
+:class:`TwoPartyOutcome` condenses a hedged (or base) two-party run into the
+quantities the paper reasons about: whether the swap completed, each party's
+net premium flow, each party's principal delta, and how long assets sat in
+escrow.  The ``hedged`` predicate of Definition 1 — "whenever a compliant
+party escrows assets that are not redeemed, that party receives what it
+considers sufficient compensation" — is checked by the model checker via
+:func:`compliant_payoff_acceptable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocols.instance import ProtocolInstance
+from repro.sim.runner import RunResult
+
+
+@dataclass
+class TwoPartyOutcome:
+    """Condensed result of a two-party swap run."""
+
+    swapped: bool
+    alice_premium_net: int
+    bob_premium_net: int
+    alice_got_tokens: bool
+    bob_got_tokens: bool
+    alice_kept_tokens: bool
+    bob_kept_tokens: bool
+    principal_lockups: dict[str, int | None] = field(default_factory=dict)
+    premium_lockups: dict[str, int | None] = field(default_factory=dict)
+    scenario: str = ""
+
+    @property
+    def alice_safe(self) -> bool:
+        """Alice's principal is either traded for Bob's or returned."""
+        return self.alice_got_tokens or self.alice_kept_tokens
+
+    @property
+    def bob_safe(self) -> bool:
+        return self.bob_got_tokens or self.bob_kept_tokens
+
+
+def extract_two_party_outcome(
+    instance: ProtocolInstance, result: RunResult
+) -> TwoPartyOutcome:
+    """Read the outcome of a (base or hedged) two-party swap run."""
+    spec = instance.meta["spec"]
+    payoffs = result.payoffs
+    assert payoffs is not None
+
+    token_a = instance.world.chain(spec.chain_a).asset(spec.token_a)
+    token_b = instance.world.chain(spec.chain_b).asset(spec.token_b)
+    alice_delta = payoffs.delta(spec.alice)
+    bob_delta = payoffs.delta(spec.bob)
+
+    alice_got = alice_delta.get(token_b, 0) >= spec.amount_b
+    bob_got = bob_delta.get(token_a, 0) >= spec.amount_a
+    alice_kept = alice_delta.get(token_a, 0) == 0
+    bob_kept = bob_delta.get(token_b, 0) == 0
+
+    principal_lockups: dict[str, int | None] = {}
+    premium_lockups: dict[str, int | None] = {}
+    for label in instance.contracts:
+        contract = instance.contract(label)
+        if hasattr(contract, "principal_lockup"):
+            principal_lockups[label] = contract.principal_lockup
+            premium_lockups[label] = contract.premium_lockup
+        elif hasattr(contract, "lockup_duration"):
+            principal_lockups[label] = contract.lockup_duration
+
+    return TwoPartyOutcome(
+        swapped=alice_got and bob_got,
+        alice_premium_net=payoffs.premium_net(spec.alice),
+        bob_premium_net=payoffs.premium_net(spec.bob),
+        alice_got_tokens=alice_got,
+        bob_got_tokens=bob_got,
+        alice_kept_tokens=alice_kept,
+        bob_kept_tokens=bob_kept,
+        principal_lockups=principal_lockups,
+        premium_lockups=premium_lockups,
+    )
+
+
+def compliant_payoff_acceptable(
+    outcome: TwoPartyOutcome,
+    compliant: str,
+    spec,
+) -> bool:
+    """Definition 1 check for the two-party hedged swap.
+
+    A compliant party must end in one of the acceptable states:
+
+    - the swap completed and its premiums were refunded (net premium 0), or
+    - it kept (or recovered) its principal; and if its principal had been
+      escrowed and went unredeemed because the counterparty walked away, it
+      collected the counterparty's premium.
+    """
+    if compliant == spec.alice:
+        if outcome.swapped:
+            return outcome.alice_premium_net == 0
+        if not outcome.alice_safe:
+            return False
+        # if Alice escrowed and Bob walked, she must net >= p_b
+        alice_escrowed = outcome.principal_lockups.get("apricot_escrow") is not None
+        if alice_escrowed and not outcome.swapped:
+            return outcome.alice_premium_net >= spec.premium_b
+        return outcome.alice_premium_net >= 0
+    if compliant == spec.bob:
+        if outcome.swapped:
+            return outcome.bob_premium_net == 0
+        if not outcome.bob_safe:
+            return False
+        bob_escrowed = outcome.principal_lockups.get("banana_escrow") is not None
+        if bob_escrowed and not outcome.swapped:
+            return outcome.bob_premium_net >= spec.premium_a
+        return outcome.bob_premium_net >= 0
+    raise ValueError(f"unknown party {compliant!r}")

@@ -1,0 +1,258 @@
+"""Premium formulas — Equations 1 and 2 of §7.1.
+
+**Redemption premiums** flow backward from each leader.  A deposit by ``v``
+on incoming arc ``(u, v)`` carries a path ``q`` from ``v`` to the leader
+``L_i`` and must be large enough that if hashkey ``k_i`` never reaches
+``v``, the premium ``v`` collects covers both a compensation ``p`` for
+``u``'s locked asset and every passthrough deposit ``u`` itself made.  The
+paper's Equation 1::
+
+    R_i(q, v) = p                                  if v ‖ q is a cycle
+    R_i(q, v) = p + Σ_{(u,v) ∈ G} R_i(v ‖ q, u)    otherwise
+
+In our notation :func:`redemption_premium_amount` computes the amount of
+the deposit with (redeemer-first) path ``q`` whose beneficiary is ``u``:
+the beneficiary passes nothing through when it already lies on the path
+(in particular when it *is* the leader — the paper's "v ‖ q is a cycle"
+case), so the amount is ``p``; otherwise it is ``p`` plus the deposits the
+beneficiary will make on its own incoming arcs with the extended path.
+
+**Escrow premiums** flow forward (Equation 2)::
+
+    E(u, v) = R(L_i)            if v is leader L_i
+    E(u, v) = Σ_{(v,w) ∈ G} E(v, w)   otherwise
+
+well-defined because leaders form a feedback vertex set.
+
+Everything is exact integer arithmetic: with integer ``p`` both equations
+stay integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import GraphError
+from repro.graph.digraph import Arc, SwapGraph
+from repro.graph.feedback import is_feedback_vertex_set
+
+
+def redemption_premium_amount(
+    graph: SwapGraph, path: tuple[str, ...], beneficiary: str, p: int
+) -> int:
+    """Equation 1: the amount of a redemption premium deposit.
+
+    ``path`` is redeemer-first: ``path[0]`` is the depositor ``v`` (the
+    redeemer on arc ``(beneficiary, v)``), ``path[-1]`` the leader.  The
+    result is ``p`` when the beneficiary already lies on the path (no
+    passthrough needed — the leader case is the paper's "cycle" clause),
+    otherwise ``p`` plus the beneficiary's own extended deposits on every
+    arc entering it.
+    """
+    if not path:
+        raise GraphError("empty premium path")
+    if not graph.is_path(path):
+        raise GraphError(f"{path} is not a simple forward path")
+
+    @lru_cache(maxsize=None)
+    def amount(q: tuple[str, ...], u: str) -> int:
+        if u in q:
+            return p
+        extended = (u,) + q
+        return p + sum(amount(extended, x) for x in graph.in_neighbors(u))
+
+    return amount(tuple(path), beneficiary)
+
+
+def leader_redemption_total(graph: SwapGraph, leader: str, p: int) -> int:
+    """``R(L_i)``: the sum of the leader's own deposits on incoming arcs."""
+    return sum(
+        redemption_premium_amount(graph, (leader,), u, p)
+        for u in graph.in_neighbors(leader)
+    )
+
+
+def escrow_premium_amounts(
+    graph: SwapGraph, leaders: tuple[str, ...] | frozenset[str], p: int
+) -> dict[Arc, int]:
+    """Equation 2: the escrow premium ``E(u, v)`` for every arc.
+
+    Each arc entering a leader carries that leader's redemption total; each
+    arc entering a follower covers the sum of the follower's outgoing
+    escrow premiums.
+    """
+    leader_set = frozenset(leaders)
+    if not is_feedback_vertex_set(graph, leader_set):
+        raise GraphError(f"{sorted(leader_set)} is not a feedback vertex set")
+
+    @lru_cache(maxsize=None)
+    def need(v: str) -> int:
+        if v in leader_set:
+            return leader_redemption_total(graph, v, p)
+        return sum(need(w) for w in graph.out_neighbors(v))
+
+    return {(u, v): need(v) for (u, v) in graph.arcs}
+
+
+def redemption_premium_table(
+    graph: SwapGraph, leader: str, p: int
+) -> dict[Arc, dict[tuple[str, ...], int]]:
+    """All possible (path → amount) deposits per arc for one leader.
+
+    On arc ``(u, v)`` the depositor ``v`` may use any simple forward path
+    from ``v`` to the leader that the beneficiary can verify; which one is
+    used at runtime depends on where ``v`` first saw a premium.  This table
+    (used by benchmarks and the Figure 3 reproduction) enumerates them all.
+    """
+    table: dict[Arc, dict[tuple[str, ...], int]] = {}
+    for arc in graph.arcs:
+        u, v = arc
+        table[arc] = {
+            q: redemption_premium_amount(graph, q, u, p)
+            for q in graph.simple_paths(v, leader)
+        }
+    return table
+
+
+def worst_case_leader_premium(graph: SwapGraph, leaders: tuple[str, ...], p: int) -> int:
+    """The largest premium any single leader must front (for EXP-T3)."""
+    return max(leader_redemption_total(graph, leader, p) for leader in leaders)
+
+
+# ----------------------------------------------------------------------
+# contract-aware (pruned) variant — footnote 7 of §8.2
+# ----------------------------------------------------------------------
+#
+# When several arcs share one escrow contract (the broker's coin contract
+# hosts both (C,A) and (A,B)), a hashkey presented for one arc is already on
+# the contract for the other, so the forwarding step — and therefore the
+# matching redemption premium — is unnecessary.  ``contract_of`` maps each
+# arc to its hosting contract; passing ``None`` reduces every function below
+# to the plain Equation 1/flow (each arc its own contract).
+
+
+def pruned_redemption_premium_amount(
+    graph: SwapGraph,
+    path: tuple[str, ...],
+    beneficiary: str,
+    p: int,
+    contract_of: dict[Arc, str] | None = None,
+) -> int:
+    """Equation 1 with footnote-7 pruning of same-contract forwarding.
+
+    The beneficiary ``u`` of a deposit with path ``q`` (made on arc
+    ``(u, q[0])``) only needs passthrough cover for incoming arcs hosted on
+    a *different* contract than the arc it observes ``k_i`` on.
+    """
+    if contract_of is None:
+        return redemption_premium_amount(graph, path, beneficiary, p)
+    if not path:
+        raise GraphError("empty premium path")
+    if not graph.is_path(path):
+        raise GraphError(f"{path} is not a simple forward path")
+
+    @lru_cache(maxsize=None)
+    def amount(q: tuple[str, ...], u: str) -> int:
+        if u in q:
+            return p
+        observe_contract = contract_of[(u, q[0])]
+        extended = (u,) + q
+        total = p
+        for x in graph.in_neighbors(u):
+            if contract_of[(x, u)] == observe_contract:
+                continue  # footnote 7: the key is already on that contract
+            total += amount(extended, x)
+        return total
+
+    return amount(tuple(path), beneficiary)
+
+
+@dataclass(frozen=True)
+class PremiumDeposit:
+    """One redemption-premium deposit in the compliant flow."""
+
+    round: int
+    arc: Arc
+    leader: str
+    path: tuple[str, ...]
+    amount: int
+
+    @property
+    def depositor(self) -> str:
+        return self.path[0]
+
+
+def redemption_premium_flow(
+    graph: SwapGraph,
+    leaders: tuple[str, ...] | frozenset[str],
+    p: int,
+    contract_of: dict[Arc, str] | None = None,
+) -> list[PremiumDeposit]:
+    """Simulate the compliant phase-2 deposit flow.
+
+    Round 0: each leader deposits on its incoming arcs (one per hosting
+    contract when pruning).  Round t+1: a party that first saw a premium for
+    ``k_i`` on one of its outgoing arcs at round t extends the path and
+    deposits on its incoming arcs (skipping same-contract arcs when
+    pruning).  Ties break lexicographically, matching the actors.
+    """
+    deposits: list[PremiumDeposit] = []
+    for leader in sorted(leaders):
+        per_arc: dict[Arc, PremiumDeposit] = {}
+        done: set[str] = {leader}
+
+        def place(rnd: int, arc: Arc, path: tuple[str, ...]) -> None:
+            if arc in per_arc:
+                return
+            amount = pruned_redemption_premium_amount(graph, path, arc[0], p, contract_of)
+            per_arc[arc] = PremiumDeposit(rnd, arc, leader, path, amount)
+
+        origin_contracts: set[str] = set()
+        for arc in sorted(graph.in_arcs(leader)):
+            if contract_of is not None:
+                host = contract_of[arc]
+                if host in origin_contracts:
+                    continue
+                origin_contracts.add(host)
+            place(0, arc, (leader,))
+
+        for rnd in range(1, len(graph.parties) + 1):
+            snapshot = dict(per_arc)
+            for v in sorted(graph.parties):
+                if v in done:
+                    continue
+                triggers = [
+                    snapshot[arc]
+                    for arc in sorted(graph.out_arcs(v))
+                    if arc in snapshot and snapshot[arc].round < rnd
+                ]
+                if not triggers:
+                    continue
+                first = min(triggers, key=lambda d: (d.round, d.arc))
+                done.add(v)
+                if v in first.path:
+                    continue
+                extended = (v,) + first.path
+                for arc in sorted(graph.in_arcs(v)):
+                    if (
+                        contract_of is not None
+                        and contract_of[arc] == contract_of[first.arc]
+                    ):
+                        continue
+                    place(rnd, arc, extended)
+        deposits.extend(per_arc.values())
+    return sorted(deposits, key=lambda d: (d.round, d.leader, d.arc))
+
+
+def required_redemption_keys(
+    graph: SwapGraph,
+    leaders: tuple[str, ...] | frozenset[str],
+    contract_of: dict[Arc, str] | None = None,
+) -> dict[Arc, frozenset[str]]:
+    """Which leaders' premiums each arc expects (its activation set)."""
+    flow = redemption_premium_flow(graph, leaders, 1, contract_of)
+    required: dict[Arc, set[str]] = {arc: set() for arc in graph.arcs}
+    for deposit in flow:
+        required[deposit.arc].add(deposit.leader)
+    return {arc: frozenset(keys) for arc, keys in required.items()}

@@ -1,0 +1,27 @@
+"""Cryptographic primitives for the simulated cross-chain protocols.
+
+Hashlocks use real SHA-256.  Signatures use HMAC-SHA256 keyed by the
+signer's private key; a process-local registry maps public keys to private
+keys so that *verification* can recompute the MAC.  Parties never see each
+other's private keys, so within the simulation a signature can only be
+produced by its legitimate signer — the same guarantee ECDSA provides on a
+real chain (see DESIGN.md, substitution table).
+"""
+
+from repro.crypto.hashing import Hashlock, Secret, sha256_hex
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.signatures import Signature, sign, verify
+from repro.crypto.hashkeys import HashKey, SignedPath
+
+__all__ = [
+    "Hashlock",
+    "Secret",
+    "sha256_hex",
+    "KeyPair",
+    "KeyRegistry",
+    "Signature",
+    "sign",
+    "verify",
+    "HashKey",
+    "SignedPath",
+]

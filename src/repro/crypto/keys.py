@@ -1,0 +1,83 @@
+"""Key pairs and the verification registry.
+
+The simulation replaces asymmetric signatures with HMAC-SHA256.  Each
+:class:`KeyPair` holds 32 private bytes; the public key is the SHA-256 of
+the private key.  A :class:`KeyRegistry` (one per simulated world) maps
+public keys to private keys so that ``verify`` can recompute MACs.  Parties
+hold only their own :class:`KeyPair`; contracts hold only the registry.
+Within the simulation this gives the standard signature guarantees: nobody
+can produce a signature for a public key whose private bytes they do not
+hold (see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256_hex
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A signing key pair: 32 private bytes and the derived public key."""
+
+    private: bytes
+    owner: str = ""
+
+    @staticmethod
+    def generate(owner: str = "") -> "KeyPair":
+        """Create a fresh random key pair."""
+        return KeyPair(os.urandom(32), owner=owner)
+
+    @staticmethod
+    def from_seed(seed: str, owner: str = "") -> "KeyPair":
+        """Create a deterministic key pair from a text seed (tests only)."""
+        return KeyPair(seed.encode("utf-8"), owner=owner)
+
+    @property
+    def public(self) -> str:
+        """The public key: hex SHA-256 of the private bytes."""
+        return sha256_hex(self.private)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KeyPair({self.owner or self.public[:8]})"
+
+
+class KeyRegistry:
+    """Maps public keys to private keys for signature verification.
+
+    One registry is shared by all chains of a simulated world.  It plays the
+    role mathematics plays for ECDSA: it lets anyone *verify* a signature
+    without being able to *produce* one (parties never query the registry;
+    only `repro.crypto.signatures.verify` does).
+    """
+
+    def __init__(self) -> None:
+        self._by_public: dict[str, KeyPair] = {}
+        self._owner_by_public: dict[str, str] = {}
+
+    def register(self, keypair: KeyPair) -> None:
+        """Add ``keypair`` so signatures by it can be verified."""
+        self._by_public[keypair.public] = keypair
+        if keypair.owner:
+            self._owner_by_public[keypair.public] = keypair.owner
+
+    def private_for(self, public: str) -> bytes:
+        """Return the private bytes behind ``public`` (verification only)."""
+        try:
+            return self._by_public[public].private
+        except KeyError:
+            raise CryptoError(f"unknown public key {public[:12]}…") from None
+
+    def owner_of(self, public: str) -> str:
+        """Return the registered owner name for ``public`` (may be '')."""
+        return self._owner_by_public.get(public, "")
+
+    def knows(self, public: str) -> bool:
+        """Return True if ``public`` is registered."""
+        return public in self._by_public
+
+    def __len__(self) -> int:
+        return len(self._by_public)

@@ -1,0 +1,22 @@
+"""Swap digraphs and schedules for multi-party protocols (§7).
+
+A multi-party swap is a strongly connected digraph whose vertices are
+parties and whose arcs are proposed asset transfers.  This package provides
+the digraph model, path and feedback-vertex-set utilities, and the phase
+schedules (who acts in which round, which deadline every contract enforces).
+"""
+
+from repro.graph.digraph import ArcSpec, SwapGraph, ring_graph, complete_graph, figure3_graph
+from repro.graph.feedback import is_feedback_vertex_set, minimum_feedback_vertex_set
+from repro.graph.schedule import MultiPartySchedule
+
+__all__ = [
+    "ArcSpec",
+    "SwapGraph",
+    "ring_graph",
+    "complete_graph",
+    "figure3_graph",
+    "is_feedback_vertex_set",
+    "minimum_feedback_vertex_set",
+    "MultiPartySchedule",
+]

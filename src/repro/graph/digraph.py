@@ -1,0 +1,239 @@
+"""The swap digraph model.
+
+Arcs carry an :class:`ArcSpec` saying which chain hosts the transferred
+asset and how much moves.  Paths follow arcs *forward* and are written
+redeemer-first, exactly as in Figure 3b: a hashkey (or redemption premium)
+path ``q = (v, ..., L)`` runs from the redeemer ``v`` of the arc where it is
+presented to the leader ``L`` who originated it, with every consecutive pair
+``(q_i, q_{i+1})`` an arc of the digraph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import GraphError
+
+Arc = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ArcSpec:
+    """What moves along an arc: chain, token symbol, and amount."""
+
+    chain: str
+    token: str
+    amount: int
+
+
+@dataclass(frozen=True)
+class SwapGraph:
+    """A directed swap graph with per-arc asset specifications."""
+
+    parties: tuple[str, ...]
+    arcs: tuple[Arc, ...]
+    specs: dict[Arc, ArcSpec]
+
+    def __post_init__(self) -> None:
+        seen = set(self.parties)
+        if len(seen) != len(self.parties):
+            raise GraphError("duplicate parties")
+        for (u, v) in self.arcs:
+            if u == v:
+                raise GraphError(f"self-loop ({u},{v}) not allowed")
+            if u not in seen or v not in seen:
+                raise GraphError(f"arc ({u},{v}) references unknown party")
+        if set(self.specs) != set(self.arcs):
+            raise GraphError("specs must cover exactly the arcs")
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(
+        parties: list[str] | tuple[str, ...],
+        arcs: list[Arc],
+        specs: dict[Arc, ArcSpec] | None = None,
+        default_amount: int = 100,
+    ) -> "SwapGraph":
+        """Create a graph; default specs put each arc's asset on a chain
+        named after the sender (each party sells an asset it manages)."""
+        if specs is None:
+            specs = {
+                (u, v): ArcSpec(chain=f"{u.lower()}-chain", token=f"{u.lower()}-token", amount=default_amount)
+                for (u, v) in arcs
+            }
+        return SwapGraph(tuple(parties), tuple(arcs), dict(specs))
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    @cached_property
+    def arc_set(self) -> frozenset[Arc]:
+        return frozenset(self.arcs)
+
+    def in_arcs(self, v: str) -> tuple[Arc, ...]:
+        """Arcs entering ``v`` (where ``v`` is the redeemer)."""
+        return tuple((u, w) for (u, w) in self.arcs if w == v)
+
+    def out_arcs(self, v: str) -> tuple[Arc, ...]:
+        """Arcs leaving ``v`` (where ``v`` is the escrower)."""
+        return tuple((u, w) for (u, w) in self.arcs if u == v)
+
+    def in_neighbors(self, v: str) -> tuple[str, ...]:
+        return tuple(u for (u, w) in self.arcs if w == v)
+
+    def out_neighbors(self, v: str) -> tuple[str, ...]:
+        return tuple(w for (u, w) in self.arcs if u == v)
+
+    @cached_property
+    def chains(self) -> tuple[str, ...]:
+        """All chain names appearing in arc specs (sorted, unique)."""
+        return tuple(sorted({spec.chain for spec in self.specs.values()}))
+
+    def is_strongly_connected(self) -> bool:
+        """True iff every vertex reaches every other following arcs."""
+        if not self.parties:
+            return False
+        for start in self.parties:
+            reached = self._reachable(start)
+            if reached != set(self.parties):
+                return False
+        return True
+
+    def _reachable(self, start: str) -> set[str]:
+        frontier, seen = [start], {start}
+        while frontier:
+            u = frontier.pop()
+            for w in self.out_neighbors(u):
+                if w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        return seen
+
+    @cached_property
+    def diameter(self) -> int:
+        """Max over ordered vertex pairs of the shortest-path distance."""
+        if not self.is_strongly_connected():
+            raise GraphError("diameter requires strong connectivity")
+        best = 0
+        for start in self.parties:
+            dist = {start: 0}
+            frontier = [start]
+            while frontier:
+                nxt: list[str] = []
+                for u in frontier:
+                    for w in self.out_neighbors(u):
+                        if w not in dist:
+                            dist[w] = dist[u] + 1
+                            nxt.append(w)
+                frontier = nxt
+            best = max(best, max(dist.values()))
+        return best
+
+    # ------------------------------------------------------------------
+    # paths (Figure 3b semantics)
+    # ------------------------------------------------------------------
+    def simple_paths(self, source: str, target: str) -> list[tuple[str, ...]]:
+        """All simple paths from ``source`` to ``target`` following arcs."""
+        out: list[tuple[str, ...]] = []
+
+        def walk(path: list[str]) -> None:
+            tip = path[-1]
+            if tip == target:
+                out.append(tuple(path))
+                return
+            for w in self.out_neighbors(tip):
+                if w not in path:
+                    path.append(w)
+                    walk(path)
+                    path.pop()
+
+        walk([source])
+        return out
+
+    def hashkey_paths(self, arc: Arc, leader: str) -> list[tuple[str, ...]]:
+        """Paths a hashkey from ``leader`` may carry on ``arc`` (Fig. 3b):
+        simple forward paths from the arc's redeemer to the leader."""
+        if arc not in self.arc_set:
+            raise GraphError(f"{arc} is not an arc")
+        _, v = arc
+        return self.simple_paths(v, leader)
+
+    def is_path(self, q: tuple[str, ...]) -> bool:
+        """True iff ``q`` is a simple path following arcs forward."""
+        if not q or len(set(q)) != len(q):
+            return False
+        return all((q[i], q[i + 1]) in self.arc_set for i in range(len(q) - 1))
+
+    @cached_property
+    def max_path_length(self) -> int:
+        """Upper bound on |q| for any simple path: the vertex count."""
+        return len(self.parties)
+
+    # ------------------------------------------------------------------
+    # leader/follower structure
+    # ------------------------------------------------------------------
+    def follower_depths(self, leaders: tuple[str, ...] | frozenset[str]) -> dict[str, int]:
+        """Escrow-phase depth of every vertex given ``leaders``.
+
+        Leaders have depth 0 (they act first); a follower's depth is one
+        more than the deepest of its in-neighbors.  Well-defined exactly
+        when the leaders form a feedback vertex set.
+        """
+        leader_set = frozenset(leaders)
+        depths: dict[str, int] = {}
+        in_progress: set[str] = set()
+
+        def depth(v: str) -> int:
+            if v in leader_set:
+                return 0
+            if v in depths:
+                return depths[v]
+            if v in in_progress:
+                raise GraphError(
+                    f"leaders {sorted(leader_set)} are not a feedback vertex set "
+                    f"(follower cycle through {v!r})"
+                )
+            in_progress.add(v)
+            preds = self.in_neighbors(v)
+            if not preds:
+                raise GraphError(f"{v!r} has no incoming arcs (not strongly connected)")
+            depths[v] = 1 + max(depth(u) for u in preds)
+            in_progress.discard(v)
+            return depths[v]
+
+        return {v: depth(v) for v in self.parties}
+
+
+# ----------------------------------------------------------------------
+# canned graphs used throughout tests and benchmarks
+# ----------------------------------------------------------------------
+def ring_graph(n: int, amount: int = 100) -> SwapGraph:
+    """A directed ring P0 -> P1 -> ... -> P0 (unique paths everywhere)."""
+    if n < 2:
+        raise GraphError("a ring needs at least 2 parties")
+    parties = [f"P{i}" for i in range(n)]
+    arcs = [(parties[i], parties[(i + 1) % n]) for i in range(n)]
+    return SwapGraph.build(parties, arcs, default_amount=amount)
+
+
+def complete_graph(n: int, amount: int = 100) -> SwapGraph:
+    """The complete digraph on n parties (worst-case premium growth)."""
+    if n < 2:
+        raise GraphError("a complete digraph needs at least 2 parties")
+    parties = [f"P{i}" for i in range(n)]
+    arcs = [(u, v) for u in parties for v in parties if u != v]
+    return SwapGraph.build(parties, arcs, default_amount=amount)
+
+
+def figure3_graph(amount: int = 100) -> SwapGraph:
+    """The digraph of Figure 3a: arcs (A,B), (B,A), (B,C), (C,A).
+
+    Alice is the canonical single leader ({A} is a feedback vertex set:
+    removing A leaves only the arc (B,C), which is acyclic).
+    """
+    parties = ["A", "B", "C"]
+    arcs = [("A", "B"), ("B", "A"), ("B", "C"), ("C", "A")]
+    return SwapGraph.build(parties, arcs, default_amount=amount)

@@ -1,0 +1,16 @@
+"""Parties: actors driven by the synchronous runner, plus deviations.
+
+An :class:`Actor` is an active, autonomous participant.  Compliant protocol
+actors (in `repro.protocols` and `repro.core`) subclass it; adversarial
+behaviour is expressed by wrapping any actor in a
+:class:`repro.parties.strategies.Deviant`, which drops some or all of the
+wrapped actor's transactions — the contract-constrained adversary of the
+paper's threat model (§3.2: contracts enforce ordering, timing and
+well-formedness, so Byzantine parties are limited to choosing which legal
+actions to perform and when).
+"""
+
+from repro.parties.base import Actor
+from repro.parties.strategies import Deviant, Laggard, halt_at, lag_by, skip_methods
+
+__all__ = ["Actor", "Deviant", "Laggard", "halt_at", "lag_by", "skip_methods"]

@@ -1,0 +1,46 @@
+"""Actor base class.
+
+Each round the runner calls :meth:`Actor.on_round` with the round index and
+a :class:`repro.sim.world.WorldView`; the actor returns the transactions it
+wants included at the next height.  Compliant protocol actors are written
+reactively: they inspect public chain state and perform the next enabled
+protocol step, which makes them automatically robust to counterparty
+deviations (they simply never see the enabling condition).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.chain.block import Transaction
+from repro.crypto.keys import KeyPair
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package-level import cycle
+    from repro.sim.world import WorldView
+
+
+class Actor:
+    """A protocol participant with a name and a signing key."""
+
+    def __init__(self, name: str, keypair: KeyPair) -> None:
+        self.name = name
+        self.keypair = keypair
+
+    # ------------------------------------------------------------------
+    # runner interface
+    # ------------------------------------------------------------------
+    def on_round(self, rnd: int, view: "WorldView") -> list[Transaction]:
+        """Return the transactions to submit this round (override)."""
+        return []
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def tx(self, chain: str, contract: str, method: str, **args: Any) -> Transaction:
+        """Build a transaction from this actor."""
+        return Transaction(
+            chain=chain, sender=self.name, contract=contract, method=method, args=args
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name})"

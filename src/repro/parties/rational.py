@@ -1,0 +1,87 @@
+"""Rational (opportunistic) actors: deviate only when it pays.
+
+§1: "a sudden decrease in an asset's value may motivate a party to abandon
+a swap midway ... if either asset diminishes significantly in relative
+value to the other, then one party has an incentive to quit at the other's
+expense."
+
+:class:`Opportunist` wraps a compliant actor with a *decision function*
+evaluated each round: while it returns True the inner actor runs; the first
+False halts participation permanently (a rational sore loser does not come
+back).  :func:`rational_bob` builds the §1 Bob for the two-party swaps: he
+compares the value of completing the swap against the premium he forfeits
+by walking, under an exogenous price path for Alice's asset.
+
+With a zero premium (the base protocol) any price drop makes walking
+optimal; a hedged premium of fraction π makes walking irrational for all
+drops smaller than π — which is exactly the paper's deterrence claim, and
+`benchmarks/bench_rational.py` measures it on live protocol runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.chain.block import Transaction
+from repro.parties.base import Actor
+
+DecisionFn = Callable[[int, "WorldView"], bool]
+PricePath = Callable[[int], float]
+
+
+class Opportunist(Actor):
+    """Runs the inner actor while ``decide(rnd, view)`` stays True."""
+
+    def __init__(self, inner: Actor, decide: DecisionFn) -> None:
+        super().__init__(inner.name, inner.keypair)
+        self.inner = inner
+        self.decide = decide
+        self.walked_at: int | None = None
+
+    def on_round(self, rnd: int, view) -> list[Transaction]:
+        if self.walked_at is not None:
+            return []
+        if not self.decide(rnd, view):
+            self.walked_at = rnd
+            return []
+        return self.inner.on_round(rnd, view)
+
+
+def price_shock(base: float, shock_fraction: float, at_height: int) -> PricePath:
+    """A price path that drops ``base`` by ``shock_fraction`` at a height."""
+
+    def price(height: int) -> float:
+        return base * (1.0 - shock_fraction) if height >= at_height else base
+
+    return price
+
+
+def rational_bob(
+    inner: Actor,
+    spec,
+    price_of_a: PricePath,
+    price_of_b: float = 1.0,
+    premium_contract: tuple[str, str] | None = None,
+) -> Opportunist:
+    """The §1 rational Bob for a two-party swap.
+
+    Each round Bob values completing the swap at
+    ``amount_a · price_of_a(height) − amount_b · price_of_b`` (what he
+    receives minus what he gives).  Walking away costs him the premium he
+    stands to forfeit — ``p_b`` once his deposit is held by the hedged
+    protocol's apricot contract (pass its ``(chain, address)`` as
+    ``premium_contract``), nothing in the base protocol (pass ``None``).
+    He continues iff completing is at least as good as walking.
+    """
+
+    def decide(rnd: int, view) -> bool:
+        gain = spec.amount_a * price_of_a(view.height) - spec.amount_b * price_of_b
+        walk_cost = 0.0
+        if premium_contract is not None:
+            chain_name, address = premium_contract
+            contract = view.chain(chain_name).contract(address)
+            if contract.premium_state == "held":
+                walk_cost = float(spec.premium_b)
+        return gain >= -walk_cost
+
+    return Opportunist(inner, decide)

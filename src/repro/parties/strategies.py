@@ -1,0 +1,136 @@
+"""Deviation strategies: the contract-constrained adversary.
+
+The paper's threat model (§3.2) restricts Byzantine parties to transactions
+that individual contracts accept, so the adversary's whole power is choosing
+which protocol actions to *omit* (a sore loser halts partway) or which
+extra legal actions to attempt.  :class:`Deviant` wraps any compliant actor
+and filters its output:
+
+- ``halt_round`` — submit nothing from that round on (the classic sore
+  loser: "one party decides to halt participation partway through"),
+- ``skip`` — drop transactions matching method-name / chain / contract
+  patterns (selective deviation, e.g. "never escrow on arc (C,A)"),
+- ``extra`` — inject additional transactions at given rounds (e.g. a
+  cheating auctioneer publishing the losing bidder's hashkey).
+
+The model checker enumerates these wrappers exhaustively for small
+protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.chain.block import Transaction
+from repro.parties.base import Actor
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package-level import cycle
+    from repro.sim.world import WorldView
+
+SkipPredicate = Callable[[Transaction], bool]
+
+
+@dataclass(frozen=True)
+class SkipRule:
+    """Matches transactions to drop; ``None`` fields match anything."""
+
+    method: str | None = None
+    chain: str | None = None
+    contract: str | None = None
+
+    def matches(self, tx: Transaction) -> bool:
+        return (
+            (self.method is None or tx.method == self.method)
+            and (self.chain is None or tx.chain == self.chain)
+            and (self.contract is None or tx.contract == self.contract)
+        )
+
+
+class Deviant(Actor):
+    """An adversarial wrapper around a compliant actor."""
+
+    def __init__(
+        self,
+        inner: Actor,
+        halt_round: int | None = None,
+        skip_rules: tuple[SkipRule, ...] = (),
+        skip_predicate: SkipPredicate | None = None,
+        extra: dict[int, list[Transaction]] | None = None,
+    ) -> None:
+        super().__init__(inner.name, inner.keypair)
+        self.inner = inner
+        self.halt_round = halt_round
+        self.skip_rules = skip_rules
+        self.skip_predicate = skip_predicate
+        self.extra = extra or {}
+
+    def on_round(self, rnd: int, view: "WorldView") -> list[Transaction]:
+        injected = list(self.extra.get(rnd, ()))
+        if self.halt_round is not None and rnd >= self.halt_round:
+            return injected
+        planned = self.inner.on_round(rnd, view)
+        kept = [tx for tx in planned if not self._drops(tx)]
+        return kept + injected
+
+    def _drops(self, tx: Transaction) -> bool:
+        if any(rule.matches(tx) for rule in self.skip_rules):
+            return True
+        return bool(self.skip_predicate and self.skip_predicate(tx))
+
+    def describe(self) -> str:
+        """Human-readable summary for traces and checker reports."""
+        parts = []
+        if self.halt_round is not None:
+            parts.append(f"halts at round {self.halt_round}")
+        if self.skip_rules:
+            parts.append(
+                "skips " + ", ".join(r.method or "<any>" for r in self.skip_rules)
+            )
+        if self.skip_predicate:
+            parts.append("skips by predicate")
+        if self.extra:
+            parts.append(f"injects at rounds {sorted(self.extra)}")
+        return f"{self.name}: " + ("; ".join(parts) or "compliant")
+
+
+def halt_at(inner: Actor, rnd: int) -> Deviant:
+    """A sore loser who stops participating from round ``rnd`` on."""
+    return Deviant(inner, halt_round=rnd)
+
+
+def skip_methods(inner: Actor, *methods: str) -> Deviant:
+    """Drop every transaction calling one of ``methods``."""
+    return Deviant(inner, skip_rules=tuple(SkipRule(method=m) for m in methods))
+
+
+class Laggard(Actor):
+    """Delays every action by ``lag`` rounds (§1: "parties may even have an
+    incentive to run the protocol as slowly as possible").
+
+    The paper's timeouts are tight — each step gets exactly Δ — so any
+    positive lag makes a party miss its deadlines, and the contracts treat
+    it exactly like a sore loser: its late transactions revert and the
+    premium machinery compensates the counterparties.  This wrapper lets
+    tests and the checker verify that going slow is never profitable.
+
+    The inner actor still observes fresh views each round (it decides with
+    current information); only its *submissions* are postponed.
+    """
+
+    def __init__(self, inner: Actor, lag: int) -> None:
+        super().__init__(inner.name, inner.keypair)
+        self.inner = inner
+        self.lag = max(0, lag)
+        self._queue: dict[int, list[Transaction]] = {}
+
+    def on_round(self, rnd: int, view: "WorldView") -> list[Transaction]:
+        produced = self.inner.on_round(rnd, view)
+        if produced:
+            self._queue.setdefault(rnd + self.lag, []).extend(produced)
+        return self._queue.pop(rnd, [])
+
+
+def lag_by(inner: Actor, lag: int) -> Laggard:
+    """Convenience constructor mirroring :func:`halt_at`."""
+    return Laggard(inner, lag)

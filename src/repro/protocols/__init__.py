@@ -1,0 +1,19 @@
+"""Base (unhedged) protocols adapted from the literature.
+
+Each module builds a ready-to-run protocol instance: it deploys the
+contracts, funds the parties, and constructs compliant reactive actors.
+These are the protocols the paper *transforms*; their hedged counterparts
+live in `repro.core`.
+
+- :mod:`repro.protocols.base_two_party` — HTLC atomic swap (§5.1),
+- :mod:`repro.protocols.base_multi_party` — Herlihy '18 multi-party swap (§7),
+- :mod:`repro.protocols.base_broker` — Herlihy-Liskov-Shrira broker (§8.1).
+
+The base (unhedged) auction of §9.1 is the ``premium=0`` configuration of
+:class:`repro.core.hedged_auction.HedgedAuction` — §9's protocol is already
+the paper's own design, so base and hedged share one implementation.
+"""
+
+from repro.protocols.instance import ProtocolInstance, execute
+
+__all__ = ["ProtocolInstance", "execute"]

@@ -1,0 +1,248 @@
+"""The base (unhedged) broker protocol — §8.1, Figure 4.
+
+Alice brokers a deal: Bob sells tickets for 100 coins, Carol buys them for
+101, Alice keeps the 1-coin markup.  Tickets and coins live on distinct
+chains; Alice owns neither asset.  Steps:
+
+- **escrow phase**: B1 — Bob escrows the tickets; C1 — Carol escrows 101
+  coins,
+- **trading phase**: A1/A2 — Alice commits both trades (tickets → Carol,
+  100 coins → Bob + 1 → Alice),
+- **redemption phase**: A3 — Alice releases her hashkey on both contracts;
+  B2 — Bob releases his on the coin contract; C2 — Carol releases hers on
+  the ticket contract; everyone forwards observed hashkeys to the contract
+  missing them.  A contract pays out when escrowed, traded, and holding all
+  three hashkeys in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.block import Transaction
+from repro.contracts.broker import BaseBrokerContract, BrokerDeadlines
+from repro.crypto.hashing import Secret
+from repro.crypto.hashkeys import HashKey
+from repro.graph.digraph import Arc, ArcSpec, SwapGraph
+from repro.parties.base import Actor
+from repro.protocols.instance import ProtocolInstance
+from repro.sim.world import World, WorldView
+
+
+@dataclass(frozen=True)
+class BrokerSpec:
+    """Parameters of the three-party deal (defaults are the paper's)."""
+
+    broker: str = "Alice"
+    seller: str = "Bob"
+    buyer: str = "Carol"
+    ticket_chain: str = "ticket-chain"
+    coin_chain: str = "coin-chain"
+    ticket_token: str = "ticket"
+    coin_token: str = "coin"
+    tickets: int = 1
+    seller_price: int = 100  # coins Bob receives
+    buyer_price: int = 101  # coins Carol escrows (markup goes to the broker)
+
+    @property
+    def markup(self) -> int:
+        return self.buyer_price - self.seller_price
+
+    def graph(self) -> SwapGraph:
+        """The deal digraph: (B,A), (C,A) escrow arcs; (A,B), (A,C) trades."""
+        a, b, c = self.broker, self.seller, self.buyer
+        arcs = [(b, a), (c, a), (a, b), (a, c)]
+        specs = {
+            (b, a): ArcSpec(self.ticket_chain, self.ticket_token, self.tickets),
+            (a, c): ArcSpec(self.ticket_chain, self.ticket_token, self.tickets),
+            (c, a): ArcSpec(self.coin_chain, self.coin_token, self.buyer_price),
+            (a, b): ArcSpec(self.coin_chain, self.coin_token, self.seller_price),
+        }
+        return SwapGraph((a, b, c), tuple(arcs), specs)
+
+    def contract_of(self) -> dict[Arc, str]:
+        """Which contract hosts each arc (footnote 7 sharing)."""
+        a, b, c = self.broker, self.seller, self.buyer
+        return {
+            (b, a): "ticket",
+            (a, c): "ticket",
+            (c, a): "coin",
+            (a, b): "coin",
+        }
+
+
+class BrokerActorBase(Actor):
+    """Shared hashkey release/forwarding behaviour for broker parties."""
+
+    def __init__(self, name, keypair, spec: BrokerSpec, secret: Secret, addrs):
+        super().__init__(name, keypair)
+        self.spec = spec
+        self.secret = secret
+        self.ticket_addr, self.coin_addr = addrs
+        self.graph = spec.graph()
+        self.released_own = False
+        self.forwarded: set[tuple[str, str]] = set()  # (leader, target chain)
+
+    def contracts(self, view: WorldView):
+        ticket = view.chain(self.spec.ticket_chain).contract(self.ticket_addr)
+        coin = view.chain(self.spec.coin_chain).contract(self.coin_addr)
+        return ticket, coin
+
+    def _present(self, chain_name: str, address: str, hashkey: HashKey) -> Transaction:
+        return self.tx(chain_name, address, "present_hashkey", hashkey=hashkey)
+
+    def _release_own(self, view: WorldView, targets: list[tuple[str, str]]) -> list[Transaction]:
+        """Present my own hashkey on the given (chain, addr) contracts."""
+        txs = []
+        own = HashKey.originate(self.secret, self.keypair, self.name)
+        for chain_name, address in targets:
+            contract = view.chain(chain_name).contract(address)
+            if self.name not in contract.accepted:
+                txs.append(self._present(chain_name, address, own))
+        self.released_own = True
+        return txs
+
+    def _forward_keys(self, view: WorldView) -> list[Transaction]:
+        """Copy hashkeys present on one contract but missing on the other."""
+        spec = self.spec
+        ticket, coin = self.contracts(view)
+        sides = [
+            (ticket, coin, spec.coin_chain, self.coin_addr),
+            (coin, ticket, spec.ticket_chain, self.ticket_addr),
+        ]
+        txs = []
+        for source, target, target_chain, target_addr in sides:
+            for leader, hashkey in sorted(source.accepted.items()):
+                if leader in target.accepted:
+                    continue
+                if (leader, target_chain) in self.forwarded:
+                    continue
+                if self.name in hashkey.path:
+                    continue
+                extended_path = (self.name,) + hashkey.path
+                if not self.graph.is_path(extended_path):
+                    continue
+                self.forwarded.add((leader, target_chain))
+                txs.append(
+                    self._present(target_chain, target_addr, hashkey.extend(self.keypair, self.name))
+                )
+        return txs
+
+
+class BaseBrokerAlice(BrokerActorBase):
+    """The broker: trade once both escrows are visible, then release."""
+
+    def on_round(self, rnd: int, view: WorldView) -> list[Transaction]:
+        spec, txs = self.spec, []
+        ticket, coin = self.contracts(view)
+        both_escrowed = (
+            ticket.escrow_state == "escrowed" and coin.escrow_state == "escrowed"
+        )
+        if both_escrowed and not ticket.traded:
+            txs.append(self.tx(spec.ticket_chain, self.ticket_addr, "trade"))
+        if both_escrowed and not coin.traded:
+            txs.append(self.tx(spec.coin_chain, self.coin_addr, "trade"))
+        if ticket.traded and coin.traded and not self.released_own:
+            txs.extend(
+                self._release_own(
+                    view,
+                    [(spec.ticket_chain, self.ticket_addr), (spec.coin_chain, self.coin_addr)],
+                )
+            )
+        txs.extend(self._forward_keys(view))
+        return txs
+
+
+class BaseBrokerSeller(BrokerActorBase):
+    """Bob: escrow tickets, release his key only when both trades landed."""
+
+    def on_round(self, rnd: int, view: WorldView) -> list[Transaction]:
+        spec, txs = self.spec, []
+        ticket, coin = self.contracts(view)
+        if rnd == 0 and ticket.escrow_state == "absent":
+            txs.append(self.tx(spec.ticket_chain, self.ticket_addr, "escrow_asset"))
+        if ticket.traded and coin.traded and not self.released_own:
+            txs.extend(self._release_own(view, [(spec.coin_chain, self.coin_addr)]))
+        txs.extend(self._forward_keys(view))
+        return txs
+
+
+class BaseBrokerBuyer(BrokerActorBase):
+    """Carol: escrow coins, release her key only when both trades landed."""
+
+    def on_round(self, rnd: int, view: WorldView) -> list[Transaction]:
+        spec, txs = self.spec, []
+        ticket, coin = self.contracts(view)
+        if rnd == 0 and coin.escrow_state == "absent":
+            txs.append(self.tx(spec.coin_chain, self.coin_addr, "escrow_asset"))
+        if ticket.traded and coin.traded and not self.released_own:
+            txs.extend(self._release_own(view, [(spec.ticket_chain, self.ticket_addr)]))
+        txs.extend(self._forward_keys(view))
+        return txs
+
+
+class BaseBrokerDeal:
+    """Builder for the base §8.1 broker protocol."""
+
+    def __init__(self, spec: BrokerSpec | None = None, secrets: dict[str, Secret] | None = None):
+        self.spec = spec or BrokerSpec()
+        parties = (self.spec.broker, self.spec.seller, self.spec.buyer)
+        self.secrets = secrets or {p: Secret.generate(f"{p}-secret") for p in parties}
+
+    def build(self) -> ProtocolInstance:
+        spec = self.spec
+        graph = spec.graph()
+        a, b, c = spec.broker, spec.seller, spec.buyer
+        world = World([spec.ticket_chain, spec.coin_chain])
+        keys = {p: world.register_party(p) for p in (a, b, c)}
+        world.fund(spec.ticket_chain, b, spec.ticket_token, spec.tickets)
+        world.fund(spec.coin_chain, c, spec.coin_token, spec.buyer_price)
+
+        hashlocks = {p: self.secrets[p].hashlock for p in (a, b, c)}
+        deadlines = BrokerDeadlines.base()
+        ticket_host = world.chain(spec.ticket_chain)
+        coin_host = world.chain(spec.coin_chain)
+
+        ticket_addr = ticket_host.deploy(
+            BaseBrokerContract(
+                graph=graph,
+                public_of=world.public_of,
+                hashlocks=hashlocks,
+                escrow_arc=(b, a),
+                trading_arc=(a, c),
+                asset=ticket_host.asset(spec.ticket_token),
+                amount=spec.tickets,
+                payouts=((c, spec.tickets),),
+                deadlines=deadlines,
+            )
+        )
+        coin_addr = coin_host.deploy(
+            BaseBrokerContract(
+                graph=graph,
+                public_of=world.public_of,
+                hashlocks=hashlocks,
+                escrow_arc=(c, a),
+                trading_arc=(a, b),
+                asset=coin_host.asset(spec.coin_token),
+                amount=spec.buyer_price,
+                payouts=((b, spec.seller_price), (a, spec.markup)),
+                deadlines=deadlines,
+            )
+        )
+
+        addrs = (ticket_addr, coin_addr)
+        actors = {
+            a: BaseBrokerAlice(a, keys[a], spec, self.secrets[a], addrs),
+            b: BaseBrokerSeller(b, keys[b], spec, self.secrets[b], addrs),
+            c: BaseBrokerBuyer(c, keys[c], spec, self.secrets[c], addrs),
+        }
+        return ProtocolInstance(
+            world=world,
+            actors=actors,
+            horizon=deadlines.horizon,
+            contracts={
+                "ticket": (spec.ticket_chain, ticket_addr),
+                "coin": (spec.coin_chain, coin_addr),
+            },
+            meta={"spec": spec, "graph": graph, "deadlines": deadlines, "premium": 0},
+        )

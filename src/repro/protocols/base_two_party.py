@@ -1,0 +1,173 @@
+"""The base (unhedged) two-party HTLC atomic swap — §5.1.
+
+Alice trades ``A`` apricot tokens for Bob's ``B`` banana tokens:
+
+1. round 0 — Alice escrows her tokens on the apricot chain under
+   hashlock ``h = H(s)`` with timelock ``t_A``,
+2. round 1 — Bob sees the escrow and escrows his tokens on the banana
+   chain under the same hashlock with timelock ``t_B < t_A``,
+3. round 2 — Alice redeems Bob's tokens, revealing ``s`` on-chain,
+4. round 3 — Bob forwards ``s`` to the apricot contract and redeems.
+
+Discretization: the paper's timelocks are ``t_A = 3Δ, t_B = 2Δ`` with
+Alice's first escrow at time 0; here every action lands one height after it
+is submitted, so the deadlines shift by one to (1, 2, 3, 4) while all lockup
+*durations* (§5.1: Alice exposed 3Δ, Bob exposed Δ) are unchanged — see
+DESIGN.md "discretization note".
+
+The protocol is deliberately vulnerable to sore loser attacks; the
+benchmarks measure exactly the exposure the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.block import Transaction
+from repro.contracts.htlc import HTLC
+from repro.crypto.hashing import Secret
+from repro.parties.base import Actor
+from repro.protocols.instance import ProtocolInstance
+from repro.sim.world import World, WorldView
+
+
+@dataclass(frozen=True)
+class TwoPartySpec:
+    """Parameters of a two-party swap (shared by base and hedged forms)."""
+
+    alice: str = "Alice"
+    bob: str = "Bob"
+    chain_a: str = "apricot"
+    chain_b: str = "banana"
+    token_a: str = "apricot-token"
+    token_b: str = "banana-token"
+    amount_a: int = 100
+    amount_b: int = 100
+
+    # base-protocol deadlines (heights); see module docstring
+    alice_escrow_deadline: int = 1
+    bob_escrow_deadline: int = 2
+    alice_redeem_deadline: int = 3  # t_B on the banana chain
+    bob_redeem_deadline: int = 4  # t_A on the apricot chain
+
+
+class BaseSwapAlice(Actor):
+    """Compliant Alice: escrow, then redeem Bob's escrow with her secret."""
+
+    def __init__(self, name, keypair, spec: TwoPartySpec, secret: Secret, addrs):
+        super().__init__(name, keypair)
+        self.spec = spec
+        self.secret = secret
+        self.apricot_htlc, self.banana_htlc = addrs
+
+    def on_round(self, rnd: int, view: WorldView) -> list[Transaction]:
+        spec, txs = self.spec, []
+        lands = view.height + 1
+        mine = view.chain(spec.chain_a).contract(self.apricot_htlc)
+        theirs = view.chain(spec.chain_b).contract(self.banana_htlc)
+        if mine.state == HTLC.CREATED and lands <= spec.alice_escrow_deadline:
+            txs.append(self.tx(spec.chain_a, self.apricot_htlc, "escrow"))
+        if theirs.state == HTLC.ESCROWED and lands <= spec.alice_redeem_deadline:
+            txs.append(
+                self.tx(
+                    spec.chain_b,
+                    self.banana_htlc,
+                    "redeem",
+                    preimage=self.secret.preimage,
+                )
+            )
+        return txs
+
+
+class BaseSwapBob(Actor):
+    """Compliant Bob: counter-escrow, then redeem with the revealed secret."""
+
+    def __init__(self, name, keypair, spec: TwoPartySpec, addrs):
+        super().__init__(name, keypair)
+        self.spec = spec
+        self.apricot_htlc, self.banana_htlc = addrs
+
+    def on_round(self, rnd: int, view: WorldView) -> list[Transaction]:
+        spec, txs = self.spec, []
+        lands = view.height + 1
+        alices = view.chain(spec.chain_a).contract(self.apricot_htlc)
+        mine = view.chain(spec.chain_b).contract(self.banana_htlc)
+        if (
+            alices.state == HTLC.ESCROWED
+            and mine.state == HTLC.CREATED
+            and lands <= spec.bob_escrow_deadline
+        ):
+            txs.append(self.tx(spec.chain_b, self.banana_htlc, "escrow"))
+        if (
+            mine.revealed_preimage is not None
+            and alices.state == HTLC.ESCROWED
+            and lands <= spec.bob_redeem_deadline
+        ):
+            txs.append(
+                self.tx(
+                    spec.chain_a,
+                    self.apricot_htlc,
+                    "redeem",
+                    preimage=mine.revealed_preimage,
+                )
+            )
+        return txs
+
+
+class BaseTwoPartySwap:
+    """Builder for the base §5.1 swap."""
+
+    def __init__(self, spec: TwoPartySpec | None = None, secret: Secret | None = None):
+        self.spec = spec or TwoPartySpec()
+        self.secret = secret or Secret.generate("alice-swap-secret")
+
+    def build(self) -> ProtocolInstance:
+        spec = self.spec
+        world = World([spec.chain_a, spec.chain_b])
+        alice_keys = world.register_party(spec.alice)
+        bob_keys = world.register_party(spec.bob)
+        world.fund(spec.chain_a, spec.alice, spec.token_a, spec.amount_a)
+        world.fund(spec.chain_b, spec.bob, spec.token_b, spec.amount_b)
+
+        hashlock = self.secret.hashlock
+        apricot = world.chain(spec.chain_a)
+        banana = world.chain(spec.chain_b)
+        apricot_addr = apricot.deploy(
+            HTLC(
+                asset=apricot.asset(spec.token_a),
+                amount=spec.amount_a,
+                owner=spec.alice,
+                counterparty=spec.bob,
+                hashlock=hashlock,
+                timelock=spec.bob_redeem_deadline,
+                escrow_deadline=spec.alice_escrow_deadline,
+            )
+        )
+        banana_addr = banana.deploy(
+            HTLC(
+                asset=banana.asset(spec.token_b),
+                amount=spec.amount_b,
+                owner=spec.bob,
+                counterparty=spec.alice,
+                hashlock=hashlock,
+                timelock=spec.alice_redeem_deadline,
+                escrow_deadline=spec.bob_escrow_deadline,
+            )
+        )
+
+        addrs = (apricot_addr, banana_addr)
+        actors = {
+            spec.alice: BaseSwapAlice(spec.alice, alice_keys, spec, self.secret, addrs),
+            spec.bob: BaseSwapBob(spec.bob, bob_keys, spec, addrs),
+        }
+        horizon = spec.bob_redeem_deadline + 2  # one extra for final settlement
+        return ProtocolInstance(
+            world=world,
+            actors=actors,
+            horizon=horizon,
+            contracts={
+                "apricot_htlc": (spec.chain_a, apricot_addr),
+                "banana_htlc": (spec.chain_b, banana_addr),
+            },
+            meta={"spec": spec, "secret": self.secret},
+        )

@@ -1,0 +1,58 @@
+"""Protocol instances: a uniform wrapper for every protocol in the library.
+
+A builder (``BaseTwoPartySwap.build()``, ``HedgedMultiPartySwap.build()``,
+...) returns a :class:`ProtocolInstance` holding the world, the compliant
+actors, the run horizon, and a directory of deployed contracts.
+:func:`execute` runs it, optionally replacing any actor with an adversarial
+transform (see `repro.parties.strategies`), and returns the
+:class:`repro.sim.runner.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ProtocolError
+from repro.parties.base import Actor
+from repro.sim.runner import RunResult, SyncRunner
+from repro.sim.world import World
+
+ActorTransform = Callable[[Actor], Actor]
+
+
+@dataclass
+class ProtocolInstance:
+    """A fully wired, ready-to-run protocol."""
+
+    world: World
+    actors: dict[str, Actor]
+    horizon: int
+    contracts: dict[str, tuple[str, str]] = field(default_factory=dict)
+    meta: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def parties(self) -> tuple[str, ...]:
+        return tuple(self.actors)
+
+    def contract(self, label: str):
+        """Look up a deployed contract object by its instance label."""
+        chain_name, address = self.contracts[label]
+        return self.world.chain(chain_name).contract_at(address)
+
+
+def execute(
+    instance: ProtocolInstance,
+    deviations: dict[str, ActorTransform] | None = None,
+) -> RunResult:
+    """Run the instance to its horizon, applying per-party deviations."""
+    deviations = deviations or {}
+    unknown = set(deviations) - set(instance.actors)
+    if unknown:
+        raise ProtocolError(f"deviations for unknown parties: {sorted(unknown)}")
+    actors: list[Actor] = []
+    for name, actor in instance.actors.items():
+        transform = deviations.get(name)
+        actors.append(transform(actor) if transform else actor)
+    runner = SyncRunner(instance.world, actors)
+    return runner.run(instance.horizon, parties=list(instance.actors))

@@ -1,0 +1,24 @@
+"""Synchronous simulation engine.
+
+One simulation *round* is one Δ of the paper's synchronous model.  At the
+start of round ``r`` every actor observes all chains at height ``r`` (so a
+change made in round ``r-1`` is visible — propagation within Δ), submits
+transactions, and every chain then advances to height ``r+1``, executing
+the submitted transactions and running timeout settlement.
+"""
+
+from repro.sim.world import World, WorldView
+from repro.sim.runner import SyncRunner, RunResult
+from repro.sim.payoff import Valuation, PayoffSheet
+from repro.sim.trace import render_lanes, render_timeline
+
+__all__ = [
+    "World",
+    "WorldView",
+    "SyncRunner",
+    "RunResult",
+    "Valuation",
+    "PayoffSheet",
+    "render_lanes",
+    "render_timeline",
+]

@@ -1,0 +1,89 @@
+"""Payoff accounting.
+
+A :class:`Valuation` assigns a per-unit value to each asset so outcomes on
+different chains can be compared (the paper: "we treat all premiums as if
+they were denominated in the same currency").  Native (premium) assets
+default to value 1.  A :class:`PayoffSheet` diffs ledger snapshots taken
+before and after a protocol run and reports, per party, the premium flow
+(native assets) and the principal flow (everything else) separately, which
+is how the paper's lemmas are phrased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.assets import Asset
+from repro.sim.world import World
+
+
+@dataclass
+class Valuation:
+    """Per-unit asset values; native assets default to 1."""
+
+    values: dict[Asset, float] = field(default_factory=dict)
+
+    def value_of(self, asset: Asset) -> float:
+        if asset in self.values:
+            return self.values[asset]
+        return 1.0 if asset.is_native else 0.0
+
+    def set(self, asset: Asset, value: float) -> "Valuation":
+        self.values[asset] = value
+        return self
+
+
+class PayoffSheet:
+    """Balance diffs per party between two world snapshots."""
+
+    def __init__(self, world: World, parties: list[str] | tuple[str, ...]) -> None:
+        self._world = world
+        self.parties = tuple(parties)
+        self._start = self._snapshot()
+        self._end: dict[tuple[Asset, str], int] | None = None
+
+    def _snapshot(self) -> dict[tuple[Asset, str], int]:
+        snap: dict[tuple[Asset, str], int] = {}
+        for chain in self._world.chains.values():
+            snap.update(chain.ledger.snapshot())
+        return snap
+
+    def finish(self) -> None:
+        """Record the post-run snapshot."""
+        self._end = self._snapshot()
+
+    # ------------------------------------------------------------------
+    # queries (valid after finish())
+    # ------------------------------------------------------------------
+    def delta(self, party: str) -> dict[Asset, int]:
+        """Per-asset balance change for ``party``."""
+        assert self._end is not None, "call finish() first"
+        assets = {a for (a, acc) in set(self._start) | set(self._end) if acc == party}
+        out: dict[Asset, int] = {}
+        for asset in assets:
+            change = self._end.get((asset, party), 0) - self._start.get((asset, party), 0)
+            if change:
+                out[asset] = change
+        return out
+
+    def premium_net(self, party: str) -> int:
+        """Net flow of native (premium) currency across all chains."""
+        return sum(v for a, v in self.delta(party).items() if a.is_native)
+
+    def principal_delta(self, party: str) -> dict[Asset, int]:
+        """Balance changes in non-native assets only."""
+        return {a: v for a, v in self.delta(party).items() if not a.is_native}
+
+    def total_value(self, party: str, valuation: Valuation) -> float:
+        """Value-weighted total payoff for ``party``."""
+        return sum(valuation.value_of(a) * v for a, v in self.delta(party).items())
+
+    def table(self) -> dict[str, dict[str, object]]:
+        """A printable summary: premium net + principal deltas per party."""
+        return {
+            p: {
+                "premium_net": self.premium_net(p),
+                "principals": {str(a): v for a, v in self.principal_delta(p).items()},
+            }
+            for p in self.parties
+        }

@@ -1,0 +1,87 @@
+"""Protocol trace rendering.
+
+:func:`render_lanes` draws a run as a Figure-1-style lane diagram — one
+column per chain, one row per height — so the examples and benchmarks can
+print protocol executions in the same shape the paper draws them.
+:func:`render_timeline` gives a flat one-line-per-event view with relative
+timing, useful for diffing two runs (e.g. compliant vs attacked).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.chain.events import Event
+from repro.sim.runner import RunResult
+
+#: events that are pure bookkeeping noise in a diagram
+_HIDDEN = frozenset({"deployed"})
+
+
+def _describe(event: Event) -> str:
+    """A compact one-phrase description of an event."""
+    data = event.data
+    name = event.name
+    if name == "premium_deposited":
+        return f"premium {data.get('amount')} in ({data.get('payer')})"
+    if name == "premium_refunded":
+        return f"premium {data.get('amount')} back to {data.get('to')}"
+    if name == "premium_awarded":
+        return f"premium {data.get('amount')} AWARDED to {data.get('to')}"
+    if name == "principal_escrowed":
+        return f"escrow {data.get('amount')} ({data.get('owner', data.get('arc'))})"
+    if name == "redeemed" or name == "principal_redeemed":
+        return f"redeem -> {data.get('to')}"
+    if name == "principal_refunded" or name == "asset_refunded":
+        return f"refund -> {data.get('to')}"
+    if name == "hashkey_accepted":
+        path = data.get("path")
+        joined = ",".join(path) if isinstance(path, tuple) else path
+        return f"hashkey ({joined})"
+    pairs = ", ".join(f"{k}={v}" for k, v in sorted(data.items()))
+    return f"{name}({pairs})" if pairs else name
+
+
+def render_lanes(result: RunResult, width: int = 40) -> str:
+    """Render the run as one lane per chain, one row per height."""
+    chains = sorted(result.world.chains)
+    by_cell: dict[tuple[int, str], list[str]] = defaultdict(list)
+    max_height = 0
+    for event in result.events:
+        if event.name in _HIDDEN:
+            continue
+        by_cell[(event.height, event.chain)].append(_describe(event))
+        max_height = max(max_height, event.height)
+
+    head = "height".rjust(6) + " | " + " | ".join(c.ljust(width) for c in chains)
+    rule = "-" * 6 + "-+-" + "-+-".join("-" * width for _ in chains)
+    lines = [head, rule]
+    for height in range(1, max_height + 1):
+        rows = max(
+            (len(by_cell.get((height, chain), ())) for chain in chains), default=0
+        )
+        if rows == 0:
+            continue
+        for i in range(rows):
+            cells = []
+            for chain in chains:
+                entries = by_cell.get((height, chain), [])
+                cells.append((entries[i] if i < len(entries) else "").ljust(width))
+            label = str(height) if i == 0 else ""
+            lines.append(label.rjust(6) + " | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def render_timeline(result: RunResult) -> str:
+    """One line per event with height deltas, for easy run diffing."""
+    lines = []
+    last_height = 0
+    for event in result.events:
+        if event.name in _HIDDEN:
+            continue
+        gap = f"+{event.height - last_height}Δ" if event.height != last_height else "  "
+        last_height = event.height
+        lines.append(
+            f"h={event.height:>3} {gap:>4}  {event.chain:<14} {_describe(event)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""The simulated multi-chain world.
+
+A :class:`World` owns the key registry and a set of lock-stepped chains.
+Actors never touch a :class:`repro.chain.blockchain.Blockchain` directly;
+they receive a :class:`WorldView` of read-only chain views each round.
+"""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain, ChainView
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.errors import ChainError
+
+
+class World:
+    """All chains of one simulation, advanced in lockstep."""
+
+    def __init__(self, chain_names: tuple[str, ...] | list[str]) -> None:
+        self.registry = KeyRegistry()
+        self.chains: dict[str, Blockchain] = {
+            name: Blockchain(name, self.registry) for name in chain_names
+        }
+        self.public_of: dict[str, str] = {}
+
+    @property
+    def height(self) -> int:
+        """Common height of all chains (they advance in lockstep)."""
+        heights = {chain.height for chain in self.chains.values()}
+        if len(heights) != 1:
+            raise ChainError(f"chains out of lockstep: {heights}")
+        return heights.pop()
+
+    def chain(self, name: str) -> Blockchain:
+        """Look up a chain by name."""
+        try:
+            return self.chains[name]
+        except KeyError:
+            raise ChainError(f"no chain named {name!r}") from None
+
+    def register_party(self, name: str, keypair: KeyPair | None = None) -> KeyPair:
+        """Create/record a party's key pair and publish its public key."""
+        keypair = keypair or KeyPair.generate(owner=name)
+        self.registry.register(keypair)
+        self.public_of[name] = keypair.public
+        return keypair
+
+    def fund(self, chain: str, account: str, symbol: str, amount: int) -> None:
+        """Genesis allocation: mint ``amount`` of an asset to ``account``."""
+        host = self.chain(chain)
+        host.ledger.mint(host.asset(symbol), account, amount)
+
+    def view(self) -> "WorldView":
+        """A read-only observation of every chain at the current height."""
+        return WorldView(self)
+
+
+class WorldView:
+    """Read-only facade over all chains, handed to actors each round."""
+
+    def __init__(self, world: World) -> None:
+        self._world = world
+        self.height = world.height
+
+    def chain(self, name: str) -> ChainView:
+        return ChainView(self._world.chain(name))
+
+    @property
+    def chain_names(self) -> tuple[str, ...]:
+        return tuple(self._world.chains)

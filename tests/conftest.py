@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.crypto.hashing import Secret
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.graph.digraph import figure3_graph, ring_graph
+from repro.sim.world import World
+
+
+@pytest.fixture
+def registry() -> KeyRegistry:
+    return KeyRegistry()
+
+
+@pytest.fixture
+def chain(registry) -> Blockchain:
+    return Blockchain("testchain", registry)
+
+
+@pytest.fixture
+def world() -> World:
+    return World(["apricot", "banana"])
+
+
+@pytest.fixture
+def alice_keys(world) -> KeyPair:
+    return world.register_party("Alice")
+
+
+@pytest.fixture
+def bob_keys(world) -> KeyPair:
+    return world.register_party("Bob")
+
+
+@pytest.fixture
+def secret() -> Secret:
+    return Secret.from_text("test-secret")
+
+
+@pytest.fixture
+def fig3():
+    return figure3_graph()
+
+
+@pytest.fixture
+def ring3():
+    return ring_graph(3)

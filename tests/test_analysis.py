@@ -1,0 +1,156 @@
+"""Tests for the analysis layer: CRR pricing, GBM, the deviation game,
+and the measured sore-loser exposure tables."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.game import GameResult, SwapGame, success_table
+from repro.analysis.market import gbm_paths, gbm_terminal
+from repro.analysis.options import crr_price, suggest_premium
+from repro.analysis.risk import sore_loser_exposure, worst_uncompensated_lockup
+from repro.errors import ProtocolError
+
+
+# ----------------------------------------------------------------------
+# CRR option pricing
+# ----------------------------------------------------------------------
+def test_crr_converges_to_black_scholes():
+    """ATM European call, sigma=0.2, T=1: Black-Scholes gives ~7.97."""
+    price = crr_price(100, 100, sigma=0.2, maturity=1.0, rate=0.0, steps=500)
+    assert abs(price - 7.97) < 0.1
+
+
+def test_crr_put_call_parity():
+    """C - P = S - K e^{-rT} for European options."""
+    s, k, r, t = 100.0, 95.0, 0.03, 0.7
+    call = crr_price(s, k, 0.3, t, r, steps=400, kind="call")
+    put = crr_price(s, k, 0.3, t, r, steps=400, kind="put")
+    assert abs((call - put) - (s - k * math.exp(-r * t))) < 0.05
+
+
+def test_crr_american_geq_european():
+    put_eu = crr_price(100, 110, 0.25, 1.0, 0.05, kind="put", american=False)
+    put_am = crr_price(100, 110, 0.25, 1.0, 0.05, kind="put", american=True)
+    assert put_am >= put_eu
+
+
+def test_crr_american_put_geq_intrinsic():
+    price = crr_price(80, 100, 0.2, 0.5, 0.02, kind="put", american=True)
+    assert price >= 20.0  # immediate exercise value
+
+
+def test_crr_increases_with_volatility():
+    low = crr_price(100, 100, 0.1, 1.0)
+    high = crr_price(100, 100, 0.6, 1.0)
+    assert high > low
+
+
+def test_crr_zero_maturity_is_intrinsic():
+    assert crr_price(105, 100, 0.5, 0.0) == 5.0
+    assert crr_price(95, 100, 0.5, 0.0, kind="put") == 5.0
+
+
+def test_crr_rejects_bad_inputs():
+    with pytest.raises(ProtocolError):
+        crr_price(0, 100, 0.2, 1.0)
+    with pytest.raises(ProtocolError):
+        crr_price(100, 100, 0.2, 1.0, steps=0)
+    with pytest.raises(ProtocolError):
+        crr_price(100, 100, 0.2, 1.0, kind="straddle")
+
+
+def test_suggest_premium_scales_with_lockup_and_vol():
+    base = suggest_premium(100, 0.8, lockup_deltas=3)
+    longer = suggest_premium(100, 0.8, lockup_deltas=6)
+    wilder = suggest_premium(100, 1.6, lockup_deltas=3)
+    assert longer > base
+    assert wilder > base
+    assert 0 < base < 100
+
+
+# ----------------------------------------------------------------------
+# GBM market
+# ----------------------------------------------------------------------
+def test_gbm_shapes_and_start():
+    paths = gbm_paths(1.0, 0.0, 0.5, steps=10, dt=1 / 365, n_paths=50, seed=1)
+    assert paths.shape == (50, 11)
+    assert np.allclose(paths[:, 0], 1.0)
+    assert (paths > 0).all()
+
+
+def test_gbm_deterministic_by_seed():
+    a = gbm_paths(1.0, 0.0, 0.5, 5, 1 / 365, 10, seed=42)
+    b = gbm_paths(1.0, 0.0, 0.5, 5, 1 / 365, 10, seed=42)
+    c = gbm_paths(1.0, 0.0, 0.5, 5, 1 / 365, 10, seed=43)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_gbm_terminal_moments():
+    """E[S_T] = S0 e^{mu T} for GBM."""
+    term = gbm_terminal(1.0, 0.1, 0.3, horizon=1.0, n_paths=200_000, seed=3)
+    assert abs(term.mean() - math.exp(0.1)) < 0.01
+
+
+# ----------------------------------------------------------------------
+# the deviation game (EXP-G1)
+# ----------------------------------------------------------------------
+def test_premiums_raise_success_rate():
+    base = SwapGame(sigma_annual=1.0, premium_fraction=0.0, n_paths=8000).play()
+    hedged = SwapGame(sigma_annual=1.0, premium_fraction=0.05, n_paths=8000).play()
+    assert hedged.success_rate > base.success_rate
+    assert hedged.bob_defection_rate < base.bob_defection_rate
+
+
+def test_base_success_rate_is_low():
+    """With zero premium any adverse move triggers defection (Xu et al.)."""
+    base = SwapGame(sigma_annual=0.8, premium_fraction=0.0, n_paths=8000).play()
+    assert base.success_rate < 0.3
+
+
+def test_large_premium_approaches_certainty():
+    game = SwapGame(sigma_annual=0.3, premium_fraction=0.5, n_paths=8000).play()
+    assert game.success_rate > 0.99
+
+
+def test_success_table_grid():
+    rows = success_table([0.5, 1.0], [0.0, 0.02], n_paths=2000)
+    assert len(rows) == 4
+    assert all(isinstance(r, GameResult) for r in rows)
+    assert len(rows[0].row()) == 5
+
+
+def test_residual_loss_shrinks_with_premium():
+    lo = SwapGame(sigma_annual=1.0, premium_fraction=0.0, n_paths=8000).play()
+    hi = SwapGame(sigma_annual=1.0, premium_fraction=0.10, n_paths=8000).play()
+    assert hi.mean_compliant_loss < lo.mean_compliant_loss
+
+
+# ----------------------------------------------------------------------
+# measured sore-loser exposure (EXP-T1)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def exposure_rows():
+    return sore_loser_exposure(premium_a=2, premium_b=1)
+
+
+def test_base_protocol_has_uncompensated_lockups(exposure_rows):
+    base = [r for r in exposure_rows if r.protocol == "base"]
+    assert worst_uncompensated_lockup(exposure_rows, "base") > 0
+    assert all(r.deviator_penalty == 0 for r in base)
+
+
+def test_hedged_protocol_compensates_every_lockup(exposure_rows):
+    hedged = [r for r in exposure_rows if r.protocol == "hedged"]
+    for row in hedged:
+        if row.victim_lockup > 0:
+            assert row.victim_compensation > 0, row
+            assert row.deviator_penalty > 0, row
+
+
+def test_exposure_rows_cover_both_deviators(exposure_rows):
+    deviators = {(r.protocol, r.deviator) for r in exposure_rows}
+    assert ("base", "Alice") in deviators and ("base", "Bob") in deviators
+    assert ("hedged", "Alice") in deviators and ("hedged", "Bob") in deviators

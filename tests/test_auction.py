@@ -1,0 +1,214 @@
+"""Integration tests: the §9 auction, Lemmas 7–8, and the §9.2 premiums."""
+
+import pytest
+
+from repro.core.hedged_auction import (
+    AuctioneerStrategy,
+    AuctionSpec,
+    CommitRevealCoinContract,
+    HedgedAuction,
+    commitment_for,
+    extract_auction_outcome,
+)
+from repro.parties.strategies import halt_at
+from repro.protocols.instance import execute
+
+
+def run(strategy=AuctioneerStrategy.HONEST, spec=None, deviations=None):
+    instance = HedgedAuction(spec=spec, strategy=strategy).build()
+    result = execute(instance, deviations or {})
+    return instance, result, extract_auction_outcome(instance, result)
+
+
+# ----------------------------------------------------------------------
+# happy path
+# ----------------------------------------------------------------------
+def test_honest_auction_completes():
+    _, result, out = run()
+    assert out.coin_outcome == "completed"
+    assert out.tickets_to == "Bob"  # 120 beats 90
+    assert out.coins_delta["Alice"] == 120
+    assert out.coins_delta["Bob"] == -120
+    assert out.coins_delta["Carol"] == 0  # refunded
+    assert all(net == 0 for net in out.premium_net.values())
+    assert not result.reverted()
+
+
+def test_tie_breaks_deterministically():
+    spec = AuctionSpec(bids={"Bob": 100, "Carol": 100})
+    _, _, out = run(spec=spec)
+    assert out.winner_expected == "Carol"  # lexicographic tie-break on equal bids
+    assert out.tickets_to == "Carol"
+
+
+# ----------------------------------------------------------------------
+# deviant auctioneer (Lemma 8: no compliant bidder's bid can be stolen)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "strategy",
+    [
+        AuctioneerStrategy.PUBLISH_LOSER,
+        AuctioneerStrategy.PUBLISH_BOTH_KEYS,
+        AuctioneerStrategy.ABANDON,
+    ],
+)
+def test_cheating_refunds_all_bids_and_pays_premiums(strategy):
+    _, _, out = run(strategy)
+    assert out.coin_outcome == "refunded"
+    assert out.coins_delta["Bob"] == 0 and out.coins_delta["Carol"] == 0
+    assert out.premium_net["Bob"] == 1 and out.premium_net["Carol"] == 1
+    assert out.premium_net["Alice"] == -2
+    assert not out.bid_stolen("Bob") and not out.bid_stolen("Carol")
+
+
+def test_publish_loser_gives_tickets_away():
+    """Alice may award tickets to anyone — only her own loss (§9.1)."""
+    _, _, out = run(AuctioneerStrategy.PUBLISH_LOSER)
+    assert out.tickets_to == "Carol"
+    assert out.coins_delta["Carol"] == 0  # but no coins move
+
+
+@pytest.mark.parametrize(
+    "strategy",
+    [AuctioneerStrategy.PUBLISH_TICKET_ONLY, AuctioneerStrategy.PUBLISH_COIN_ONLY],
+)
+def test_lemma7_forwarding_heals_single_chain_publication(strategy):
+    instance, _, out = run(strategy)
+    assert out.coin_outcome == "completed"
+    assert out.tickets_to == "Bob"
+    ticket = instance.contract("ticket")
+    coin = instance.contract("coin")
+    assert set(ticket.accepted) == set(coin.accepted) == {"Bob"}
+
+
+def test_lemma7_survives_a_sulking_loser():
+    """Only ONE compliant bidder is needed to forward (Carol sulks)."""
+    instance, _, out = run(
+        AuctioneerStrategy.PUBLISH_TICKET_ONLY,
+        deviations={"Carol": lambda a: halt_at(a, 2)},
+    )
+    assert out.coin_outcome == "completed"
+    assert out.tickets_to == "Bob"
+
+
+def test_low_bidder_cannot_wreck():
+    """§9: the losing bidder has no vote — halting changes nothing."""
+    _, _, out = run(deviations={"Carol": lambda a: halt_at(a, 2)})
+    assert out.coin_outcome == "completed"
+    assert out.tickets_to == "Bob"
+
+
+def test_withheld_bid_is_no_attack():
+    """A bidder who never bids just loses the auction for itself."""
+    spec = AuctionSpec(bids={"Bob": 120, "Carol": 0})
+    _, _, out = run(spec=spec)
+    assert out.coin_outcome == "completed"
+    assert out.tickets_to == "Bob"
+    assert out.bids == {"Bob": 120}
+
+
+def test_no_bids_at_all_refunds_everything():
+    spec = AuctionSpec(bids={"Bob": 0, "Carol": 0})
+    _, _, out = run(spec=spec)
+    assert out.coin_outcome == "refunded"
+    # nobody bid, so nobody locked anything: the whole endowment refunds
+    assert out.premium_net["Alice"] == 0
+    assert out.premium_net["Bob"] == 0 and out.premium_net["Carol"] == 0
+    assert out.ticket_outcome == "refunded"
+
+
+def test_three_bidders_generalization():
+    spec = AuctionSpec(
+        bidders=("Bob", "Carol", "Dave"),
+        bids={"Bob": 100, "Carol": 150, "Dave": 50},
+    )
+    _, _, out = run(spec=spec)
+    assert out.tickets_to == "Carol"
+    assert out.coins_delta["Carol"] == -150
+    assert out.coins_delta["Bob"] == 0 and out.coins_delta["Dave"] == 0
+
+
+def test_three_bidders_wreck_pays_each():
+    spec = AuctionSpec(
+        bidders=("Bob", "Carol", "Dave"),
+        bids={"Bob": 100, "Carol": 150, "Dave": 50},
+        premium=2,
+    )
+    _, _, out = run(strategy=AuctioneerStrategy.ABANDON, spec=spec)
+    assert out.premium_net["Alice"] == -6
+    for bidder in ("Bob", "Carol", "Dave"):
+        assert out.premium_net[bidder] == 2
+
+
+def test_base_auction_premium_zero_no_compensation():
+    spec = AuctionSpec(premium=0)
+    _, _, out = run(strategy=AuctioneerStrategy.ABANDON, spec=spec)
+    assert out.coin_outcome == "refunded"
+    assert all(net == 0 for net in out.premium_net.values())
+
+
+def test_late_hashkey_rejected():
+    """A declaration after its |q|-based deadline reverts (§9 timeouts)."""
+    from repro.chain.block import Transaction
+    from repro.crypto.hashkeys import HashKey
+
+    instance = HedgedAuction(strategy=AuctioneerStrategy.ABANDON).build()
+    result = execute(instance)  # runs to completion; heights now past 6
+    spec = instance.meta["spec"]
+    alice = instance.actors["Alice"]
+    hashkey = HashKey.originate(alice.secrets["Bob"], alice.keypair, "Alice")
+    chain = instance.world.chain(spec.coin_chain)
+    _, coin_addr = instance.contracts["coin"]
+    tx = chain.execute(
+        Transaction(
+            chain=spec.coin_chain,
+            sender="Alice",
+            contract=coin_addr,
+            method="present_hashkey",
+            args={"hashkey": hashkey},
+        )
+    )
+    assert tx.receipt.status == "reverted"
+    assert "timed out" in tx.receipt.error
+    out = extract_auction_outcome(instance, result)
+    assert out.coin_outcome == "refunded"
+
+
+# ----------------------------------------------------------------------
+# commit-reveal extension (footnote 8)
+# ----------------------------------------------------------------------
+def test_commit_reveal_contract_flow(chain):
+    from repro.chain.block import Transaction
+    from repro.contracts.auction import AuctionDeadlines
+    from repro.crypto.hashing import Secret
+
+    coin_asset = chain.asset("coin")
+    chain.ledger.mint(coin_asset, "bob", 100)
+    secrets = {"bob": Secret.from_text("designate-bob")}
+    contract = CommitRevealCoinContract(
+        auctioneer="alice",
+        bidders=("bob",),
+        hashlocks={"bob": secrets["bob"].hashlock},
+        public_of={},
+        deadlines=AuctionDeadlines(bidding=2, hashkey_base=3, commit=7),
+        coin_asset=coin_asset,
+        premium=0,
+        reveal_deadline=3,
+    )
+    address = chain.deploy(contract)
+
+    def call(sender, method, **args):
+        return chain.execute(
+            Transaction(chain=chain.name, sender=sender, contract=address, method=method, args=args)
+        )
+
+    chain.advance()
+    salt = b"salty"
+    assert call("bob", "commit_bid", commitment=commitment_for(77, salt)).receipt.ok
+    chain.advance()
+    # wrong opening rejected
+    assert call("bob", "reveal_bid", amount=78, salt=salt).receipt.status == "reverted"
+    assert call("bob", "reveal_bid", amount=77, salt=salt).receipt.ok
+    assert contract.bids == {"bob": 77}
+    # plain bid() is disabled in sealed mode
+    assert call("bob", "bid", amount=5).receipt.status == "reverted"

@@ -1,0 +1,192 @@
+"""Unit tests for the auction contracts (contract-level state machines)."""
+
+import pytest
+
+from repro.chain.block import Transaction
+from repro.contracts.auction import (
+    AuctionDeadlines,
+    CoinAuctionContract,
+    TicketAuctionContract,
+)
+from repro.crypto.hashing import Secret
+from repro.crypto.hashkeys import HashKey
+from repro.crypto.keys import KeyPair
+
+ALICE = KeyPair.from_seed("alice-key", owner="Alice")
+BOB = KeyPair.from_seed("bob-key", owner="Bob")
+SECRETS = {"Bob": Secret.from_text("des-bob"), "Carol": Secret.from_text("des-carol")}
+
+
+@pytest.fixture
+def coin(chain):
+    chain.registry.register(ALICE)
+    chain.registry.register(BOB)
+    coin_asset = chain.asset("coin")
+    chain.ledger.mint(coin_asset, "Bob", 500)
+    chain.ledger.mint(coin_asset, "Carol", 500)
+    chain.ledger.mint(chain.native, "Alice", 10)
+    contract = CoinAuctionContract(
+        auctioneer="Alice",
+        bidders=("Bob", "Carol"),
+        hashlocks={b: s.hashlock for b, s in SECRETS.items()},
+        public_of={"Alice": ALICE.public, "Bob": BOB.public},
+        deadlines=AuctionDeadlines(),
+        coin_asset=coin_asset,
+        premium=2,
+    )
+    address = chain.deploy(contract)
+    return chain, contract, address
+
+
+def _call(chain, address, sender, method, **args):
+    return chain.execute(
+        Transaction(chain=chain.name, sender=sender, contract=address, method=method, args=args)
+    )
+
+
+def test_bid_records_and_pulls(coin):
+    chain, contract, address = coin
+    chain.advance()
+    assert _call(chain, address, "Bob", "bid", amount=100).receipt.ok
+    assert contract.bids == {"Bob": 100}
+    assert chain.ledger.balance(contract.coin_asset, address) == 100
+
+
+def test_non_bidder_rejected(coin):
+    chain, contract, address = coin
+    chain.advance()
+    tx = _call(chain, address, "Mallory", "bid", amount=10)
+    assert tx.receipt.status == "reverted"
+
+
+def test_double_bid_rejected(coin):
+    chain, contract, address = coin
+    chain.advance()
+    _call(chain, address, "Bob", "bid", amount=100)
+    assert _call(chain, address, "Bob", "bid", amount=120).receipt.status == "reverted"
+
+
+def test_zero_bid_rejected(coin):
+    chain, contract, address = coin
+    chain.advance()
+    assert _call(chain, address, "Bob", "bid", amount=0).receipt.status == "reverted"
+
+
+def test_bid_after_deadline_rejected(coin):
+    chain, contract, address = coin
+    for _ in range(3):  # height 3 > bidding deadline 2
+        chain.advance()
+    assert _call(chain, address, "Bob", "bid", amount=100).receipt.status == "reverted"
+
+
+def test_high_bidder_tie_break(coin):
+    chain, contract, address = coin
+    chain.advance()
+    _call(chain, address, "Bob", "bid", amount=100)
+    _call(chain, address, "Carol", "bid", amount=100)
+    assert contract.high_bidder == "Carol"  # lexicographic on equal amounts
+    contract.bids["Bob"] = 101
+    assert contract.high_bidder == "Bob"
+
+
+def test_endow_only_auctioneer(coin):
+    chain, contract, address = coin
+    chain.advance()
+    assert _call(chain, address, "Bob", "endow_premium").receipt.status == "reverted"
+    assert _call(chain, address, "Alice", "endow_premium").receipt.ok
+    assert contract.endowment == 4  # 2 bidders x p=2
+
+
+def test_hashkey_must_originate_with_auctioneer(coin):
+    chain, contract, address = coin
+    chain.advance()
+    forged = HashKey.originate(SECRETS["Bob"], BOB, "Bob")
+    tx = _call(chain, address, "Bob", "present_hashkey", hashkey=forged)
+    assert tx.receipt.status == "reverted"
+    assert "originate" in tx.receipt.error
+
+
+def test_hashkey_for_unknown_lock_rejected(coin):
+    chain, contract, address = coin
+    chain.advance()
+    other = HashKey.originate(Secret.from_text("stranger"), ALICE, "Alice")
+    tx = _call(chain, address, "Alice", "present_hashkey", hashkey=other)
+    assert tx.receipt.status == "reverted"
+    assert "matches no bidder" in tx.receipt.error
+
+
+def test_commit_with_winner_key_completes(coin):
+    chain, contract, address = coin
+    chain.advance()
+    _call(chain, address, "Bob", "bid", amount=100)
+    _call(chain, address, "Carol", "bid", amount=90)
+    _call(chain, address, "Alice", "endow_premium")
+    chain.advance()
+    key = HashKey.originate(SECRETS["Bob"], ALICE, "Alice")
+    assert _call(chain, address, "Alice", "present_hashkey", hashkey=key).receipt.ok
+    for _ in range(6):
+        chain.advance()
+    assert contract.outcome == "completed"
+    assert chain.ledger.balance(contract.coin_asset, "Alice") == 100
+    assert chain.ledger.balance(contract.coin_asset, "Carol") == 500  # refunded
+    assert chain.ledger.balance(chain.native, "Alice") == 10  # endowment back
+
+
+def test_commit_with_no_keys_refunds_and_compensates(coin):
+    chain, contract, address = coin
+    chain.advance()
+    _call(chain, address, "Bob", "bid", amount=100)
+    _call(chain, address, "Carol", "bid", amount=90)
+    _call(chain, address, "Alice", "endow_premium")
+    for _ in range(7):
+        chain.advance()
+    assert contract.outcome == "refunded"
+    assert chain.ledger.balance(contract.coin_asset, "Bob") == 500
+    assert chain.ledger.balance(chain.native, "Bob") == 2
+    assert chain.ledger.balance(chain.native, "Carol") == 2
+    assert chain.ledger.balance(chain.native, "Alice") == 6  # lost 4
+
+
+def test_ticket_contract_requires_escrow_before_settle(chain):
+    chain.registry.register(ALICE)
+    ticket_asset = chain.asset("ticket")
+    chain.ledger.mint(ticket_asset, "Alice", 1)
+    contract = TicketAuctionContract(
+        auctioneer="Alice",
+        bidders=("Bob", "Carol"),
+        hashlocks={b: s.hashlock for b, s in SECRETS.items()},
+        public_of={"Alice": ALICE.public},
+        deadlines=AuctionDeadlines(),
+        ticket_asset=ticket_asset,
+        tickets=1,
+    )
+    address = chain.deploy(contract)
+    for _ in range(8):
+        chain.advance()
+    assert not contract.settled  # nothing escrowed -> nothing to settle
+
+
+def test_ticket_contract_two_keys_refund(chain):
+    chain.registry.register(ALICE)
+    ticket_asset = chain.asset("ticket")
+    chain.ledger.mint(ticket_asset, "Alice", 1)
+    contract = TicketAuctionContract(
+        auctioneer="Alice",
+        bidders=("Bob", "Carol"),
+        hashlocks={b: s.hashlock for b, s in SECRETS.items()},
+        public_of={"Alice": ALICE.public},
+        deadlines=AuctionDeadlines(),
+        ticket_asset=ticket_asset,
+        tickets=1,
+    )
+    address = chain.deploy(contract)
+    chain.advance()
+    _call(chain, address, "Alice", "escrow_tickets")
+    chain.advance()
+    for bidder in ("Bob", "Carol"):
+        key = HashKey.originate(SECRETS[bidder], ALICE, "Alice")
+        assert _call(chain, address, "Alice", "present_hashkey", hashkey=key).receipt.ok
+    for _ in range(6):
+        chain.advance()
+    assert contract.outcome == "refunded"
+    assert chain.ledger.balance(ticket_asset, "Alice") == 1

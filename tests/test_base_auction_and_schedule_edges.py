@@ -1,0 +1,98 @@
+"""Edge coverage: base auction configuration, base multi-party timing on
+larger graphs, and schedule corner cases."""
+
+import pytest
+
+from repro.core.hedged_auction import (
+    AuctioneerStrategy,
+    AuctionSpec,
+    HedgedAuction,
+    extract_auction_outcome,
+)
+from repro.core.hedged_multi_party import extract_multi_party_outcome
+from repro.graph.digraph import complete_graph, figure3_graph, ring_graph
+from repro.graph.schedule import MultiPartySchedule
+from repro.parties.strategies import halt_at
+from repro.protocols.base_multi_party import BaseMultiPartySwap
+from repro.protocols.instance import execute
+
+
+# ----------------------------------------------------------------------
+# the base (premium = 0) auction — §9.1 standalone
+# ----------------------------------------------------------------------
+def test_base_auction_completes():
+    spec = AuctionSpec(premium=0)
+    instance = HedgedAuction(spec=spec).build()
+    result = execute(instance)
+    out = extract_auction_outcome(instance, result)
+    assert out.coin_outcome == "completed"
+    assert out.tickets_to == "Bob"
+    assert all(net == 0 for net in out.premium_net.values())
+
+
+def test_base_auction_cheat_refunds_without_compensation():
+    """§9.1 alone keeps bids safe but pays no lockup compensation —
+    exactly what §9.2's premiums add."""
+    spec = AuctionSpec(premium=0)
+    instance = HedgedAuction(spec=spec, strategy=AuctioneerStrategy.PUBLISH_LOSER).build()
+    result = execute(instance)
+    out = extract_auction_outcome(instance, result)
+    assert out.coin_outcome == "refunded"
+    assert not out.bid_stolen("Bob") and not out.bid_stolen("Carol")
+    assert out.premium_net["Bob"] == 0  # no compensation in the base form
+
+
+# ----------------------------------------------------------------------
+# base multi-party on larger graphs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [3, 5, 7])
+def test_base_ring_scales(n):
+    instance = BaseMultiPartySwap(graph=ring_graph(n), leaders=("P0",)).build()
+    result = execute(instance)
+    out = extract_multi_party_outcome(instance, result)
+    assert out.all_redeemed
+    assert not result.reverted()
+
+
+def test_base_complete_graph_two_leaders():
+    instance = BaseMultiPartySwap(graph=complete_graph(3)).build()
+    result = execute(instance)
+    out = extract_multi_party_outcome(instance, result)
+    assert out.all_redeemed
+
+
+def test_base_late_halt_after_redemption_changes_nothing():
+    instance = BaseMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build()
+    result = execute(instance, {"C": lambda a: halt_at(a, instance.horizon - 1)})
+    out = extract_multi_party_outcome(instance, result)
+    assert out.all_redeemed
+
+
+# ----------------------------------------------------------------------
+# schedule corners
+# ----------------------------------------------------------------------
+def test_schedule_depths_precomputed_override():
+    graph = figure3_graph()
+    depths = graph.follower_depths(("A",))
+    schedule = MultiPartySchedule(graph, ("A",), depths=depths)
+    assert schedule.max_depth == 2
+
+
+def test_schedule_all_leaders_shortest_run():
+    graph = figure3_graph()
+    all_leaders = MultiPartySchedule(graph, ("A", "B", "C"))
+    one_leader = MultiPartySchedule(graph, ("A",))
+    assert all_leaders.forward_len == 1
+    assert all_leaders.end < one_leader.end
+
+
+def test_base_m_covers_escrow_phase():
+    """The adjusted Herlihy timeout base never undercuts the escrow phase."""
+    for graph, leaders in [
+        (figure3_graph(), ("A",)),
+        (ring_graph(5), ("P0",)),
+        (complete_graph(4), ("P0", "P1", "P2")),
+    ]:
+        schedule = MultiPartySchedule(graph, leaders)
+        assert schedule.base_m >= schedule.forward_len
+        assert schedule.base_m >= graph.diameter

@@ -1,0 +1,146 @@
+"""Unit tests for the Blockchain: deployment, execution, revert, events."""
+
+import pytest
+
+from repro.chain.block import Transaction
+from repro.chain.blockchain import Blockchain, CallContext, ChainView
+from repro.contracts.base import Contract
+from repro.errors import ChainError, ContractError
+
+
+class Counter(Contract):
+    """Minimal contract for runtime tests."""
+
+    kind = "counter"
+
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+        self.ticks = 0
+
+    def bump(self, ctx: CallContext, by: int = 1) -> None:
+        self.require(by > 0, "must bump by a positive amount")
+        self.value += by
+        self.emit("bumped", by=by, sender=ctx.sender)
+
+    def pay_and_fail(self, ctx: CallContext) -> None:
+        self.pull(self._chain().native, ctx.sender, 5)
+        raise ContractError("deliberate failure after transfer")
+
+    def on_tick(self, height: int) -> None:
+        self.ticks += 1
+
+
+@pytest.fixture
+def deployed(chain):
+    chain.ledger.mint(chain.native, "alice", 100)
+    address = chain.deploy(Counter())
+    return chain, address
+
+
+def _tx(chain, address, method, **args):
+    return Transaction(chain=chain.name, sender="alice", contract=address, method=method, args=args)
+
+
+def test_deploy_assigns_address(deployed):
+    chain, address = deployed
+    assert address.startswith("counter-")
+    assert isinstance(chain.contract_at(address), Counter)
+
+
+def test_deploy_emits_event(deployed):
+    chain, address = deployed
+    assert any(e.name == "deployed" and e.contract == address for e in chain.events)
+
+
+def test_unknown_contract_raises(deployed):
+    chain, _ = deployed
+    with pytest.raises(ChainError):
+        chain.contract_at("nope-1")
+
+
+def test_execute_ok(deployed):
+    chain, address = deployed
+    tx = chain.execute(_tx(chain, address, "bump", by=3))
+    assert tx.receipt.ok
+    assert chain.contract_at(address).value == 3
+
+
+def test_execute_revert_records_error(deployed):
+    chain, address = deployed
+    tx = chain.execute(_tx(chain, address, "bump", by=0))
+    assert tx.receipt.status == "reverted"
+    assert "positive" in tx.receipt.error
+    assert chain.contract_at(address).value == 0
+
+
+def test_revert_rolls_back_ledger(deployed):
+    chain, address = deployed
+    tx = chain.execute(_tx(chain, address, "pay_and_fail"))
+    assert tx.receipt.status == "reverted"
+    assert chain.ledger.balance(chain.native, "alice") == 100
+    assert chain.ledger.balance(chain.native, address) == 0
+
+
+def test_revert_drops_events(deployed):
+    chain, address = deployed
+    chain.execute(_tx(chain, address, "bump", by=0))
+    assert not chain.events_named("bumped")
+
+
+def test_unknown_method_reverts(deployed):
+    chain, address = deployed
+    tx = chain.execute(_tx(chain, address, "no_such_method"))
+    assert tx.receipt.status == "reverted"
+
+
+def test_private_method_not_callable(deployed):
+    chain, address = deployed
+    tx = chain.execute(_tx(chain, address, "_chain"))
+    assert tx.receipt.status == "reverted"
+
+
+def test_advance_bumps_height_and_ticks(deployed):
+    chain, address = deployed
+    assert chain.height == 0
+    chain.advance()
+    chain.advance()
+    assert chain.height == 2
+    assert chain.contract_at(address).ticks == 2
+
+
+def test_advance_executes_transactions_at_new_height(deployed):
+    chain, address = deployed
+    executed = chain.advance([_tx(chain, address, "bump")])
+    assert executed[0].receipt.height == 1
+
+
+def test_wrong_chain_routing_raises(deployed):
+    chain, address = deployed
+    tx = _tx(chain, address, "bump")
+    tx.chain = "elsewhere"
+    with pytest.raises(ChainError):
+        chain.execute(tx)
+
+
+def test_double_deploy_rejected(deployed):
+    chain, address = deployed
+    contract = chain.contract_at(address)
+    with pytest.raises(Exception):
+        contract.install(chain, "counter-9")
+
+
+def test_chain_view_is_queryable(deployed):
+    chain, address = deployed
+    chain.advance([_tx(chain, address, "bump", by=7)])
+    view = ChainView(chain)
+    assert view.height == 1
+    assert view.contract(address).value == 7
+    assert view.balance(chain.native, "alice") == 100
+    assert any(e.name == "bumped" for e in view.events())
+
+
+def test_events_named_filters(deployed):
+    chain, address = deployed
+    chain.advance([_tx(chain, address, "bump"), _tx(chain, address, "bump")])
+    assert len(chain.events_named("bumped")) == 2

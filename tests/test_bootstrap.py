@@ -1,0 +1,157 @@
+"""Tests for premium bootstrapping (§6, Figure 2)."""
+
+import pytest
+
+from repro.core.bootstrap import (
+    BootstrapSpec,
+    BootstrappedSwap,
+    extract_bootstrap_outcome,
+    initial_risk,
+    plan_stages,
+    premium_ladder,
+    rounds_estimate,
+    rounds_needed,
+    STAGE_SPAN,
+)
+from repro.errors import ProtocolError
+from repro.parties.strategies import halt_at
+from repro.protocols.instance import execute
+
+
+# ----------------------------------------------------------------------
+# ladder arithmetic
+# ----------------------------------------------------------------------
+def test_million_dollar_example():
+    """§6: 'With 1% premiums and $4 initial lock-up risk, 3 bootstrapping
+    rounds are enough to hedge a $1,000,000 swap.'"""
+    assert rounds_needed(1_000_000, 1_000_000, 100, 4) == 3
+    assert initial_risk(1_000_000, 1_000_000, 100, 3) == 4
+
+
+def test_ladder_closed_form():
+    """B_i = (iA + B) / P^i for the real-valued ladder."""
+    ladder = premium_ladder(1_000_000, 1_000_000, 100, 3)
+    assert ladder == [(1_000_000, 1_000_000), (10_000, 20_000), (100, 300), (1, 4)]
+
+
+def test_ladder_rounds_up():
+    ladder = premium_ladder(10, 10, 3, 2)
+    # level 1: A=ceil(10/3)=4, B=ceil(20/3)=7; level 2: A=ceil(4/3)=2, B=ceil(11/3)=4
+    assert ladder == [(10, 10), (4, 7), (2, 4)]
+
+
+def test_rounds_estimate_close_to_exact():
+    estimate = rounds_estimate(1_000_000, 1_000_000, 100, 4)
+    assert 2.5 < estimate < 3.0
+    assert rounds_needed(1_000_000, 1_000_000, 100, 4) == 3
+
+
+def test_rounds_needed_one_when_plain_premium_acceptable():
+    """r = 1 is the plain §5.2 swap: premium (A+B)/P = 2 fits the risk."""
+    assert rounds_needed(100, 100, 100, 10) == 1
+
+
+def test_invalid_rate_rejected():
+    with pytest.raises(ProtocolError):
+        premium_ladder(10, 10, 1, 1)
+
+
+def test_infeasible_risk_rejected():
+    with pytest.raises(ProtocolError):
+        rounds_needed(10**9, 10**9, 2, 0)
+
+
+# ----------------------------------------------------------------------
+# stage planning
+# ----------------------------------------------------------------------
+def test_stage_plan_structure():
+    spec = BootstrapSpec(rounds=3)
+    stages = plan_stages(spec)
+    assert len(stages) == 3  # two exchange stages + the final swap
+    assert stages[-1].is_final_swap
+    assert stages[-1].leader == "Alice"
+    # leadership alternates backwards from the final swap
+    assert stages[-2].leader == "Alice" or stages[-2].leader == "Bob"
+    assert [s.offset for s in stages] == [0, STAGE_SPAN, 2 * STAGE_SPAN]
+
+
+def test_stage_premiums_come_from_ladder():
+    spec = BootstrapSpec(rounds=3)
+    ladder = premium_ladder(spec.amount_a, spec.amount_b, spec.rate, spec.rounds)
+    stages = plan_stages(spec)
+    final = stages[-1]
+    assert (final.premium_single, final.premium_combined) == ladder[1]
+    first = stages[0]
+    assert (first.premium_single, first.premium_combined) == ladder[3]
+
+
+# ----------------------------------------------------------------------
+# the staged protocol
+# ----------------------------------------------------------------------
+def test_compliant_bootstrap_swaps():
+    instance = BootstrappedSwap(BootstrapSpec()).build()
+    result = execute(instance)
+    out = extract_bootstrap_outcome(instance, result)
+    assert out.swapped
+    assert out.stages_completed == out.total_stages == 3
+    assert out.premium_net == {"Alice": 0, "Bob": 0}
+    assert not result.reverted()
+
+
+def test_bootstrap_single_round():
+    spec = BootstrapSpec(amount_a=10_000, amount_b=10_000, rate=100, rounds=1)
+    instance = BootstrappedSwap(spec).build()
+    result = execute(instance)
+    out = extract_bootstrap_outcome(instance, result)
+    assert out.swapped
+
+
+def test_bootstrap_requires_a_round():
+    with pytest.raises(ProtocolError):
+        BootstrappedSwap(BootstrapSpec(rounds=0))
+
+
+@pytest.mark.parametrize("halt_round", [0, 1, 3, 9, 11, 17, 19])
+def test_renege_never_hurts_the_compliant_party(halt_round):
+    for deviator in ("Alice", "Bob"):
+        compliant = "Bob" if deviator == "Alice" else "Alice"
+        instance = BootstrappedSwap(BootstrapSpec()).build()
+        result = execute(instance, {deviator: lambda a, r=halt_round: halt_at(a, r)})
+        out = extract_bootstrap_outcome(instance, result)
+        assert out.premium_net[compliant] >= 0
+
+
+def test_renege_cost_bounded_by_stage_premium():
+    """Walking out mid-ladder costs at most the current stage's premiums."""
+    spec = BootstrapSpec()
+    stages = plan_stages(spec)
+    for deviator in ("Alice", "Bob"):
+        for stage in stages:
+            # halt right before the stage's redemption step
+            halt_round = stage.offset + 4
+            instance = BootstrappedSwap(spec).build()
+            result = execute(instance, {deviator: lambda a, r=halt_round: halt_at(a, r)})
+            out = extract_bootstrap_outcome(instance, result)
+            loss = -out.premium_net[deviator]
+            assert loss <= stage.premium_combined + stage.premium_single
+
+
+def test_lockup_bounded_by_one_stage():
+    """§6: lock-up risk duration is one swap execution plus Δ, independent
+    of the number of bootstrapping rounds."""
+    for rounds in (1, 2, 3):
+        spec = BootstrapSpec(rounds=rounds)
+        instance = BootstrappedSwap(spec).build()
+        result = execute(instance, {"Bob": lambda a: halt_at(a, 3)})
+        out = extract_bootstrap_outcome(instance, result)
+        assert out.max_lockup <= STAGE_SPAN
+
+
+def test_initial_risk_shrinks_with_rounds():
+    risks = [initial_risk(10**6, 10**6, 100, r) for r in range(1, 5)]
+    assert risks[0] > risks[1] > risks[2] > risks[3]
+
+
+def test_initial_risk_rejects_round_zero():
+    with pytest.raises(ProtocolError):
+        initial_risk(100, 100, 100, 0)

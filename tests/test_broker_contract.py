@@ -1,0 +1,105 @@
+"""Unit tests for the hedged broker contract's state machine."""
+
+import pytest
+
+from repro.chain.block import Transaction
+from repro.core.hedged_broker import HedgedBrokerDeal
+from repro.crypto.hashkeys import HashKey, SignedPath
+from repro.protocols.instance import execute
+from repro.sim.runner import SyncRunner
+
+
+def _fresh(run_rounds=0):
+    instance = HedgedBrokerDeal(premium=1).build()
+    if run_rounds:
+        runner = SyncRunner(instance.world, list(instance.actors.values()))
+        runner.run(run_rounds, parties=list(instance.actors))
+    return instance
+
+
+def _call(instance, label, sender, method, **args):
+    chain_name, address = instance.contracts[label]
+    chain = instance.world.chain(chain_name)
+    return chain.execute(
+        Transaction(chain=chain_name, sender=sender, contract=address, method=method, args=args)
+    )
+
+
+def test_trade_requires_escrow():
+    instance = _fresh(run_rounds=3)
+    tx = _call(instance, "ticket", "Alice", "trade")
+    assert tx.receipt.status == "reverted"
+    assert "nothing escrowed" in tx.receipt.error
+
+
+def test_trade_only_by_broker():
+    instance = _fresh(run_rounds=6)  # escrows have landed
+    tx = _call(instance, "ticket", "Bob", "trade")
+    assert tx.receipt.status == "reverted"
+    assert "only Alice" in tx.receipt.error
+
+
+def test_double_trade_rejected():
+    instance = _fresh(run_rounds=7)  # trades landed at height 7
+    tx = _call(instance, "ticket", "Alice", "trade")
+    assert tx.receipt.status == "reverted"
+    assert "already traded" in tx.receipt.error
+
+
+def test_escrow_premium_wrong_sender():
+    instance = _fresh()
+    instance.world.chain("ticket-chain").advance()
+    tx = _call(instance, "ticket", "Carol", "deposit_escrow_premium")
+    assert tx.receipt.status == "reverted"
+
+
+def test_trading_premium_only_by_broker():
+    instance = _fresh()
+    instance.world.chain("coin-chain").advance()
+    tx = _call(instance, "coin", "Bob", "deposit_trading_premium")
+    assert tx.receipt.status == "reverted"
+
+
+def test_redemption_premium_wrong_arc_host():
+    instance = _fresh(run_rounds=2)
+    alice = instance.actors["Alice"]
+    payload = f"rpremium:{alice.secret.hashlock.digest}"
+    chain_proof = SignedPath.create(payload, alice.keypair, "Alice")
+    # arc (Bob, Alice) lives on the ticket contract, not the coin one
+    tx = _call(
+        instance, "coin", "Alice", "deposit_redemption_premium",
+        arc=("Bob", "Alice"), path_chain=chain_proof,
+    )
+    assert tx.receipt.status == "reverted"
+    assert "not hosted" in tx.receipt.error
+
+
+def test_contract_activation_lifecycle():
+    instance = _fresh(run_rounds=1)
+    ticket = instance.contract("ticket")
+    assert not ticket.contract_activated
+    instance2 = _fresh(run_rounds=5)  # all premium phases landed
+    ticket2 = instance2.contract("ticket")
+    assert ticket2.contract_activated
+
+
+def test_full_run_resolves_every_premium():
+    instance = _fresh()
+    execute(instance)
+    for label in ("ticket", "coin"):
+        contract = instance.contract(label)
+        assert contract.escrow_premium_state == "refunded"
+        assert contract.trading_premium_state == "refunded"
+        assert all(d.state == "refunded" for d in contract.rdeposits.values())
+        assert contract.escrow_state == "redeemed"
+
+
+def test_forwarded_hashkey_path_must_match_redeemer():
+    instance = _fresh(run_rounds=7)
+    bob = instance.actors["Bob"]
+    # Bob presents his own key on the TICKET contract directly: its path
+    # head (Bob) is not a ticket-contract redeemer ({Alice, Carol}).
+    own = HashKey.originate(bob.secret, bob.keypair, "Bob")
+    tx = _call(instance, "ticket", "Bob", "present_hashkey", hashkey=own)
+    assert tx.receipt.status == "reverted"
+    assert "redeemers" in tx.receipt.error

@@ -1,0 +1,192 @@
+"""Integration tests: base (§8.1) and hedged (§8.2) broker protocols."""
+
+import pytest
+
+from repro.core.hedged_broker import (
+    HedgedBrokerDeal,
+    broker_premium_tables,
+    extract_broker_outcome,
+    multi_round_trading_premiums,
+)
+from repro.parties.strategies import halt_at, skip_methods
+from repro.protocols.base_broker import BaseBrokerDeal, BrokerSpec
+from repro.protocols.instance import execute
+
+SPEC = BrokerSpec()
+
+
+def run_base(deviations=None):
+    instance = BaseBrokerDeal().build()
+    result = execute(instance, deviations or {})
+    return instance, result, extract_broker_outcome(instance, result)
+
+
+def run_hedged(deviations=None, premium=1, optimize=True):
+    instance = HedgedBrokerDeal(premium=premium, optimize=optimize).build()
+    result = execute(instance, deviations or {})
+    return instance, result, extract_broker_outcome(instance, result)
+
+
+# ----------------------------------------------------------------------
+# base protocol
+# ----------------------------------------------------------------------
+def test_base_compliant_deal_completes():
+    _, result, out = run_base()
+    assert out.completed
+    assert out.coins_delta == {"Alice": 1, "Bob": 100, "Carol": -101}
+    assert out.tickets_delta == {"Alice": 0, "Bob": -1, "Carol": 1}
+    assert not result.reverted()
+
+
+def test_base_broker_keeps_markup():
+    _, _, out = run_base()
+    assert out.coins_delta[SPEC.broker] == SPEC.markup
+
+
+def test_base_bob_omits_escrow_deal_dies_safely():
+    _, _, out = run_base({"Bob": lambda a: halt_at(a, 0)})
+    assert not out.completed
+    assert out.coins_delta["Carol"] == 0
+    assert out.tickets_delta["Bob"] == 0
+
+
+def test_base_alice_omits_trades_assets_refund():
+    _, _, out = run_base({"Alice": lambda a: halt_at(a, 1)})
+    assert not out.completed
+    assert out.tickets_delta["Bob"] == 0
+    assert out.coins_delta["Carol"] == 0
+
+
+def test_base_withholding_protects_escrowers():
+    """Carol withholds her key: nothing can be redeemed, assets refund."""
+    _, _, out = run_base({"Carol": lambda a: halt_at(a, 2)})
+    assert not out.completed
+    assert out.tickets_delta["Bob"] == 0
+    assert out.coins_delta["Carol"] == 0
+
+
+# ----------------------------------------------------------------------
+# premium tables (§8.2 amounts)
+# ----------------------------------------------------------------------
+def test_premium_tables_optimized():
+    tables = broker_premium_tables(SPEC, 1, optimize=True)
+    assert tables["trading"] == {("Alice", "Bob"): 2, ("Alice", "Carol"): 2}
+    assert tables["escrow"] == {("Bob", "Alice"): 4, ("Carol", "Alice"): 4}
+
+
+def test_premium_tables_unoptimized_larger():
+    opt = broker_premium_tables(SPEC, 1, optimize=True)
+    raw = broker_premium_tables(SPEC, 1, optimize=False)
+    assert raw["trading"][("Alice", "Bob")] > opt["trading"][("Alice", "Bob")]
+    assert raw["escrow"][("Bob", "Alice")] > opt["escrow"][("Bob", "Alice")]
+
+
+def test_multi_round_recurrence():
+    """§8.2: E(v,w) = T_1(w); T_k(v,w) = T_{k+1}(w); T_r(v,w) = R_w(w)."""
+    rounds = [[("A", "M")], [("M", "C")]]  # two trading rounds via middleman M
+    escrow_arcs = [("B", "A")]
+    origination = {"M": 3, "C": 5, "A": 2, "B": 4}
+    tables = multi_round_trading_premiums(rounds, escrow_arcs, origination)
+    assert tables["T_2"] == {("M", "C"): 5}  # last round: R_C(C)
+    assert tables["T_1"] == {("A", "M"): 5}  # covers M's next-round premiums
+    assert tables["E"] == {("B", "A"): 5}  # covers A's round-1 premiums
+
+
+def test_multi_round_single_round_matches_paper_shape():
+    rounds = [[("A", "B"), ("A", "C")]]
+    tables = multi_round_trading_premiums(rounds, [("B", "A"), ("C", "A")], {"B": 2, "C": 2})
+    assert tables["T_1"] == {("A", "B"): 2, ("A", "C"): 2}
+    assert tables["E"] == {("B", "A"): 4, ("C", "A"): 4}
+
+
+# ----------------------------------------------------------------------
+# hedged protocol
+# ----------------------------------------------------------------------
+def test_hedged_compliant_completes_with_zero_premium_flow():
+    _, result, out = run_hedged()
+    assert out.completed
+    assert all(net == 0 for net in out.premium_net.values())
+    assert not result.reverted()
+
+
+def test_hedged_unoptimized_also_completes():
+    _, result, out = run_hedged(optimize=False)
+    assert out.completed
+    assert all(net == 0 for net in out.premium_net.values())
+    assert not result.reverted()
+
+
+def test_hedged_bob_omits_b1():
+    """§8.2: 'If Bob omits B1 ... Bob pays a premium to Carol and to Alice.'"""
+    _, _, out = run_hedged({"Bob": lambda a: skip_methods(a, "escrow_asset")})
+    assert not out.completed
+    assert out.premium_net["Bob"] < 0
+    assert out.premium_net["Carol"] >= 1  # her coins sat locked
+    assert out.premium_net["Alice"] >= 0  # reimbursed via E(B,A)
+
+
+def test_hedged_bob_omits_b2():
+    """§8.2: 'If Bob completes B1 but omits B2 ... he pays a premium to
+    Carol' (his withheld key leaves her coins locked)."""
+    _, _, out = run_hedged({"Bob": lambda a: halt_at(a, 7)})
+    assert not out.completed
+    assert out.premium_net["Bob"] < 0
+    assert out.premium_net["Carol"] >= 1
+    assert out.premium_net["Alice"] >= 0
+
+
+def test_hedged_alice_omits_trades():
+    """Alice walks before trading: both escrowers are compensated."""
+    _, _, out = run_hedged({"Alice": lambda a: halt_at(a, 6)})
+    assert not out.completed
+    assert out.premium_net["Alice"] < 0
+    assert out.premium_net["Bob"] >= 1
+    assert out.premium_net["Carol"] >= 1
+
+
+def test_hedged_alice_omits_a3():
+    """Alice trades but never releases her hashkey: escrowers still whole."""
+    _, _, out = run_hedged({"Alice": lambda a: halt_at(a, 7)})
+    assert not out.completed
+    for party in ("Bob", "Carol"):
+        assert out.premium_net[party] >= 1
+    assert out.tickets_delta["Bob"] == 0
+    assert out.coins_delta["Carol"] == 0
+
+
+def test_hedged_carol_omits_escrow():
+    _, _, out = run_hedged({"Carol": lambda a: skip_methods(a, "escrow_asset")})
+    assert not out.completed
+    assert out.premium_net["Carol"] < 0
+    assert out.premium_net["Bob"] >= 1  # his tickets sat locked
+    assert out.premium_net["Alice"] >= 0
+
+
+def test_hedged_premium_phase_sore_loser_is_minor():
+    """A phase-2 walkout kills the deal with only refunds (Lemma 5 analog)."""
+    _, _, out = run_hedged({"Bob": lambda a: halt_at(a, 1)})
+    assert not out.completed
+    assert out.ticket_state == "absent" and out.coin_state == "absent"
+    assert out.premium_net["Alice"] >= 0
+    assert out.premium_net["Carol"] >= 0
+
+
+def test_hedged_full_halt_sweep_bounds():
+    instance = HedgedBrokerDeal(premium=1).build()
+    for who in ("Alice", "Bob", "Carol"):
+        for rnd in range(instance.horizon):
+            _, _, out = run_hedged({who: lambda a, r=rnd: halt_at(a, r)})
+            for party, side in (("Bob", "ticket"), ("Carol", "coin")):
+                if party == who:
+                    continue
+                state = out.ticket_state if side == "ticket" else out.coin_state
+                need = out.premium if (state == "refunded" and not out.completed) else 0
+                assert out.premium_net[party] >= need, f"{who}@{rnd} hurt {party}"
+            if who != "Alice":
+                assert out.premium_net["Alice"] >= 0, f"{who}@{rnd} hurt Alice"
+
+
+def test_hedged_contract_activation_gates_escrow():
+    instance = HedgedBrokerDeal(premium=1).build()
+    ticket = instance.contract("ticket")
+    assert not ticket.contract_activated  # nothing deposited yet

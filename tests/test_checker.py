@@ -1,0 +1,141 @@
+"""Tests for the model-checking explorer (§10 analog)."""
+
+import pytest
+
+from repro.checker import (
+    ModelChecker,
+    Violation,
+    full_strategy_space,
+    halt_strategies,
+    properties,
+    skip_strategies,
+)
+from repro.checker.strategies import NamedStrategy
+from repro.core.hedged_two_party import HedgedTwoPartySwap
+from repro.graph.digraph import figure3_graph
+from repro.core.hedged_multi_party import HedgedMultiPartySwap
+
+
+def two_party_builder():
+    return HedgedTwoPartySwap().build()
+
+
+def fig3_builder():
+    return HedgedMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build()
+
+
+# ----------------------------------------------------------------------
+# strategy generators
+# ----------------------------------------------------------------------
+def test_halt_strategies_cover_rounds():
+    space = halt_strategies(5)
+    assert [s.label for s in space] == [f"halt@{r}" for r in range(5)]
+
+
+def test_halt_strategies_step():
+    assert len(halt_strategies(10, step=3)) == 4
+
+
+def test_skip_strategies_enumerate_subsets():
+    space = skip_strategies(("a", "b", "c"), max_subset=2)
+    labels = {s.label for s in space}
+    assert "skip:a" in labels and "skip:a+b" in labels
+    assert len(space) == 3 + 3  # singletons + pairs
+
+
+def test_full_space_is_union():
+    space = full_strategy_space(4, ("a",), max_lag=2)
+    assert len(space) == 4 + 1 + 2  # halts + skips + lags
+    labels = {s.label for s in space}
+    assert "lag+1" in labels and "lag+2" in labels
+
+
+# ----------------------------------------------------------------------
+# the explorer
+# ----------------------------------------------------------------------
+def test_profiles_enumeration_counts():
+    space = halt_strategies(3)
+    checker = ModelChecker(
+        builder=two_party_builder,
+        properties=[],
+        strategies={"Alice": space, "Bob": space},
+        max_adversaries=2,
+    )
+    profiles = list(checker.profiles())
+    # 1 compliant + 2*3 singles + 3*3 pairs
+    assert len(profiles) == 1 + 6 + 9
+
+
+def test_two_party_check_is_clean():
+    space = full_strategy_space(8, ("deposit_premium", "escrow_principal", "redeem"))
+    checker = ModelChecker(
+        builder=two_party_builder,
+        properties=[
+            properties.no_stuck_escrow,
+            properties.two_party_hedged,
+            properties.compliant_txs_never_revert,
+        ],
+        strategies={"Alice": space, "Bob": space},
+        max_adversaries=1,
+    )
+    report = checker.run()
+    assert report.ok, report.violations[:3]
+    assert report.scenarios == 1 + 2 * len(space)
+    assert "OK" in report.summary()
+
+
+def test_two_party_joint_deviations_clean():
+    space = halt_strategies(8, step=2)
+    checker = ModelChecker(
+        builder=two_party_builder,
+        properties=[properties.no_stuck_escrow, properties.two_party_hedged],
+        strategies={"Alice": space, "Bob": space},
+        max_adversaries=2,
+    )
+    report = checker.run()
+    assert report.ok
+
+
+def test_fig3_check_is_clean():
+    instance = fig3_builder()
+    space = halt_strategies(instance.horizon, step=1)
+    checker = ModelChecker(
+        builder=fig3_builder,
+        properties=[properties.no_stuck_escrow, properties.multi_party_lemmas],
+        strategies={p: space for p in ("A", "B", "C")},
+        max_adversaries=1,
+    )
+    report = checker.run()
+    assert report.ok
+    assert report.transactions > 0
+
+
+def test_checker_detects_violations():
+    """Meta-test: a false property must produce violations, proving the
+    checker actually evaluates predicates against outcomes."""
+
+    def impossible(instance, result, adversaries):
+        return ["deliberately false"]
+
+    checker = ModelChecker(
+        builder=two_party_builder,
+        properties=[impossible],
+        strategies={"Alice": halt_strategies(2)},
+        max_adversaries=1,
+    )
+    report = checker.run()
+    assert not report.ok
+    assert len(report.violations) == report.scenarios
+    assert report.violations[0] == Violation("all-compliant", "deliberately false")
+    assert "VIOLATIONS" in report.summary()
+
+
+def test_checker_without_compliant_baseline():
+    checker = ModelChecker(
+        builder=two_party_builder,
+        properties=[],
+        strategies={"Alice": halt_strategies(2)},
+        max_adversaries=1,
+        include_compliant=False,
+    )
+    assert len(list(checker.profiles())) == 2

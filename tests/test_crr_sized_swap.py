@@ -1,0 +1,80 @@
+"""End-to-end: premiums sized by Cox-Ross-Rubinstein, per §4.
+
+"The premiums can be estimated using formulas such as the Cox-Ross-
+Rubinstein option pricing model."  These tests wire the pricing module
+into the actual protocol: size ``p_a``/``p_b`` from the CRR value of the
+counterparty's walk-away option, run the hedged swap, and check the
+deterrence arithmetic holds with the derived numbers.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.options import suggest_premium
+from repro.core.hedged_two_party import HedgedTwoPartySpec, HedgedTwoPartySwap
+from repro.core.outcomes import extract_two_party_outcome
+from repro.parties.rational import price_shock, rational_bob
+from repro.parties.strategies import halt_at
+from repro.protocols.instance import execute
+
+PRINCIPAL = 10_000
+SIGMA = 1.2  # a volatile token, annualized
+
+
+def crr_spec() -> HedgedTwoPartySpec:
+    """Premiums = CRR value of the option to renege over the lockup."""
+    # Bob's optionality spans Alice's escrow lockup (t_B − t_a,e = 3Δ);
+    # Alice's spans Bob's (t_A − t_b,e = 1Δ) plus her earlier premium risk.
+    p_b = math.ceil(suggest_premium(PRINCIPAL, SIGMA, lockup_deltas=3))
+    p_a = math.ceil(suggest_premium(PRINCIPAL, SIGMA, lockup_deltas=4))
+    return HedgedTwoPartySpec(
+        amount_a=PRINCIPAL, amount_b=PRINCIPAL, premium_a=p_a, premium_b=p_b
+    )
+
+
+def test_crr_premiums_are_a_few_percent():
+    spec = crr_spec()
+    assert 0 < spec.premium_b < PRINCIPAL * 0.10
+    assert spec.premium_a >= spec.premium_b  # longer exposure costs more
+
+
+def test_crr_sized_swap_completes():
+    spec = crr_spec()
+    instance = HedgedTwoPartySwap(spec).build()
+    result = execute(instance)
+    out = extract_two_party_outcome(instance, result)
+    assert out.swapped
+    assert out.alice_premium_net == 0 and out.bob_premium_net == 0
+
+
+def test_crr_sized_compensation_flows():
+    spec = crr_spec()
+    instance = HedgedTwoPartySwap(spec).build()
+    result = execute(instance, {"Bob": lambda a: halt_at(a, 3)})
+    out = extract_two_party_outcome(instance, result)
+    assert out.alice_premium_net == spec.premium_b
+    assert out.bob_premium_net == -spec.premium_b
+
+
+def test_crr_premium_deters_rational_bob_at_fair_odds():
+    """A shock smaller than the CRR premium fraction cannot tempt Bob."""
+    spec = crr_spec()
+    fraction = spec.premium_b / PRINCIPAL
+    instance = HedgedTwoPartySwap(spec).build()
+    transform = lambda a: rational_bob(
+        a, spec, price_shock(1.0, fraction * 0.5, at_height=3),
+        premium_contract=instance.contracts["apricot_escrow"],
+    )
+    result = execute(instance, {"Bob": transform})
+    out = extract_two_party_outcome(instance, result)
+    assert out.swapped
+
+
+def test_crr_premium_grows_with_volatility_and_value():
+    calm = suggest_premium(PRINCIPAL, 0.3, lockup_deltas=3)
+    wild = suggest_premium(PRINCIPAL, 2.0, lockup_deltas=3)
+    assert wild > calm
+    small = suggest_premium(100, SIGMA, lockup_deltas=3)
+    large = suggest_premium(1_000_000, SIGMA, lockup_deltas=3)
+    assert abs(large / small - 10_000) / 10_000 < 0.01  # homogeneous of degree 1

@@ -1,0 +1,120 @@
+"""Unit tests for hashing, keys, and signatures."""
+
+import pytest
+
+from repro.crypto.hashing import Hashlock, Secret, sha256_hex
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.signatures import Signature, require_valid, sign, verify
+from repro.errors import CryptoError
+
+
+# ----------------------------------------------------------------------
+# hashing
+# ----------------------------------------------------------------------
+def test_sha256_hex_known_vector():
+    assert sha256_hex(b"abc") == (
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    )
+
+
+def test_secret_hashlock_roundtrip():
+    secret = Secret.from_text("hello")
+    assert secret.hashlock.matches(secret.preimage)
+
+
+def test_hashlock_rejects_wrong_preimage():
+    assert not Secret.from_text("a").hashlock.matches(b"b")
+
+
+def test_generated_secrets_are_distinct():
+    assert Secret.generate().preimage != Secret.generate().preimage
+
+
+def test_hashlock_equality_by_digest():
+    s = Secret.from_text("x")
+    assert Hashlock(s.hashlock.digest) == s.hashlock
+    assert hash(Hashlock(s.hashlock.digest)) == hash(s.hashlock)
+
+
+def test_secret_label_does_not_affect_equality():
+    a = Secret.from_text("x", label="one")
+    b = Secret.from_text("x", label="two")
+    assert a == b
+
+
+# ----------------------------------------------------------------------
+# keys
+# ----------------------------------------------------------------------
+def test_keypair_public_is_derived():
+    kp = KeyPair.from_seed("seed")
+    assert kp.public == sha256_hex(b"seed")
+
+
+def test_registry_register_and_lookup():
+    reg = KeyRegistry()
+    kp = KeyPair.generate(owner="Alice")
+    reg.register(kp)
+    assert reg.knows(kp.public)
+    assert reg.private_for(kp.public) == kp.private
+    assert reg.owner_of(kp.public) == "Alice"
+    assert len(reg) == 1
+
+
+def test_registry_unknown_key_raises():
+    reg = KeyRegistry()
+    with pytest.raises(CryptoError):
+        reg.private_for("deadbeef")
+
+
+# ----------------------------------------------------------------------
+# signatures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def signing_setup():
+    reg = KeyRegistry()
+    kp = KeyPair.generate(owner="Alice")
+    reg.register(kp)
+    return reg, kp
+
+
+def test_sign_verify_roundtrip(signing_setup):
+    reg, kp = signing_setup
+    sig = sign(kp, b"message")
+    assert verify(reg, sig, b"message")
+
+
+def test_verify_rejects_tampered_message(signing_setup):
+    reg, kp = signing_setup
+    sig = sign(kp, b"message")
+    assert not verify(reg, sig, b"messagE")
+
+
+def test_verify_rejects_tampered_tag(signing_setup):
+    reg, kp = signing_setup
+    sig = sign(kp, b"message")
+    forged = Signature(signer=sig.signer, tag="00" * 32)
+    assert not verify(reg, forged, b"message")
+
+
+def test_verify_rejects_unknown_signer(signing_setup):
+    reg, _ = signing_setup
+    stranger = KeyPair.generate()
+    sig = sign(stranger, b"message")
+    assert not verify(reg, sig, b"message")
+
+
+def test_signature_not_transferable_between_keys(signing_setup):
+    reg, kp = signing_setup
+    other = KeyPair.generate(owner="Bob")
+    reg.register(other)
+    sig = sign(kp, b"message")
+    forged = Signature(signer=other.public, tag=sig.tag)
+    assert not verify(reg, forged, b"message")
+
+
+def test_require_valid_raises(signing_setup):
+    reg, kp = signing_setup
+    sig = sign(kp, b"m")
+    require_valid(reg, sig, b"m")  # ok
+    with pytest.raises(CryptoError):
+        require_valid(reg, sig, b"other")

@@ -1,0 +1,74 @@
+"""Tests for the error hierarchy, events, and small utilities."""
+
+import pytest
+
+from repro import __version__
+from repro.chain.events import Event
+from repro.errors import (
+    AuthError,
+    ChainError,
+    CheckerError,
+    ContractError,
+    CryptoError,
+    GraphError,
+    InsufficientFunds,
+    LedgerError,
+    ProtocolError,
+    ReproError,
+    StateError,
+    TimeoutViolation,
+    UnknownAsset,
+)
+
+
+def test_every_error_is_a_repro_error():
+    for err in (
+        LedgerError, InsufficientFunds, UnknownAsset, ChainError,
+        ContractError, AuthError, TimeoutViolation, StateError,
+        CryptoError, ProtocolError, GraphError, CheckerError,
+    ):
+        assert issubclass(err, ReproError)
+
+
+def test_contract_error_family():
+    """Contract subfamilies revert transactions uniformly."""
+    for err in (AuthError, TimeoutViolation, StateError):
+        assert issubclass(err, ContractError)
+
+
+def test_ledger_error_family():
+    assert issubclass(InsufficientFunds, LedgerError)
+    assert issubclass(UnknownAsset, LedgerError)
+
+
+def test_catching_the_base_class():
+    with pytest.raises(ReproError):
+        raise InsufficientFunds("broke")
+
+
+def test_version_is_exposed():
+    assert __version__ == "1.0.0"
+
+
+def test_event_string_format():
+    event = Event(chain="apricot", contract="c-1", name="redeemed", height=5,
+                  data={"to": "Bob", "amount": 3})
+    text = str(event)
+    assert "h=5" in text and "apricot/c-1" in text
+    assert "redeemed(amount=3, to=Bob)" in text
+
+
+def test_event_is_immutable():
+    event = Event("apricot", "c-1", "x", 1)
+    with pytest.raises(Exception):
+        event.height = 2
+
+
+def test_benchmark_table_formatter():
+    from benchmarks.tables import format_table
+
+    text = format_table("Title", ("col_a", "b"), [(1, "xy"), (10, "z")])
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "col_a" in lines[2]
+    assert lines[-1].startswith("10")

@@ -1,0 +1,28 @@
+"""Every example script must run clean — they are part of the public API
+surface and double as living documentation."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-800:]
+    assert completed.stdout  # every example narrates what it shows
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship seven

@@ -1,0 +1,109 @@
+"""Unit tests for feedback vertex sets and the phase schedule."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import complete_graph, figure3_graph, ring_graph
+from repro.graph.feedback import is_feedback_vertex_set, minimum_feedback_vertex_set
+from repro.graph.schedule import MultiPartySchedule
+
+
+# ----------------------------------------------------------------------
+# feedback vertex sets
+# ----------------------------------------------------------------------
+def test_figure3_fvs():
+    g = figure3_graph()
+    assert is_feedback_vertex_set(g, ("A",))
+    assert is_feedback_vertex_set(g, ("B",))
+    assert not is_feedback_vertex_set(g, ("C",))  # A<->B cycle survives
+    assert is_feedback_vertex_set(g, ("A", "B", "C"))
+
+
+def test_empty_set_only_for_acyclic():
+    g = figure3_graph()
+    assert not is_feedback_vertex_set(g, ())
+
+
+def test_minimum_fvs_figure3():
+    assert minimum_feedback_vertex_set(figure3_graph()) == ("A",)
+
+
+def test_minimum_fvs_ring():
+    assert minimum_feedback_vertex_set(ring_graph(6)) == ("P0",)
+
+
+def test_minimum_fvs_complete():
+    # K_n needs n-1 vertices removed to break all 2-cycles
+    assert len(minimum_feedback_vertex_set(complete_graph(4))) == 3
+
+
+def test_greedy_fallback_is_valid():
+    g = complete_graph(5)
+    greedy = minimum_feedback_vertex_set(g, exact_limit=0)
+    assert is_feedback_vertex_set(g, greedy)
+
+
+# ----------------------------------------------------------------------
+# schedule
+# ----------------------------------------------------------------------
+@pytest.fixture
+def fig3_schedule():
+    return MultiPartySchedule(figure3_graph(), ("A",))
+
+
+def test_phase_boundaries(fig3_schedule):
+    s = fig3_schedule
+    assert (s.p1_start, s.p2_start, s.p3_start, s.p4_start) == (0, 3, 6, 9)
+    assert s.end == 12
+    assert s.horizon == 13
+
+
+def test_forward_deadlines_follow_depths(fig3_schedule):
+    s = fig3_schedule
+    assert s.escrow_premium_deadline(("A", "B")) == 1
+    assert s.escrow_premium_deadline(("B", "A")) == 2
+    assert s.escrow_premium_deadline(("B", "C")) == 2
+    assert s.escrow_premium_deadline(("C", "A")) == 3
+    assert s.principal_deadline(("A", "B")) == 7
+    assert s.principal_deadline(("C", "A")) == 9
+
+
+def test_backward_deadlines_follow_path_length(fig3_schedule):
+    s = fig3_schedule
+    assert s.redemption_premium_deadline(1) == 4
+    assert s.redemption_premium_deadline(3) == 6
+    assert s.hashkey_deadline(1) == 10
+    assert s.hashkey_deadline(3) == 12
+    assert s.activation_deadline == s.p3_start
+
+
+def test_base_schedule(fig3_schedule):
+    s = fig3_schedule
+    # diameter 2, forward_len 3 -> M = 3 (discretization note in DESIGN.md)
+    assert s.base_m == 3
+    assert s.base_principal_deadline(("A", "B")) == 1
+    assert s.base_hashkey_deadline(2) == 5
+    assert s.base_end == 6
+    assert s.base_horizon == 7
+
+
+def test_schedule_rejects_non_fvs_leaders():
+    with pytest.raises(GraphError):
+        MultiPartySchedule(figure3_graph(), ("C",))
+
+
+def test_schedule_rejects_empty_leaders():
+    with pytest.raises(GraphError):
+        MultiPartySchedule(figure3_graph(), ())
+
+
+def test_schedule_rejects_foreign_leaders():
+    with pytest.raises(GraphError):
+        MultiPartySchedule(figure3_graph(), ("Z",))
+
+
+def test_ring_schedule_lengths():
+    s = MultiPartySchedule(ring_graph(4), ("P0",))
+    assert s.forward_len == 4  # depths 0..3
+    assert s.backward_len == 4
+    assert s.end == 16

@@ -1,0 +1,154 @@
+"""Unit tests for hashkeys and signed path chains (Figure 3b semantics)."""
+
+import pytest
+
+from repro.crypto.hashing import Secret
+from repro.crypto.hashkeys import HashKey, SignedPath, require_valid_hashkey
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.errors import CryptoError
+from repro.graph.digraph import figure3_graph
+
+
+@pytest.fixture
+def parties():
+    reg = KeyRegistry()
+    keys = {}
+    for name in ("A", "B", "C"):
+        kp = KeyPair.from_seed(f"seed-{name}", owner=name)
+        reg.register(kp)
+        keys[name] = kp
+    public_of = {name: kp.public for name, kp in keys.items()}
+    return reg, keys, public_of
+
+
+# ----------------------------------------------------------------------
+# SignedPath
+# ----------------------------------------------------------------------
+def test_signed_path_create_and_verify(parties):
+    reg, keys, public_of = parties
+    chain = SignedPath.create("payload", keys["A"], "A")
+    assert chain.verify(reg, public_of)
+    assert chain.originator == "A"
+    assert chain.head == "A"
+    assert chain.length == 1
+
+
+def test_signed_path_extend(parties):
+    reg, keys, public_of = parties
+    chain = SignedPath.create("payload", keys["A"], "A").extend(keys["B"], "B")
+    assert chain.verify(reg, public_of)
+    assert chain.vertices == ("A", "B")
+    assert chain.path == ("B", "A")  # paper order: redeemer first
+
+
+def test_signed_path_wrong_signer_rejected(parties):
+    reg, keys, public_of = parties
+    # B claims to extend as C (signs with B's key but names C)
+    chain = SignedPath.create("payload", keys["A"], "A").extend(keys["B"], "C")
+    assert not chain.verify(reg, public_of)
+
+
+def test_signed_path_tampered_payload_rejected(parties):
+    reg, keys, public_of = parties
+    chain = SignedPath.create("payload", keys["A"], "A")
+    tampered = SignedPath("other", chain.vertices, chain.sigs)
+    assert not tampered.verify(reg, public_of)
+
+
+def test_signed_path_truncation_rejected(parties):
+    reg, keys, public_of = parties
+    chain = SignedPath.create("p", keys["A"], "A").extend(keys["B"], "B")
+    cut = SignedPath(chain.payload, chain.vertices[:1], chain.sigs[1:])
+    assert not cut.verify(reg, public_of)
+
+
+def test_signed_path_simplicity(parties):
+    _, keys, _ = parties
+    chain = SignedPath.create("p", keys["A"], "A").extend(keys["B"], "B")
+    assert chain.is_simple()
+    looped = chain.extend(keys["A"], "A")
+    assert not looped.is_simple()
+
+
+def test_signed_path_unknown_vertex_rejected(parties):
+    reg, keys, public_of = parties
+    chain = SignedPath.create("p", keys["A"], "A").extend(keys["B"], "Z")
+    assert not chain.verify(reg, public_of)
+
+
+# ----------------------------------------------------------------------
+# HashKey
+# ----------------------------------------------------------------------
+def test_hashkey_originate_and_verify(parties):
+    reg, keys, public_of = parties
+    secret = Secret.from_text("s")
+    hk = HashKey.originate(secret, keys["A"], "A")
+    assert hk.verify(reg, public_of, secret.hashlock)
+    assert hk.leader == "A"
+    assert hk.redeemer == "A"
+    assert hk.length == 1
+
+
+def test_hashkey_wrong_lock_rejected(parties):
+    reg, keys, public_of = parties
+    hk = HashKey.originate(Secret.from_text("s"), keys["A"], "A")
+    other = Secret.from_text("other").hashlock
+    assert not hk.verify(reg, public_of, other)
+
+
+def test_hashkey_payload_binds_lock(parties):
+    """A chain signed for one lock cannot authenticate another secret."""
+    reg, keys, public_of = parties
+    s1, s2 = Secret.from_text("one"), Secret.from_text("two")
+    hk = HashKey.originate(s1, keys["A"], "A")
+    spliced = HashKey(s2, hk.chain)
+    assert not spliced.verify(reg, public_of, s2.hashlock)
+
+
+def test_hashkey_extension_follows_figure3_paths(parties):
+    """On Figure 3a, k_A reaches (A,B) with paths (B,A) or (B,C,A)."""
+    reg, keys, public_of = parties
+    g = figure3_graph()
+    secret = Secret.from_text("s")
+    base = HashKey.originate(secret, keys["A"], "A")
+    via_ba = base.extend(keys["B"], "B")
+    assert via_ba.path == ("B", "A")
+    assert via_ba.verify(reg, public_of, secret.hashlock, arcs=g.arc_set)
+    via_bca = base.extend(keys["C"], "C").extend(keys["B"], "B")
+    assert via_bca.path == ("B", "C", "A")
+    assert via_bca.verify(reg, public_of, secret.hashlock, arcs=g.arc_set)
+
+
+def test_hashkey_non_arc_path_rejected(parties):
+    """(C,B) is not an arc of Figure 3a, so the path (B,...) via C->B fails."""
+    reg, keys, public_of = parties
+    g = figure3_graph()
+    secret = Secret.from_text("s")
+    # C extends from the origination directly: path (C, A) needs arc (C, A) — ok;
+    # then B extending gives (B, C, A) needing (B, C) — ok; but A->C is absent,
+    # so the path (C, A)... construct an invalid hop: B then C gives (C, B, A)
+    bad = HashKey.originate(secret, keys["A"], "A").extend(keys["B"], "B").extend(keys["C"], "C")
+    assert bad.path == ("C", "B", "A")
+    assert not bad.verify(reg, public_of, secret.hashlock, arcs=g.arc_set)
+    # without arc constraints the same chain is accepted (auction mode)
+    assert bad.verify(reg, public_of, secret.hashlock, arcs=None)
+
+
+def test_hashkey_cyclic_path_rejected(parties):
+    reg, keys, public_of = parties
+    secret = Secret.from_text("s")
+    hk = (
+        HashKey.originate(secret, keys["A"], "A")
+        .extend(keys["B"], "B")
+        .extend(keys["A"], "A")
+    )
+    assert not hk.verify(reg, public_of, secret.hashlock)
+
+
+def test_require_valid_hashkey_raises(parties):
+    reg, keys, public_of = parties
+    secret = Secret.from_text("s")
+    hk = HashKey.originate(secret, keys["A"], "A")
+    require_valid_hashkey(hk, reg, public_of, secret.hashlock)
+    with pytest.raises(CryptoError):
+        require_valid_hashkey(hk, reg, public_of, Secret.from_text("z").hashlock)

@@ -1,0 +1,180 @@
+"""Unit tests for the premium-carrying escrow contract (§5.2)."""
+
+import pytest
+
+from repro.chain.block import Transaction
+from repro.contracts.hedged_escrow import HedgedEscrow
+from repro.crypto.hashing import Secret
+
+SECRET = Secret.from_text("hedged-secret")
+
+
+def _deploy(chain, redeem_to_owner=False):
+    asset = chain.asset("banana")
+    chain.ledger.mint(asset, "bob", 100)  # principal owner
+    chain.ledger.mint(chain.native, "alice", 3)  # redeemer's premium
+    address = chain.deploy(
+        HedgedEscrow(
+            principal_asset=asset,
+            principal_amount=100,
+            principal_owner="bob",
+            redeemer="alice",
+            hashlock=SECRET.hashlock,
+            premium_amount=3,
+            premium_deadline=1,
+            principal_deadline=4,
+            redemption_timelock=5,
+            redeem_to_owner=redeem_to_owner,
+        )
+    )
+    return chain, address, asset
+
+
+def _call(chain, address, sender, method, **args):
+    return chain.execute(
+        Transaction(chain=chain.name, sender=sender, contract=address, method=method, args=args)
+    )
+
+
+def test_premium_deposit(chain):
+    chain, address, _ = _deploy(chain)
+    chain.advance()
+    tx = _call(chain, address, "alice", "deposit_premium")
+    assert tx.receipt.ok
+    assert chain.ledger.balance(chain.native, address) == 3
+    assert chain.contract_at(address).premium_state == "held"
+
+
+def test_premium_only_from_redeemer(chain):
+    chain, address, _ = _deploy(chain)
+    chain.advance()
+    assert _call(chain, address, "bob", "deposit_premium").receipt.status == "reverted"
+
+
+def test_premium_deadline_enforced(chain):
+    chain, address, _ = _deploy(chain)
+    chain.advance()
+    chain.advance()  # height 2 > deadline 1
+    assert _call(chain, address, "alice", "deposit_premium").receipt.status == "reverted"
+
+
+def test_escrow_requires_premium(chain):
+    chain, address, _ = _deploy(chain)
+    chain.advance()
+    tx = _call(chain, address, "bob", "escrow_principal")
+    assert tx.receipt.status == "reverted"
+    assert "premium" in tx.receipt.error
+
+
+def test_full_happy_path(chain):
+    chain, address, asset = _deploy(chain)
+    chain.advance()
+    _call(chain, address, "alice", "deposit_premium")
+    chain.advance()
+    _call(chain, address, "bob", "escrow_principal")
+    chain.advance()
+    tx = _call(chain, address, "alice", "redeem", preimage=SECRET.preimage)
+    assert tx.receipt.ok
+    # principal to the redeemer, premium back to the redeemer
+    assert chain.ledger.balance(asset, "alice") == 100
+    assert chain.ledger.balance(chain.native, "alice") == 3
+    contract = chain.contract_at(address)
+    assert contract.principal_state == "redeemed"
+    assert contract.premium_state == "refunded"
+    assert contract.settled
+
+
+def test_premium_refund_when_principal_never_escrowed(chain):
+    chain, address, _ = _deploy(chain)
+    chain.advance()
+    _call(chain, address, "alice", "deposit_premium")
+    for _ in range(4):  # heights 2..5 > principal_deadline 4
+        chain.advance()
+    contract = chain.contract_at(address)
+    assert contract.premium_state == "refunded"
+    assert chain.ledger.balance(chain.native, "alice") == 3
+
+
+def test_premium_awarded_when_principal_unredeemed(chain):
+    """§5.2: the escrower collects the premium when left locked up."""
+    chain, address, asset = _deploy(chain)
+    chain.advance()
+    _call(chain, address, "alice", "deposit_premium")
+    chain.advance()
+    _call(chain, address, "bob", "escrow_principal")
+    for _ in range(4):  # heights 3..6 > timelock 5
+        chain.advance()
+    contract = chain.contract_at(address)
+    assert contract.principal_state == "refunded"
+    assert contract.premium_state == "awarded"
+    assert chain.ledger.balance(asset, "bob") == 100  # principal back
+    assert chain.ledger.balance(chain.native, "bob") == 3  # compensation
+
+
+def test_redeem_after_timelock_rejected(chain):
+    chain, address, _ = _deploy(chain)
+    chain.advance()
+    _call(chain, address, "alice", "deposit_premium")
+    chain.advance()
+    _call(chain, address, "bob", "escrow_principal")
+    for _ in range(4):
+        chain.advance()
+    tx = _call(chain, address, "alice", "redeem", preimage=SECRET.preimage)
+    assert tx.receipt.status == "reverted"
+
+
+def test_wrong_preimage_rejected(chain):
+    chain, address, _ = _deploy(chain)
+    chain.advance()
+    _call(chain, address, "alice", "deposit_premium")
+    chain.advance()
+    _call(chain, address, "bob", "escrow_principal")
+    tx = _call(chain, address, "alice", "redeem", preimage=b"nope")
+    assert tx.receipt.status == "reverted"
+
+
+def test_escrow_deadline_enforced(chain):
+    chain, address, _ = _deploy(chain)
+    chain.advance()
+    _call(chain, address, "alice", "deposit_premium")
+    for _ in range(4):  # height 5 > principal_deadline 4
+        chain.advance()
+    tx = _call(chain, address, "bob", "escrow_principal")
+    assert tx.receipt.status == "reverted"
+
+
+def test_lockup_measures(chain):
+    chain, address, _ = _deploy(chain)
+    chain.advance()
+    _call(chain, address, "alice", "deposit_premium")
+    chain.advance()
+    _call(chain, address, "bob", "escrow_principal")
+    for _ in range(4):
+        chain.advance()
+    contract = chain.contract_at(address)
+    assert contract.principal_lockup == 4  # escrowed h2, refunded h6
+    assert contract.premium_lockup == 5  # deposited h1, awarded h6
+
+
+def test_redeem_to_owner_mode_releases_deposit(chain):
+    """Bootstrap mode: redemption returns the principal to its owner."""
+    chain, address, asset = _deploy(chain, redeem_to_owner=True)
+    chain.advance()
+    _call(chain, address, "alice", "deposit_premium")
+    chain.advance()
+    _call(chain, address, "bob", "escrow_principal")
+    chain.advance()
+    tx = _call(chain, address, "alice", "redeem", preimage=SECRET.preimage)
+    assert tx.receipt.ok
+    assert chain.ledger.balance(asset, "bob") == 100  # back to owner
+    assert chain.ledger.balance(asset, "alice") == 0
+    assert chain.ledger.balance(chain.native, "alice") == 3  # premium back
+
+
+def test_settled_property_tracks_open_states(chain):
+    chain, address, _ = _deploy(chain)
+    contract = chain.contract_at(address)
+    assert contract.settled  # nothing deposited yet
+    chain.advance()
+    _call(chain, address, "alice", "deposit_premium")
+    assert not contract.settled

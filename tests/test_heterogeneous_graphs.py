@@ -1,0 +1,113 @@
+"""Multi-party swaps on heterogeneous configurations.
+
+The canned graphs put each arc's asset on the sender's own chain with a
+uniform amount.  Real swaps are messier: arcs sharing one chain, different
+amounts per arc, several tokens on the same chain.  These tests verify the
+machinery is agnostic to all of that.
+"""
+
+import pytest
+
+from repro.core.hedged_multi_party import (
+    HedgedMultiPartySwap,
+    extract_multi_party_outcome,
+)
+from repro.graph.digraph import ArcSpec, SwapGraph
+from repro.parties.strategies import halt_at
+from repro.protocols.instance import execute
+
+
+@pytest.fixture
+def shared_chain_graph():
+    """Three parties, TWO chains: A and B both sell tokens living on the
+    'dex' chain; C pays from its own chain.  Amounts all differ."""
+    arcs = [("A", "B"), ("B", "C"), ("C", "A")]
+    specs = {
+        ("A", "B"): ArcSpec("dex", "alpha", 70),
+        ("B", "C"): ArcSpec("dex", "beta", 11),
+        ("C", "A"): ArcSpec("c-chain", "gamma", 400),
+    }
+    return SwapGraph(("A", "B", "C"), tuple(arcs), specs)
+
+
+def test_shared_chain_compliant_run(shared_chain_graph):
+    instance = HedgedMultiPartySwap(graph=shared_chain_graph, leaders=("A",)).build()
+    result = execute(instance)
+    out = extract_multi_party_outcome(instance, result)
+    assert out.all_redeemed
+    assert all(net == 0 for net in out.premium_net.values())
+    assert not result.reverted()
+
+
+def test_shared_chain_amounts_flow_correctly(shared_chain_graph):
+    instance = HedgedMultiPartySwap(graph=shared_chain_graph, leaders=("A",)).build()
+    result = execute(instance)
+    payoffs = result.payoffs
+    dex = instance.world.chain("dex")
+    alpha, beta = dex.asset("alpha"), dex.asset("beta")
+    gamma = instance.world.chain("c-chain").asset("gamma")
+    assert payoffs.delta("B").get(alpha, 0) == 70
+    assert payoffs.delta("C").get(beta, 0) == 11
+    assert payoffs.delta("A").get(gamma, 0) == 400
+
+
+def test_shared_chain_deviations_still_hedged(shared_chain_graph):
+    instance = HedgedMultiPartySwap(graph=shared_chain_graph, leaders=("A",)).build()
+    for who in ("A", "B", "C"):
+        for rnd in range(0, instance.horizon, 2):
+            fresh = HedgedMultiPartySwap(graph=shared_chain_graph, leaders=("A",)).build()
+            result = execute(fresh, {who: lambda a, r=rnd: halt_at(a, r)})
+            out = extract_multi_party_outcome(fresh, result)
+            for party in out.parties:
+                if party != who:
+                    assert out.safety_holds(party), (who, rnd, party)
+                    assert out.hedged_holds(party), (who, rnd, party)
+
+
+def test_single_chain_world():
+    """Degenerate but legal: every asset on ONE chain (premiums included)."""
+    arcs = [("A", "B"), ("B", "A")]
+    specs = {
+        ("A", "B"): ArcSpec("solo", "x-token", 5),
+        ("B", "A"): ArcSpec("solo", "y-token", 9),
+    }
+    graph = SwapGraph(("A", "B"), tuple(arcs), specs)
+    instance = HedgedMultiPartySwap(graph=graph, leaders=("A",), premium=3).build()
+    result = execute(instance)
+    out = extract_multi_party_outcome(instance, result)
+    assert out.all_redeemed
+    assert not result.reverted()
+
+
+def test_two_party_ring_as_multi_party_swap():
+    """The two-party swap expressed in the multi-party machinery behaves
+    like §5: a halt after escrow compensates the victim with ≥ p."""
+    arcs = [("Alice", "Bob"), ("Bob", "Alice")]
+    specs = {
+        ("Alice", "Bob"): ArcSpec("apricot", "apricot-token", 100),
+        ("Bob", "Alice"): ArcSpec("banana", "banana-token", 100),
+    }
+    graph = SwapGraph(("Alice", "Bob"), tuple(arcs), specs)
+    instance = HedgedMultiPartySwap(graph=graph, leaders=("Alice",), premium=2).build()
+    # Bob halts in phase 4 (withholds the hashkey he should forward)
+    result = execute(
+        instance, {"Bob": lambda a: halt_at(a, instance.meta["schedule"].p4_start)}
+    )
+    out = extract_multi_party_outcome(instance, result)
+    assert out.safety_holds("Alice")
+    assert out.hedged_holds("Alice")
+
+
+def test_large_amounts_no_overflow():
+    """Integer amounts: billions of base units work exactly."""
+    arcs = [("A", "B"), ("B", "A")]
+    big = 10**15
+    specs = {
+        ("A", "B"): ArcSpec("a-chain", "a-token", big),
+        ("B", "A"): ArcSpec("b-chain", "b-token", big + 1),
+    }
+    graph = SwapGraph(("A", "B"), tuple(arcs), specs)
+    instance = HedgedMultiPartySwap(graph=graph, leaders=("A",), premium=10**9).build()
+    result = execute(instance)
+    out = extract_multi_party_outcome(instance, result)
+    assert out.all_redeemed

@@ -1,0 +1,139 @@
+"""Unit tests for the plain HTLC contract (§5.1 building block)."""
+
+import pytest
+
+from repro.chain.block import Transaction
+from repro.contracts.htlc import HTLC
+from repro.crypto.hashing import Secret
+
+SECRET = Secret.from_text("htlc-secret")
+
+
+@pytest.fixture
+def setup(chain):
+    asset = chain.asset("apricot")
+    chain.ledger.mint(asset, "alice", 100)
+    address = chain.deploy(
+        HTLC(
+            asset=asset,
+            amount=100,
+            owner="alice",
+            counterparty="bob",
+            hashlock=SECRET.hashlock,
+            timelock=4,
+            escrow_deadline=1,
+        )
+    )
+    return chain, address, asset
+
+
+def _call(chain, address, sender, method, **args):
+    return chain.execute(
+        Transaction(chain=chain.name, sender=sender, contract=address, method=method, args=args)
+    )
+
+
+def test_escrow_moves_principal(setup):
+    chain, address, asset = setup
+    chain.advance()
+    tx = _call(chain, address, "alice", "escrow")
+    assert tx.receipt.ok
+    assert chain.ledger.balance(asset, address) == 100
+    assert chain.contract_at(address).state == HTLC.ESCROWED
+
+
+def test_only_owner_escrows(setup):
+    chain, address, _ = setup
+    chain.advance()
+    tx = _call(chain, address, "bob", "escrow")
+    assert tx.receipt.status == "reverted"
+
+
+def test_escrow_after_deadline_rejected(setup):
+    chain, address, _ = setup
+    chain.advance()
+    chain.advance()  # height 2 > escrow_deadline 1
+    tx = _call(chain, address, "alice", "escrow")
+    assert tx.receipt.status == "reverted"
+    assert "deadline" in tx.receipt.error
+
+
+def test_redeem_with_correct_preimage(setup):
+    chain, address, asset = setup
+    chain.advance()
+    _call(chain, address, "alice", "escrow")
+    chain.advance()
+    tx = _call(chain, address, "bob", "redeem", preimage=SECRET.preimage)
+    assert tx.receipt.ok
+    assert chain.ledger.balance(asset, "bob") == 100
+    contract = chain.contract_at(address)
+    assert contract.state == HTLC.REDEEMED
+    assert contract.revealed_preimage == SECRET.preimage
+
+
+def test_redeem_wrong_preimage_rejected(setup):
+    chain, address, _ = setup
+    chain.advance()
+    _call(chain, address, "alice", "escrow")
+    tx = _call(chain, address, "bob", "redeem", preimage=b"wrong")
+    assert tx.receipt.status == "reverted"
+    assert "preimage" in tx.receipt.error
+
+
+def test_redeem_before_escrow_rejected(setup):
+    chain, address, _ = setup
+    chain.advance()
+    tx = _call(chain, address, "bob", "redeem", preimage=SECRET.preimage)
+    assert tx.receipt.status == "reverted"
+
+
+def test_redeem_after_timelock_rejected_and_refunded(setup):
+    chain, address, asset = setup
+    chain.advance()
+    _call(chain, address, "alice", "escrow")
+    for _ in range(4):  # heights 2..5; timelock 4 expires at 5
+        chain.advance()
+    tx = _call(chain, address, "bob", "redeem", preimage=SECRET.preimage)
+    assert tx.receipt.status == "reverted"
+    contract = chain.contract_at(address)
+    assert contract.state == HTLC.REFUNDED
+    assert chain.ledger.balance(asset, "alice") == 100
+
+
+def test_refund_happens_exactly_after_timelock(setup):
+    chain, address, _ = setup
+    chain.advance()
+    _call(chain, address, "alice", "escrow")
+    for _ in range(3):  # heights 2, 3, 4 — still within timelock
+        chain.advance()
+    assert chain.contract_at(address).state == HTLC.ESCROWED
+    chain.advance()  # height 5 > 4 triggers the refund
+    assert chain.contract_at(address).state == HTLC.REFUNDED
+
+
+def test_lockup_duration_measured(setup):
+    chain, address, _ = setup
+    chain.advance()
+    _call(chain, address, "alice", "escrow")
+    for _ in range(4):
+        chain.advance()
+    # escrowed at height 1, refunded at height 5
+    assert chain.contract_at(address).lockup_duration == 4
+
+
+def test_double_escrow_rejected(setup):
+    chain, address, _ = setup
+    chain.advance()
+    assert _call(chain, address, "alice", "escrow").receipt.ok
+    tx = _call(chain, address, "alice", "escrow")
+    assert tx.receipt.status == "reverted"
+
+
+def test_anyone_with_secret_can_trigger_redeem_to_counterparty(setup):
+    """Redemption pays the designated counterparty regardless of sender."""
+    chain, address, asset = setup
+    chain.advance()
+    _call(chain, address, "alice", "escrow")
+    tx = _call(chain, address, "carol", "redeem", preimage=SECRET.preimage)
+    assert tx.receipt.ok
+    assert chain.ledger.balance(asset, "bob") == 100

@@ -1,0 +1,135 @@
+"""Cross-cutting integration tests: every protocol end-to-end, plus the
+model checker over each protocol family with its lemma properties."""
+
+import pytest
+
+from repro.checker import ModelChecker, halt_strategies, properties as props
+from repro.core.bootstrap import BootstrapSpec, BootstrappedSwap, extract_bootstrap_outcome
+from repro.core.hedged_auction import (
+    AuctioneerStrategy,
+    HedgedAuction,
+    extract_auction_outcome,
+)
+from repro.core.hedged_broker import HedgedBrokerDeal, extract_broker_outcome
+from repro.core.hedged_multi_party import (
+    HedgedMultiPartySwap,
+    extract_multi_party_outcome,
+)
+from repro.core.hedged_two_party import HedgedTwoPartySwap
+from repro.core.outcomes import extract_two_party_outcome
+from repro.graph.digraph import complete_graph, figure3_graph, ring_graph
+from repro.protocols.base_broker import BaseBrokerDeal
+from repro.protocols.base_multi_party import BaseMultiPartySwap
+from repro.protocols.base_two_party import BaseTwoPartySwap
+from repro.protocols.instance import execute
+
+
+ALL_BUILDERS = [
+    ("base-two-party", lambda: BaseTwoPartySwap().build()),
+    ("hedged-two-party", lambda: HedgedTwoPartySwap().build()),
+    ("base-multi-party", lambda: BaseMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build()),
+    ("hedged-multi-party", lambda: HedgedMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build()),
+    ("base-broker", lambda: BaseBrokerDeal().build()),
+    ("hedged-broker", lambda: HedgedBrokerDeal(premium=1).build()),
+    ("auction", lambda: HedgedAuction().build()),
+    ("bootstrap", lambda: BootstrappedSwap(BootstrapSpec(amount_a=10_000, amount_b=10_000, rounds=2)).build()),
+]
+
+
+@pytest.mark.parametrize("name,builder", ALL_BUILDERS, ids=[n for n, _ in ALL_BUILDERS])
+def test_every_protocol_completes_compliantly(name, builder):
+    instance = builder()
+    result = execute(instance)
+    assert not result.reverted(), f"{name}: compliant txs reverted"
+    # liveness: nothing left locked in any contract
+    for chain in instance.world.chains.values():
+        for (asset, account), balance in chain.ledger.snapshot().items():
+            assert not (
+                account in chain.contracts and balance != 0
+            ), f"{name}: {account} still holds {balance} {asset}"
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_hedged_rings_scale(n):
+    instance = HedgedMultiPartySwap(graph=ring_graph(n)).build()
+    result = execute(instance)
+    out = extract_multi_party_outcome(instance, result)
+    assert out.all_redeemed
+    assert all(net == 0 for net in out.premium_net.values())
+
+
+def test_hedged_complete_graph_k4():
+    instance = HedgedMultiPartySwap(graph=complete_graph(4)).build()
+    result = execute(instance)
+    out = extract_multi_party_outcome(instance, result)
+    assert out.all_redeemed
+
+
+def test_checker_all_protocol_families_clean():
+    """One consolidated model-check across the protocol families (EXP-M1
+    runs the full version; this is the fast regression guard)."""
+    reports = {}
+
+    two_party = ModelChecker(
+        builder=lambda: HedgedTwoPartySwap().build(),
+        properties=[props.no_stuck_escrow, props.two_party_hedged],
+        strategies={
+            p: halt_strategies(8, step=2) for p in ("Alice", "Bob")
+        },
+        max_adversaries=2,
+    )
+    reports["two-party"] = two_party.run()
+
+    fig3 = HedgedMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build()
+    multi = ModelChecker(
+        builder=lambda: HedgedMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build(),
+        properties=[props.no_stuck_escrow, props.multi_party_lemmas],
+        strategies={p: halt_strategies(fig3.horizon, step=3) for p in ("A", "B", "C")},
+        max_adversaries=1,
+    )
+    reports["multi-party"] = multi.run()
+
+    broker_inst = HedgedBrokerDeal(premium=1).build()
+    broker = ModelChecker(
+        builder=lambda: HedgedBrokerDeal(premium=1).build(),
+        properties=[props.no_stuck_escrow, props.broker_bounds],
+        strategies={
+            p: halt_strategies(broker_inst.horizon, step=2)
+            for p in ("Alice", "Bob", "Carol")
+        },
+        max_adversaries=1,
+    )
+    reports["broker"] = broker.run()
+
+    auction_inst = HedgedAuction().build()
+    auction = ModelChecker(
+        builder=lambda: HedgedAuction().build(),
+        properties=[props.no_stuck_escrow, props.auction_lemmas],
+        strategies={
+            p: halt_strategies(auction_inst.horizon)
+            for p in ("Alice", "Bob", "Carol")
+        },
+        max_adversaries=1,
+    )
+    reports["auction"] = auction.run()
+
+    for name, report in reports.items():
+        assert report.ok, f"{name}: {report.violations[:3]}"
+
+
+def test_deviant_auctioneer_strategies_all_safe():
+    for strategy in AuctioneerStrategy:
+        instance = HedgedAuction(strategy=strategy).build()
+        result = execute(instance)
+        out = extract_auction_outcome(instance, result)
+        for bidder in ("Bob", "Carol"):
+            assert not out.bid_stolen(bidder), strategy
+
+
+def test_trace_formatting_is_printable():
+    instance = HedgedTwoPartySwap().build()
+    result = execute(instance)
+    trace = result.format_trace()
+    assert "premium_deposited" in trace
+    assert "redeemed" in trace
+    assert str(result.transactions[0])  # __str__ smoke check

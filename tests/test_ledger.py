@@ -1,0 +1,130 @@
+"""Unit tests for the journaled ledger."""
+
+import pytest
+
+from repro.chain.assets import Asset, native_asset
+from repro.chain.ledger import Ledger
+from repro.errors import InsufficientFunds, LedgerError
+
+APRICOT = Asset("testchain", "apricot")
+NATIVE = native_asset("testchain")
+FOREIGN = Asset("otherchain", "mango")
+
+
+@pytest.fixture
+def ledger():
+    led = Ledger("testchain")
+    led.mint(APRICOT, "alice", 100)
+    led.mint(NATIVE, "alice", 10)
+    return led
+
+
+def test_initial_balances(ledger):
+    assert ledger.balance(APRICOT, "alice") == 100
+    assert ledger.balance(APRICOT, "bob") == 0
+
+
+def test_transfer_moves_funds(ledger):
+    ledger.transfer(APRICOT, "alice", "bob", 30)
+    assert ledger.balance(APRICOT, "alice") == 70
+    assert ledger.balance(APRICOT, "bob") == 30
+
+
+def test_transfer_conserves_supply(ledger):
+    before = ledger.total_supply(APRICOT)
+    ledger.transfer(APRICOT, "alice", "bob", 42)
+    assert ledger.total_supply(APRICOT) == before
+
+
+def test_transfer_insufficient_funds(ledger):
+    with pytest.raises(InsufficientFunds):
+        ledger.transfer(APRICOT, "alice", "bob", 101)
+
+
+def test_transfer_negative_amount_rejected(ledger):
+    with pytest.raises(LedgerError):
+        ledger.transfer(APRICOT, "alice", "bob", -1)
+
+
+def test_transfer_to_self_is_noop(ledger):
+    ledger.transfer(APRICOT, "alice", "alice", 60)
+    assert ledger.balance(APRICOT, "alice") == 100
+
+
+def test_foreign_asset_rejected(ledger):
+    with pytest.raises(LedgerError, match="isolated"):
+        ledger.transfer(FOREIGN, "alice", "bob", 1)
+    with pytest.raises(LedgerError, match="isolated"):
+        ledger.mint(FOREIGN, "alice", 1)
+
+
+def test_mint_negative_rejected(ledger):
+    with pytest.raises(LedgerError):
+        ledger.mint(APRICOT, "alice", -5)
+
+
+def test_burn(ledger):
+    ledger.burn(APRICOT, "alice", 40)
+    assert ledger.balance(APRICOT, "alice") == 60
+    assert ledger.total_supply(APRICOT) == 60
+
+
+def test_burn_insufficient(ledger):
+    with pytest.raises(InsufficientFunds):
+        ledger.burn(APRICOT, "alice", 200)
+
+
+def test_rollback_restores_balances(ledger):
+    ledger.begin()
+    ledger.transfer(APRICOT, "alice", "bob", 50)
+    ledger.transfer(NATIVE, "alice", "carol", 5)
+    ledger.rollback()
+    assert ledger.balance(APRICOT, "alice") == 100
+    assert ledger.balance(APRICOT, "bob") == 0
+    assert ledger.balance(NATIVE, "carol") == 0
+
+
+def test_commit_keeps_effects(ledger):
+    ledger.begin()
+    ledger.transfer(APRICOT, "alice", "bob", 50)
+    ledger.commit()
+    assert ledger.balance(APRICOT, "bob") == 50
+
+
+def test_nested_journal_inner_rollback(ledger):
+    ledger.begin()
+    ledger.transfer(APRICOT, "alice", "bob", 10)
+    ledger.begin()
+    ledger.transfer(APRICOT, "alice", "bob", 20)
+    ledger.rollback()
+    ledger.commit()
+    assert ledger.balance(APRICOT, "bob") == 10
+
+
+def test_nested_journal_outer_rollback_undoes_committed_inner(ledger):
+    ledger.begin()
+    ledger.begin()
+    ledger.transfer(APRICOT, "alice", "bob", 20)
+    ledger.commit()
+    ledger.rollback()
+    assert ledger.balance(APRICOT, "bob") == 0
+
+
+def test_rollback_without_begin_raises(ledger):
+    with pytest.raises(LedgerError):
+        ledger.rollback()
+    with pytest.raises(LedgerError):
+        ledger.commit()
+
+
+def test_accounts_holding(ledger):
+    ledger.transfer(APRICOT, "alice", "bob", 25)
+    holders = ledger.accounts_holding(APRICOT)
+    assert holders == {"alice": 75, "bob": 25}
+
+
+def test_snapshot_excludes_zero_balances(ledger):
+    ledger.transfer(APRICOT, "alice", "bob", 100)
+    snap = ledger.snapshot()
+    assert (APRICOT, "alice") not in snap
+    assert snap[(APRICOT, "bob")] == 100

@@ -1,0 +1,193 @@
+"""Integration tests: base (Herlihy '18) and hedged (§7.1) multi-party swaps."""
+
+import pytest
+
+from repro.core.hedged_multi_party import (
+    HedgedMultiPartySwap,
+    extract_multi_party_outcome,
+)
+from repro.graph.digraph import figure3_graph, ring_graph
+from repro.parties.strategies import Deviant, SkipRule, halt_at, skip_methods
+from repro.protocols.base_multi_party import BaseMultiPartySwap
+from repro.protocols.instance import execute
+
+
+def run_base(graph=None, leaders=None, deviations=None):
+    builder = BaseMultiPartySwap(graph=graph or figure3_graph(), leaders=leaders or ("A",))
+    instance = builder.build()
+    result = execute(instance, deviations or {})
+    return instance, result, extract_multi_party_outcome(instance, result)
+
+
+def run_hedged(graph=None, leaders=None, premium=1, deviations=None):
+    builder = HedgedMultiPartySwap(
+        graph=graph or figure3_graph(),
+        leaders=leaders or ("A",),
+        premium=premium,
+    )
+    instance = builder.build()
+    result = execute(instance, deviations or {})
+    return instance, result, extract_multi_party_outcome(instance, result)
+
+
+# ----------------------------------------------------------------------
+# base protocol
+# ----------------------------------------------------------------------
+def test_base_figure3_compliant():
+    _, result, out = run_base()
+    assert out.all_redeemed
+    assert not result.reverted()
+
+
+def test_base_ring_compliant():
+    from repro.graph.digraph import ring_graph
+
+    _, result, out = run_base(graph=ring_graph(4), leaders=("P0",))
+    assert out.all_redeemed
+
+
+def test_base_hashkey_paths_in_trace():
+    """The accepted hashkeys carry exactly the Figure 3b paths."""
+    instance, result, _ = run_base()
+    paths = {
+        tuple(e.data["arc"]): e.data["path"]
+        for e in result.events_named("hashkey_accepted")
+    }
+    assert paths[("B", "A")] == ("A",)
+    assert paths[("C", "A")] == ("A",)
+    assert paths[("B", "C")] == ("C", "A")
+    assert paths[("A", "B")] in (("B", "A"), ("B", "C", "A"))
+
+
+def test_base_follower_never_escrows_if_upstream_fails():
+    _, _, out = run_base(deviations={"B": lambda a: halt_at(a, 0)})
+    # B escrows nothing, so C never sees its incoming asset and abstains
+    assert out.arc_states[("B", "C")] == "absent"
+    assert out.arc_states[("C", "A")] == "absent"
+
+
+def test_base_safety_under_halts():
+    for who in ("A", "B", "C"):
+        for rnd in range(7):
+            _, _, out = run_base(deviations={who: lambda a, r=rnd: halt_at(a, r)})
+            for party in out.parties:
+                if party != who:
+                    assert out.safety_holds(party), f"{who}@{rnd} broke {party}"
+
+
+# ----------------------------------------------------------------------
+# hedged protocol — Lemmas 1–6
+# ----------------------------------------------------------------------
+def test_lemma1_compliant_refunds_everything():
+    _, result, out = run_hedged()
+    assert out.all_redeemed
+    assert all(net == 0 for net in out.premium_net.values())
+    assert not result.reverted()
+
+
+def test_hedged_escrow_premium_amounts_deployed():
+    instance, _, _ = run_hedged()
+    premiums = instance.meta["escrow_premiums"]
+    assert premiums[("A", "B")] == 10
+    assert premiums[("C", "A")] == 5
+
+
+def test_lemma5_phase1_failure_nets_zero():
+    """A missing escrow premium kills the swap with all premiums refunded."""
+    _, _, out = run_hedged(
+        deviations={"B": lambda a: skip_methods(a, "deposit_escrow_premium")}
+    )
+    assert not out.all_redeemed
+    assert all(state == "absent" for state in out.arc_states.values())
+    for party in ("A", "C"):
+        assert out.premium_net[party] == 0
+
+
+def test_lemma4_phase2_failure_nets_zero():
+    """Leader skips redemption premiums: nothing activates, all refunds."""
+    _, _, out = run_hedged(
+        deviations={"A": lambda a: skip_methods(a, "deposit_redemption_premium")}
+    )
+    assert all(state == "absent" for state in out.arc_states.values())
+    for party in ("B", "C"):
+        assert out.premium_net[party] >= 0
+
+
+def test_lemma3_phase3_failure_compensates_with_escrow_premiums():
+    """C never escrows its principal: every compliant party nets >= bound."""
+    _, _, out = run_hedged(
+        deviations={"C": lambda a: skip_methods(a, "escrow_principal")}
+    )
+    assert out.arc_states[("C", "A")] == "absent"
+    for party in ("A", "B"):
+        assert out.safety_holds(party)
+        assert out.hedged_holds(party)
+    assert out.premium_net["C"] < 0  # the deviator pays
+
+
+def test_lemma2_phase4_withholding_compensates_per_asset():
+    """B refuses to forward hashkeys: compliant escrowers profit >= p each."""
+    _, _, out = run_hedged(deviations={"B": lambda a: halt_at(a, 9)})
+    for party in ("A", "C"):
+        assert out.hedged_holds(party)
+    # A's asset on (A,B) was locked and unredeemed; A collects at least p
+    assert out.arc_states[("A", "B")] == "refunded"
+    assert out.premium_net["A"] >= 1
+
+
+def test_hedged_exhaustive_halt_sweep_figure3():
+    instance = HedgedMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build()
+    for who in ("A", "B", "C"):
+        for rnd in range(instance.horizon):
+            _, _, out = run_hedged(deviations={who: lambda a, r=rnd: halt_at(a, r)})
+            for party in out.parties:
+                if party == who:
+                    continue
+                assert out.safety_holds(party), f"{who}@{rnd}: safety({party})"
+                assert out.hedged_holds(party), f"{who}@{rnd}: hedged({party})"
+
+
+def test_hedged_ring4_halt_sweep():
+    graph = ring_graph(4)
+    instance = HedgedMultiPartySwap(graph=graph, leaders=("P0",)).build()
+    for who in graph.parties:
+        for rnd in range(0, instance.horizon, 2):
+            _, _, out = run_hedged(
+                graph=ring_graph(4),
+                leaders=("P0",),
+                deviations={who: lambda a, r=rnd: halt_at(a, r)},
+            )
+            for party in out.parties:
+                if party != who:
+                    assert out.safety_holds(party)
+                    assert out.hedged_holds(party)
+
+
+def test_hedged_two_leaders_complete_graph():
+    from repro.graph.digraph import complete_graph
+
+    _, result, out = run_hedged(graph=complete_graph(3), leaders=("P0", "P1"))
+    assert out.all_redeemed
+    assert all(net == 0 for net in out.premium_net.values())
+
+
+def test_hedged_selective_arc_skip():
+    """C escrows everywhere except one arc (targets a single counterparty)."""
+    instance = HedgedMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build()
+    chain_name, address = instance.meta["addresses"][("C", "A")]
+
+    def transform(actor):
+        return Deviant(actor, skip_rules=(SkipRule(method="escrow_principal", contract=address),))
+
+    result = execute(instance, {"C": transform})
+    out = extract_multi_party_outcome(instance, result)
+    for party in ("A", "B"):
+        assert out.safety_holds(party)
+        assert out.hedged_holds(party)
+
+
+def test_outcome_accessors():
+    _, _, out = run_hedged()
+    assert out.out_arcs_of("B") == [("B", "A"), ("B", "C")]
+    assert out.in_arcs_of("A") == [("B", "A"), ("C", "A")]
+    assert out.unredeemed_escrow_count("B") == 0

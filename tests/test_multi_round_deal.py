@@ -1,0 +1,166 @@
+"""Tests for the multi-round deal (§8.2 trading-rounds extension)."""
+
+import pytest
+
+from repro.core.multi_round_deal import (
+    DealSpec,
+    MultiRoundDeal,
+    deal_premium_tables,
+    extract_deal_outcome,
+)
+from repro.errors import ProtocolError
+from repro.parties.strategies import halt_at, skip_methods
+from repro.protocols.instance import execute
+
+SPEC2 = DealSpec()  # two brokers: Ann then Mike
+
+
+def run(spec=SPEC2, deviations=None):
+    instance = MultiRoundDeal(spec, premium=1).build()
+    result = execute(instance, deviations or {})
+    return instance, result, extract_deal_outcome(instance, result)
+
+
+# ----------------------------------------------------------------------
+# structure and premium tables
+# ----------------------------------------------------------------------
+def test_deal_digraph_is_strongly_connected():
+    graph = SPEC2.graph()
+    assert graph.is_strongly_connected()
+    assert len(graph.arcs) == 6  # 3 ticket hops + 3 coin hops
+
+
+def test_single_broker_matches_figure4_recurrence():
+    """r = 1 degenerates to the paper's E = T_1(A), T_1(v,w) = R_w(w)."""
+    spec = DealSpec(brokers=("Solo",))
+    tables = deal_premium_tables(spec, 1)
+    trading = tables["trading"]
+    orig = tables["originations"]
+    assert trading[("Solo", spec.buyer)] == orig[spec.buyer]
+    assert trading[("Solo", spec.seller)] == orig[spec.seller]
+    total = trading[("Solo", spec.buyer)] + trading[("Solo", spec.seller)]
+    assert tables["escrow"][(spec.seller, "Solo")] == total
+    assert tables["escrow"][(spec.buyer, "Solo")] == total
+
+
+def test_two_broker_cover_recurrence():
+    """T_1(Ann -> Mike) covers Mike's round-2 premiums exactly."""
+    tables = deal_premium_tables(SPEC2, 1)
+    trading = tables["trading"]
+    mikes_round2 = trading[("Mike", "Buyer")] + trading[("Mike", "Ann")]
+    assert trading[("Ann", "Mike")] == mikes_round2
+
+
+def test_escrow_shares_cover_broker_deficits():
+    tables = deal_premium_tables(SPEC2, 1)
+    for arc, shares in tables["escrow_shares"].items():
+        assert all(amount > 0 for _, amount in shares)
+        assert sum(a for _, a in shares) == tables["escrow"][arc]
+
+
+def test_zero_brokers_rejected():
+    with pytest.raises(ProtocolError):
+        MultiRoundDeal(DealSpec(brokers=()))
+
+
+# ----------------------------------------------------------------------
+# compliant runs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("brokers", [("Solo",), ("Ann", "Mike"), ("A1", "A2", "A3")])
+def test_compliant_chain_completes(brokers):
+    spec = DealSpec(brokers=brokers)
+    _, result, out = run(spec)
+    assert out.completed
+    assert all(net == 0 for net in out.premium_net.values())
+    assert not result.reverted()
+    # asset flow: tickets to the buyer, price to the seller, margins out
+    assert out.tickets_delta[spec.buyer] == spec.tickets
+    assert out.coins_delta[spec.seller] == spec.seller_price
+    for broker in brokers:
+        assert out.coins_delta[broker] == spec.margin
+
+
+def test_compliant_run_trades_every_round():
+    _, _, out = run()
+    assert out.rounds_traded == (2, 2)
+
+
+# ----------------------------------------------------------------------
+# deviations
+# ----------------------------------------------------------------------
+def test_seller_omits_escrow():
+    _, _, out = run(deviations={"Seller": lambda a: skip_methods(a, "escrow_asset")})
+    assert not out.completed
+    assert out.premium_net["Seller"] < 0
+    assert out.premium_net["Buyer"] >= 1  # locked coins compensated
+    for broker in SPEC2.brokers:
+        assert out.premium_net[broker] >= 0
+
+
+def test_buyer_omits_escrow():
+    _, _, out = run(deviations={"Buyer": lambda a: skip_methods(a, "escrow_asset")})
+    assert not out.completed
+    assert out.premium_net["Buyer"] < 0
+    assert out.premium_net["Seller"] >= 1
+    for broker in SPEC2.brokers:
+        assert out.premium_net[broker] >= 0
+
+
+def test_first_broker_omits_trades():
+    _, _, out = run(deviations={"Ann": lambda a: skip_methods(a, "trade")})
+    assert not out.completed
+    assert out.premium_net["Ann"] < 0
+    for party in ("Seller", "Buyer"):
+        assert out.premium_net[party] >= 1  # both assets sat locked
+    assert out.premium_net["Mike"] >= 0
+
+
+def test_second_broker_halts_mid_deal():
+    _, _, out = run(deviations={"Mike": lambda a: halt_at(a, 9)})
+    assert not out.completed
+    assert out.premium_net["Mike"] < 0
+    for party in ("Seller", "Buyer", "Ann"):
+        assert out.premium_net[party] >= 0
+
+
+def test_withheld_key_kills_both_contracts_atomically():
+    """A missing key must never let one contract pay while the other
+    refunds (the cross-contract atomicity property)."""
+    instance = MultiRoundDeal(SPEC2, premium=1).build()
+    result = execute(instance, {"Ann": lambda a: halt_at(a, 11)})
+    out = extract_deal_outcome(instance, result)
+    assert {out.ticket_state, out.coin_state} in ({"refunded"}, {"redeemed"})
+    # and nobody loses principal either way
+    if not out.completed:
+        assert out.tickets_delta["Seller"] == 0
+        assert out.coins_delta["Buyer"] == 0
+
+
+def test_exhaustive_halt_sweep_two_brokers():
+    spec = SPEC2
+    instance = MultiRoundDeal(spec, premium=1).build()
+    for who in spec.parties():
+        for rnd in range(instance.horizon):
+            _, _, out = run(spec, {who: lambda a, r=rnd: halt_at(a, r)})
+            for party, side in ((spec.seller, "ticket"), (spec.buyer, "coin")):
+                if party == who:
+                    continue
+                state = out.ticket_state if side == "ticket" else out.coin_state
+                need = 1 if (state == "refunded" and not out.completed) else 0
+                assert out.premium_net[party] >= need, f"{who}@{rnd}: {party}"
+            for broker in spec.brokers:
+                if broker != who:
+                    assert out.premium_net[broker] >= 0, f"{who}@{rnd}: {broker}"
+            if not out.completed:
+                if spec.seller != who:
+                    assert out.tickets_delta[spec.seller] == 0, f"{who}@{rnd}"
+                if spec.buyer != who:
+                    assert out.coins_delta[spec.buyer] == 0, f"{who}@{rnd}"
+
+
+def test_premium_phase_walkout_is_minor():
+    _, _, out = run(deviations={"Mike": lambda a: halt_at(a, 2)})
+    assert not out.completed
+    assert out.ticket_state == "absent" and out.coin_state == "absent"
+    for party in ("Seller", "Buyer", "Ann"):
+        assert out.premium_net[party] >= 0

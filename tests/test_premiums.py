@@ -1,0 +1,157 @@
+"""Unit tests for Equations 1 and 2 and the premium flow machinery."""
+
+import pytest
+
+from repro.core.premiums import (
+    escrow_premium_amounts,
+    leader_redemption_total,
+    pruned_redemption_premium_amount,
+    redemption_premium_amount,
+    redemption_premium_flow,
+    redemption_premium_table,
+    required_redemption_keys,
+    worst_case_leader_premium,
+)
+from repro.errors import GraphError
+from repro.graph.digraph import ArcSpec, SwapGraph, complete_graph, figure3_graph, ring_graph
+
+
+# ----------------------------------------------------------------------
+# Equation 1 on Figure 3a (hand-computed values)
+# ----------------------------------------------------------------------
+def test_eq1_leader_origination_amounts(fig3):
+    # A's deposit on (B,A): beneficiary B passes through to (A,B) only -> 2p
+    assert redemption_premium_amount(fig3, ("A",), "B", 1) == 2
+    # A's deposit on (C,A): C passes to (B,C), B to (A,B) -> 3p
+    assert redemption_premium_amount(fig3, ("A",), "C", 1) == 3
+
+
+def test_eq1_passthrough_amounts(fig3):
+    # B's deposit on (A,B) with path (B,A): beneficiary A on the path -> p
+    assert redemption_premium_amount(fig3, ("B", "A"), "A", 1) == 1
+    # C's deposit on (B,C) with path (C,A): B passes to (A,B) -> 2p
+    assert redemption_premium_amount(fig3, ("C", "A"), "B", 1) == 2
+
+
+def test_eq1_scales_linearly_in_p(fig3):
+    assert redemption_premium_amount(fig3, ("A",), "C", 5) == 15
+
+
+def test_eq1_rejects_non_paths(fig3):
+    with pytest.raises(GraphError):
+        redemption_premium_amount(fig3, ("C", "B"), "A", 1)
+    with pytest.raises(GraphError):
+        redemption_premium_amount(fig3, (), "A", 1)
+
+
+def test_leader_total_figure3(fig3):
+    assert leader_redemption_total(fig3, "A", 1) == 5
+
+
+def test_redemption_table_covers_all_paths(fig3):
+    table = redemption_premium_table(fig3, "A", 1)
+    assert table[("A", "B")] == {("B", "A"): 1, ("B", "C", "A"): 1}
+    assert table[("C", "A")] == {("A",): 3}
+
+
+# ----------------------------------------------------------------------
+# Equation 2 on Figure 3a
+# ----------------------------------------------------------------------
+def test_eq2_figure3(fig3):
+    premiums = escrow_premium_amounts(fig3, ("A",), 1)
+    assert premiums == {
+        ("B", "A"): 5,  # enters the leader: R(A)
+        ("C", "A"): 5,
+        ("B", "C"): 5,  # enters follower C: covers E(C,A)
+        ("A", "B"): 10,  # enters follower B: covers E(B,A) + E(B,C)
+    }
+
+
+def test_eq2_requires_fvs(fig3):
+    with pytest.raises(GraphError):
+        escrow_premium_amounts(fig3, ("C",), 1)
+
+
+def test_ring_premiums_linear():
+    """Unique paths: leader premium grows linearly with n (§7.1)."""
+    totals = [leader_redemption_total(ring_graph(n), "P0", 1) for n in range(2, 7)]
+    assert totals == [n for n in range(2, 7)]
+    diffs = [b - a for a, b in zip(totals, totals[1:])]
+    assert all(d == diffs[0] for d in diffs)
+
+
+def test_complete_premiums_superlinear():
+    """Complete digraphs: worst-case leader premium grows exponentially."""
+    leaders = {n: tuple(f"P{i}" for i in range(n - 1)) for n in (3, 4, 5)}
+    totals = [
+        worst_case_leader_premium(complete_graph(n), leaders[n], 1) for n in (3, 4, 5)
+    ]
+    assert totals[0] < totals[1] < totals[2]
+    # growth ratio increases (super-linear growth)
+    assert totals[2] / totals[1] > totals[1] / totals[0]
+
+
+# ----------------------------------------------------------------------
+# pruned (footnote 7) variants and the flow simulation
+# ----------------------------------------------------------------------
+@pytest.fixture
+def broker_graph():
+    arcs = [("B", "A"), ("C", "A"), ("A", "B"), ("A", "C")]
+    specs = {a: ArcSpec("x", "t", 1) for a in arcs}
+    graph = SwapGraph(("A", "B", "C"), tuple(arcs), specs)
+    contract_of = {
+        ("B", "A"): "ticket",
+        ("A", "C"): "ticket",
+        ("C", "A"): "coin",
+        ("A", "B"): "coin",
+    }
+    return graph, contract_of
+
+
+def test_pruned_amount_matches_footnote7(broker_graph):
+    graph, contract_of = broker_graph
+    # unpruned: B's origination on (A,B) costs 4p (A forwards to both arcs)
+    assert pruned_redemption_premium_amount(graph, ("B",), "A", 1, None) == 4
+    # pruned: forwarding to (C,A) shares the coin contract -> 2p
+    assert pruned_redemption_premium_amount(graph, ("B",), "A", 1, contract_of) == 2
+
+
+def test_pruned_none_equals_eq1(fig3):
+    for path, beneficiary in [(("A",), "B"), (("A",), "C"), (("C", "A"), "B")]:
+        assert pruned_redemption_premium_amount(
+            fig3, path, beneficiary, 3, None
+        ) == redemption_premium_amount(fig3, path, beneficiary, 3)
+
+
+def test_flow_simulation_unpruned_covers_all_arcs(broker_graph):
+    graph, _ = broker_graph
+    flow = redemption_premium_flow(graph, ("A", "B", "C"), 1)
+    per_leader = {leader: {d.arc for d in flow if d.leader == leader} for leader in "ABC"}
+    # unpruned: every leader's premium reaches every arc
+    for leader, arcs in per_leader.items():
+        assert arcs == set(graph.arcs)
+
+
+def test_flow_simulation_pruned_required_sets(broker_graph):
+    graph, contract_of = broker_graph
+    required = required_redemption_keys(graph, ("A", "B", "C"), contract_of)
+    assert required[("B", "A")] == frozenset({"A", "B"})
+    assert required[("A", "C")] == frozenset({"A", "C"})
+    assert required[("C", "A")] == frozenset({"A", "C"})
+    assert required[("A", "B")] == frozenset({"A", "B"})
+
+
+def test_flow_rounds_are_consistent(fig3):
+    """Deposits happen one round after the premium they extend."""
+    flow = redemption_premium_flow(fig3, ("A",), 1)
+    by_arc = {d.arc: d for d in flow}
+    assert by_arc[("B", "A")].round == 0  # leader origination
+    assert by_arc[("B", "C")].round == 1  # C extends
+    assert by_arc[("A", "B")].round == 1  # B extends
+    assert by_arc[("B", "C")].path == ("C", "A")
+
+
+def test_flow_amounts_match_eq1(fig3):
+    for deposit in redemption_premium_flow(fig3, ("A",), 2):
+        expected = redemption_premium_amount(fig3, deposit.path, deposit.arc[0], 2)
+        assert deposit.amount == expected

@@ -1,0 +1,172 @@
+"""Hypothesis property tests at the protocol level.
+
+These run the *full* hedged multi-party protocol on randomly generated
+strongly-connected digraphs with minimum-FVS leader sets, under compliance
+and under random single-party deviations, asserting Lemma 1 and Lemma 6 on
+every run.  This is the strongest evidence the implementation generalizes
+beyond the paper's worked examples.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bootstrap import BootstrapSpec, BootstrappedSwap, extract_bootstrap_outcome
+from repro.core.hedged_auction import (
+    AuctioneerStrategy,
+    AuctionSpec,
+    HedgedAuction,
+    extract_auction_outcome,
+)
+from repro.core.hedged_multi_party import (
+    HedgedMultiPartySwap,
+    extract_multi_party_outcome,
+)
+from repro.graph.digraph import SwapGraph
+from repro.graph.feedback import minimum_feedback_vertex_set
+from repro.parties.strategies import halt_at
+from repro.protocols.instance import execute
+
+
+@st.composite
+def swap_graphs(draw):
+    """Random strongly connected digraphs on 2–4 parties (ring + extras)."""
+    n = draw(st.integers(min_value=2, max_value=4))
+    parties = [f"P{i}" for i in range(n)]
+    arcs = {(parties[i], parties[(i + 1) % n]) for i in range(n)}
+    extra = draw(
+        st.sets(
+            st.tuples(st.sampled_from(parties), st.sampled_from(parties)).filter(
+                lambda a: a[0] != a[1]
+            ),
+            max_size=4,
+        )
+    )
+    arcs |= extra
+    return SwapGraph.build(parties, sorted(arcs), default_amount=10)
+
+
+@given(swap_graphs(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_graph_compliant_run_satisfies_lemma1(graph, premium):
+    leaders = minimum_feedback_vertex_set(graph)
+    instance = HedgedMultiPartySwap(graph=graph, leaders=leaders, premium=premium).build()
+    result = execute(instance)
+    out = extract_multi_party_outcome(instance, result)
+    assert out.all_redeemed, f"{graph.arcs} leaders={leaders}"
+    assert all(net == 0 for net in out.premium_net.values())
+    assert not result.reverted()
+    # liveness: no contract holds anything at the end
+    for chain in instance.world.chains.values():
+        for (asset, account), balance in chain.ledger.snapshot().items():
+            assert not (account in chain.contracts and balance != 0)
+
+
+@given(
+    swap_graphs(),
+    st.integers(min_value=0, max_value=3),  # which party deviates
+    st.integers(min_value=0, max_value=30),  # halt round
+)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_graph_random_halt_satisfies_lemma6(graph, party_index, halt_round):
+    leaders = minimum_feedback_vertex_set(graph)
+    deviator = graph.parties[party_index % len(graph.parties)]
+    instance = HedgedMultiPartySwap(graph=graph, leaders=leaders, premium=1).build()
+    result = execute(
+        instance, {deviator: lambda a, r=halt_round: halt_at(a, r)}
+    )
+    out = extract_multi_party_outcome(instance, result)
+    for party in out.parties:
+        if party == deviator:
+            continue
+        assert out.safety_holds(party), (graph.arcs, deviator, halt_round, party)
+        assert out.hedged_holds(party), (
+            graph.arcs, deviator, halt_round, party, out.premium_net,
+        )
+
+
+@given(
+    st.integers(min_value=2, max_value=5),  # bidder count
+    st.lists(st.integers(min_value=1, max_value=500), min_size=5, max_size=5),
+    st.sampled_from(list(AuctioneerStrategy)),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_auction_never_steals_bids(n, amounts, strategy):
+    bidders = tuple(f"B{i}" for i in range(n))
+    spec = AuctionSpec(
+        bidders=bidders,
+        bids={b: amounts[i] for i, b in enumerate(bidders)},
+        premium=1,
+    )
+    instance = HedgedAuction(spec=spec, strategy=strategy).build()
+    result = execute(instance)
+    out = extract_auction_outcome(instance, result)
+    for bidder in bidders:
+        assert not out.bid_stolen(bidder), (strategy, out.coins_delta)
+    # Lemma 7 with compliant bidders: both contracts agree
+    ticket = instance.contract("ticket")
+    coin = instance.contract("coin")
+    assert set(ticket.accepted) == set(coin.accepted)
+
+
+@given(
+    st.integers(min_value=100, max_value=10**6),
+    st.integers(min_value=100, max_value=10**6),
+    st.sampled_from([10, 50, 100]),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_random_bootstrap_ladder_invariants(a, b, rate, rounds):
+    from repro.core.bootstrap import premium_ladder
+
+    ladder = premium_ladder(a, b, rate, rounds)
+    # levels shrink by roughly 1/rate and protection never falls short
+    for (a_lo, b_lo), (a_hi, b_hi) in zip(ladder[1:], ladder):
+        assert a_lo * rate >= a_hi
+        assert b_lo * rate >= a_hi + b_hi
+        assert a_lo >= 1 and b_lo >= 1
+
+
+@given(st.integers(min_value=2, max_value=3), st.integers(min_value=0, max_value=25))
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_bootstrap_renege_never_hurts_alice(rounds, halt_round):
+    spec = BootstrapSpec(amount_a=50_000, amount_b=50_000, rate=50, rounds=rounds)
+    instance = BootstrappedSwap(spec).build()
+    result = execute(instance, {"Bob": lambda a, r=halt_round: halt_at(a, r)})
+    out = extract_bootstrap_outcome(instance, result)
+    assert out.premium_net["Alice"] >= 0
+    assert out.premium_net["Bob"] <= 0
+
+
+@given(
+    st.integers(min_value=1, max_value=3),  # chain length r
+    st.integers(min_value=0, max_value=4),  # which party deviates
+    st.integers(min_value=0, max_value=20),  # halt round
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_deal_halt_keeps_compliant_whole(r, party_index, halt_round):
+    from repro.core.multi_round_deal import (
+        DealSpec,
+        MultiRoundDeal,
+        extract_deal_outcome,
+    )
+
+    spec = DealSpec(brokers=tuple(f"B{i}" for i in range(r)))
+    parties = spec.parties()
+    deviator = parties[party_index % len(parties)]
+    instance = MultiRoundDeal(spec, premium=1).build()
+    result = execute(instance, {deviator: lambda a, h=halt_round: halt_at(a, h)})
+    out = extract_deal_outcome(instance, result)
+    for party in parties:
+        if party == deviator:
+            continue
+        need = 0
+        if party == spec.seller and out.ticket_state == "refunded" and not out.completed:
+            need = 1
+        if party == spec.buyer and out.coin_state == "refunded" and not out.completed:
+            need = 1
+        assert out.premium_net[party] >= need, (r, deviator, halt_round, party)
+    if not out.completed:
+        if spec.seller != deviator:
+            assert out.tickets_delta[spec.seller] == 0
+        if spec.buyer != deviator:
+            assert out.coins_delta[spec.buyer] == 0

@@ -1,0 +1,79 @@
+"""Tests for rational (opportunistic) actors."""
+
+import pytest
+
+from repro.core.hedged_two_party import HedgedTwoPartySpec, HedgedTwoPartySwap
+from repro.core.outcomes import extract_two_party_outcome
+from repro.parties.base import Actor
+from repro.parties.rational import Opportunist, price_shock, rational_bob
+from repro.protocols.base_two_party import BaseTwoPartySwap
+from repro.protocols.instance import execute
+
+
+def test_price_shock_path():
+    price = price_shock(1.0, 0.10, at_height=5)
+    assert price(4) == 1.0
+    assert price(5) == 0.9
+    assert price(9) == 0.9
+
+
+def test_opportunist_halts_permanently(world):
+    keys = world.register_party("X")
+
+    class Chatty(Actor):
+        def on_round(self, rnd, view):
+            return [self.tx("apricot", "c-1", "ping")]
+
+    flips = iter([True, True, False, True])  # True again after the walk
+    actor = Opportunist(Chatty("X", keys), lambda rnd, view: next(flips))
+    view = world.view()
+    assert actor.on_round(0, view)
+    assert actor.on_round(1, view)
+    assert actor.on_round(2, view) == []
+    assert actor.walked_at == 2
+    assert actor.on_round(3, view) == []  # no coming back
+
+
+def test_base_rational_bob_completes_without_shock():
+    instance = BaseTwoPartySwap().build()
+    spec = instance.meta["spec"]
+    transform = lambda a: rational_bob(a, spec, price_shock(1.0, 0.0, 99))
+    result = execute(instance, {"Bob": transform})
+    out = extract_two_party_outcome(instance, result)
+    assert out.swapped
+
+
+def test_base_rational_bob_walks_on_tiny_drop():
+    instance = BaseTwoPartySwap().build()
+    spec = instance.meta["spec"]
+    transform = lambda a: rational_bob(a, spec, price_shock(1.0, 0.001, at_height=2))
+    result = execute(instance, {"Bob": transform})
+    out = extract_two_party_outcome(instance, result)
+    assert not out.swapped
+    assert out.alice_premium_net == 0  # and Alice gets nothing for it
+
+
+def test_hedged_rational_bob_shrugs_off_small_drop():
+    spec = HedgedTwoPartySpec(premium_a=2, premium_b=2)
+    instance = HedgedTwoPartySwap(spec).build()
+    transform = lambda a: rational_bob(
+        a, spec, price_shock(1.0, 0.01, at_height=3),
+        premium_contract=instance.contracts["apricot_escrow"],
+    )
+    result = execute(instance, {"Bob": transform})
+    out = extract_two_party_outcome(instance, result)
+    assert out.swapped  # 1% < the 2% premium: walking is irrational
+
+
+def test_hedged_rational_bob_pays_when_walking():
+    spec = HedgedTwoPartySpec(premium_a=2, premium_b=2)
+    instance = HedgedTwoPartySwap(spec).build()
+    transform = lambda a: rational_bob(
+        a, spec, price_shock(1.0, 0.25, at_height=3),
+        premium_contract=instance.contracts["apricot_escrow"],
+    )
+    result = execute(instance, {"Bob": transform})
+    out = extract_two_party_outcome(instance, result)
+    assert not out.swapped
+    assert out.bob_premium_net < 0  # exercising the option costs p_b
+    assert out.alice_premium_net > 0  # the victim is compensated

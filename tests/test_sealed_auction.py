@@ -1,0 +1,86 @@
+"""Tests for the sealed-bid (commit-reveal) auction extension."""
+
+import pytest
+
+from repro.core.hedged_auction import (
+    AuctioneerStrategy,
+    AuctionSpec,
+    SealedBidAuction,
+    extract_auction_outcome,
+)
+from repro.parties.strategies import halt_at
+from repro.protocols.instance import execute
+
+
+def run(strategy=AuctioneerStrategy.HONEST, spec=None, deviations=None):
+    instance = SealedBidAuction(spec=spec, strategy=strategy).build()
+    result = execute(instance, deviations or {})
+    return instance, result, extract_auction_outcome(instance, result)
+
+
+def test_sealed_honest_completes():
+    _, result, out = run()
+    assert out.coin_outcome == "completed"
+    assert out.tickets_to == "Bob"
+    assert out.coins_delta["Alice"] == 120
+    assert all(net == 0 for net in out.premium_net.values())
+    assert not result.reverted()
+
+
+def test_commitments_hide_bids_until_reveal():
+    """During the bidding round only digests are on-chain."""
+    instance = SealedBidAuction().build()
+    # run two rounds: commits land at height 2, no amounts yet
+    from repro.sim.runner import SyncRunner
+
+    runner = SyncRunner(instance.world, list(instance.actors.values()))
+    runner.run(2, parties=list(instance.actors))
+    coin = instance.contract("coin")
+    assert set(coin.commitments) == {"Bob", "Carol"}
+    assert coin.bids == {}
+
+
+def test_unrevealed_commitment_just_loses():
+    """A bidder who commits but never reveals simply drops out."""
+    _, _, out = run(deviations={"Bob": lambda a: halt_at(a, 2)})
+    assert out.coin_outcome == "completed"
+    assert out.tickets_to == "Carol"  # only revealed bid wins
+    assert out.coins_delta["Bob"] == 0  # nothing was ever deposited
+
+
+def test_sealed_abandon_compensates_bidders():
+    _, _, out = run(strategy=AuctioneerStrategy.ABANDON)
+    assert out.coin_outcome == "refunded"
+    assert out.premium_net["Bob"] == 1 and out.premium_net["Carol"] == 1
+    assert out.premium_net["Alice"] == -2
+
+
+def test_sealed_publish_loser_refunds_bids():
+    _, _, out = run(strategy=AuctioneerStrategy.PUBLISH_LOSER)
+    assert out.coin_outcome == "refunded"
+    assert out.coins_delta["Bob"] == 0 and out.coins_delta["Carol"] == 0
+    assert not out.bid_stolen("Bob") and not out.bid_stolen("Carol")
+
+
+def test_sealed_single_chain_declaration_heals():
+    _, _, out = run(strategy=AuctioneerStrategy.PUBLISH_TICKET_ONLY)
+    assert out.coin_outcome == "completed"
+    assert out.tickets_to == "Bob"
+
+
+def test_sealed_three_bidders():
+    spec = AuctionSpec(
+        bidders=("Bob", "Carol", "Dave"),
+        bids={"Bob": 70, "Carol": 150, "Dave": 90},
+    )
+    _, _, out = run(spec=spec)
+    assert out.tickets_to == "Carol"
+    assert out.coins_delta["Carol"] == -150
+    assert out.coins_delta["Dave"] == 0
+
+
+def test_sealed_no_bid_stolen_across_strategies():
+    for strategy in AuctioneerStrategy:
+        _, _, out = run(strategy=strategy)
+        for bidder in ("Bob", "Carol"):
+            assert not out.bid_stolen(bidder), strategy

@@ -1,0 +1,92 @@
+"""Timing adversaries: slow parties are treated exactly like sore losers.
+
+§1: "If asset values are volatile, parties may even have an incentive to
+run the protocol as slowly as possible to keep their options open for as
+long as possible."  The paper's tight Δ-per-step timeouts close that door:
+these tests verify that a laggard misses its deadlines, that the contracts
+then route premiums exactly as for a walk-away, and that dawdling is never
+profitable.
+"""
+
+import pytest
+
+from repro.core.hedged_multi_party import (
+    HedgedMultiPartySwap,
+    extract_multi_party_outcome,
+)
+from repro.core.hedged_two_party import HedgedTwoPartySpec, HedgedTwoPartySwap
+from repro.core.outcomes import extract_two_party_outcome
+from repro.graph.digraph import figure3_graph
+from repro.parties.strategies import Laggard, lag_by
+from repro.protocols.instance import execute
+
+SPEC = HedgedTwoPartySpec(premium_a=2, premium_b=1)
+
+
+def test_lag_zero_is_identity():
+    instance = HedgedTwoPartySwap(SPEC).build()
+    result = execute(instance, {"Bob": lambda a: lag_by(a, 0)})
+    out = extract_two_party_outcome(instance, result)
+    assert out.swapped
+    assert out.alice_premium_net == 0 and out.bob_premium_net == 0
+
+
+def test_slow_bob_pays_like_a_sore_loser():
+    """Bob lagging one Δ misses every deadline; the victim is compensated."""
+    instance = HedgedTwoPartySwap(SPEC).build()
+    result = execute(instance, {"Bob": lambda a: lag_by(a, 1)})
+    out = extract_two_party_outcome(instance, result)
+    assert not out.swapped
+    # Bob never even lands his premium (deadline 2 missed), so nothing of
+    # Alice's gets locked beyond her own premium and nobody owes anything...
+    assert out.alice_premium_net >= 0
+    assert out.alice_kept_tokens
+
+
+def test_slow_alice_after_engagement_compensates_bob():
+    """Alice turns slow only after Bob escrows: the lag delays her secret
+    past t_A, so her premium is awarded to Bob — exactly the §5.2 flow."""
+
+    class SlowRedeemer(Laggard):
+        def on_round(self, rnd, view):
+            if rnd < 4:
+                return self.inner.on_round(rnd, view)
+            return super().on_round(rnd, view)
+
+    instance = HedgedTwoPartySwap(SPEC).build()
+    result = execute(instance, {"Alice": lambda a: SlowRedeemer(a, 2)})
+    out = extract_two_party_outcome(instance, result)
+    assert not out.swapped
+    assert out.bob_premium_net == SPEC.premium_a
+    assert out.alice_premium_net == -SPEC.premium_a
+
+
+def test_slow_party_transactions_revert_not_crash():
+    instance = HedgedTwoPartySwap(SPEC).build()
+    result = execute(instance, {"Bob": lambda a: lag_by(a, 2)})
+    late = [t for t in result.reverted() if t.sender == "Bob"]
+    assert late, "the laggard's late transactions must be rejected"
+    assert all("deadline" in t.receipt.error or "expired" in t.receipt.error
+               or "timed out" in t.receipt.error or "premium" in t.receipt.error
+               for t in late)
+
+
+@pytest.mark.parametrize("lag", [1, 2, 3])
+def test_multi_party_laggard_never_hurts_compliant(lag):
+    instance = HedgedMultiPartySwap(graph=figure3_graph(), leaders=("A",)).build()
+    result = execute(instance, {"B": lambda a, l=lag: lag_by(a, l)})
+    out = extract_multi_party_outcome(instance, result)
+    for party in ("A", "C"):
+        assert out.safety_holds(party)
+        assert out.hedged_holds(party)
+
+
+def test_dawdling_is_never_profitable():
+    """Across all lags, the laggard's premium net is never positive while a
+    compliant counterparty's is never negative."""
+    for lag in (1, 2, 4):
+        instance = HedgedTwoPartySwap(SPEC).build()
+        result = execute(instance, {"Bob": lambda a, l=lag: lag_by(a, l)})
+        out = extract_two_party_outcome(instance, result)
+        assert out.bob_premium_net <= 0
+        assert out.alice_premium_net >= 0

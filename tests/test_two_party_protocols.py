@@ -1,0 +1,170 @@
+"""Integration tests: base (§5.1) and hedged (§5.2) two-party swaps."""
+
+import pytest
+
+from repro.core.hedged_two_party import HedgedTwoPartySpec, HedgedTwoPartySwap
+from repro.core.outcomes import compliant_payoff_acceptable, extract_two_party_outcome
+from repro.parties.strategies import halt_at, skip_methods
+from repro.protocols.base_two_party import BaseTwoPartySwap, TwoPartySpec
+from repro.protocols.instance import execute
+
+SPEC = HedgedTwoPartySpec(premium_a=2, premium_b=1)
+
+
+def run_base(deviations=None):
+    instance = BaseTwoPartySwap().build()
+    result = execute(instance, deviations or {})
+    return instance, result, extract_two_party_outcome(instance, result)
+
+
+def run_hedged(deviations=None):
+    instance = HedgedTwoPartySwap(SPEC).build()
+    result = execute(instance, deviations or {})
+    return instance, result, extract_two_party_outcome(instance, result)
+
+
+# ----------------------------------------------------------------------
+# base protocol
+# ----------------------------------------------------------------------
+def test_base_compliant_swaps():
+    _, result, out = run_base()
+    assert out.swapped
+    assert not result.reverted()
+
+
+def test_base_compliant_event_order():
+    _, result, _ = run_base()
+    names = [e.name for e in result.events if e.name != "deployed"]
+    assert names == ["escrowed", "escrowed", "redeemed", "redeemed"]
+
+
+def test_base_bob_walks_locks_alice_three_delta():
+    """§5.1: 'If Bob walks away at Step 2, Alice's asset is locked up for 3Δ'."""
+    instance, _, out = run_base({"Bob": lambda a: halt_at(a, 0)})
+    assert not out.swapped
+    assert out.alice_kept_tokens  # refunded in the end
+    htlc = instance.contract("apricot_htlc")
+    # contract-enforced unavailability: escrowed h1, timelock h4 = 3Δ
+    assert htlc.timelock - htlc.escrowed_at == 3
+
+
+def test_base_alice_walks_locks_bob_one_delta():
+    """§5.1: 'if Alice walks away at Step 3, Bob's asset is locked up for Δ'."""
+    instance, _, out = run_base({"Alice": lambda a: halt_at(a, 2)})
+    assert not out.swapped
+    assert out.bob_kept_tokens
+    htlc = instance.contract("banana_htlc")
+    assert htlc.timelock - htlc.escrowed_at == 1
+
+
+def test_base_deviator_pays_nothing():
+    """§5.1: 'Bob pays no penalty for walking away.'"""
+    _, _, out = run_base({"Bob": lambda a: halt_at(a, 1)})
+    assert out.bob_premium_net == 0
+    assert out.alice_premium_net == 0
+
+
+# ----------------------------------------------------------------------
+# hedged protocol — the Figure 1 timeline and §5.2 payoff matrix
+# ----------------------------------------------------------------------
+def test_hedged_compliant_swaps_and_refunds():
+    _, result, out = run_hedged()
+    assert out.swapped
+    assert out.alice_premium_net == 0 and out.bob_premium_net == 0
+    assert not result.reverted()
+
+
+def test_hedged_compliant_trace_heights():
+    """The §5.2 timeline: premiums at 1, 2; escrows at 3, 4; redeems at 5, 6."""
+    _, result, _ = run_hedged()
+    heights = {
+        (e.name, e.chain): e.height for e in result.events if e.name != "deployed"
+    }
+    assert heights[("premium_deposited", "banana")] == 1
+    assert heights[("premium_deposited", "apricot")] == 2
+    assert heights[("principal_escrowed", "apricot")] == 3
+    assert heights[("principal_escrowed", "banana")] == 4
+    assert heights[("redeemed", "banana")] == 5
+    assert heights[("redeemed", "apricot")] == 6
+
+
+def test_hedged_bob_never_engages():
+    """Bob deposits nothing: Alice's premium refunds, no compensation owed."""
+    _, _, out = run_hedged({"Bob": lambda a: halt_at(a, 0)})
+    assert not out.swapped
+    assert out.alice_premium_net == 0
+    assert out.alice_kept_tokens
+
+
+def test_hedged_bob_walks_after_alice_escrows_pays_pb():
+    """§5.2: 'If Bob is first to deviate after Alice escrows her principal,
+    he will pay Alice p_b.'"""
+    _, _, out = run_hedged({"Bob": lambda a: halt_at(a, 3)})
+    assert not out.swapped
+    assert out.alice_premium_net == SPEC.premium_b
+    assert out.bob_premium_net == -SPEC.premium_b
+    assert out.alice_kept_tokens and out.bob_kept_tokens
+
+
+def test_hedged_alice_walks_after_bob_escrows_pays_pa_net():
+    """§5.2: Alice pays p_a + p_b, receives p_b back: net p_a to Bob."""
+    _, _, out = run_hedged({"Alice": lambda a: halt_at(a, 4)})
+    assert not out.swapped
+    assert out.alice_premium_net == -SPEC.premium_a
+    assert out.bob_premium_net == SPEC.premium_a
+    assert out.alice_kept_tokens and out.bob_kept_tokens
+
+
+def test_hedged_bob_fails_to_redeem_after_secret_revealed():
+    """Bob's only loss is self-inflicted; Alice still nets non-negative."""
+    _, _, out = run_hedged({"Bob": lambda a: halt_at(a, 5)})
+    assert out.alice_got_tokens  # she redeemed on the banana chain
+    assert out.alice_premium_net >= 0
+
+
+def test_hedged_alice_skips_premium_only():
+    instance, _, out = run_hedged(
+        {"Alice": lambda a: skip_methods(a, "deposit_premium")}
+    )
+    assert not out.swapped
+    # compliant Bob never engages, so nothing is at risk anywhere
+    assert out.bob_premium_net == 0
+    banana = instance.contract("banana_escrow")
+    assert banana.premium_state == "absent"
+
+
+def test_hedged_definition1_for_all_halt_deviations():
+    """Definition 1 sweep: every single-party halt keeps the compliant
+    party's payoff acceptable."""
+    for deviator in ("Alice", "Bob"):
+        compliant = "Bob" if deviator == "Alice" else "Alice"
+        for rnd in range(8):
+            _, _, out = run_hedged({deviator: lambda a, r=rnd: halt_at(a, r)})
+            assert compliant_payoff_acceptable(out, compliant, SPEC), (
+                f"{deviator} halting at {rnd} hurt {compliant}: "
+                f"{out.alice_premium_net}/{out.bob_premium_net}"
+            )
+
+
+def test_hedged_premium_lockup_bounds():
+    """§5.2: Alice risks p_a+p_b until t_b,e; Bob risks p_b until t_a,e."""
+    instance, _, _ = run_hedged({"Bob": lambda a: halt_at(a, 0)})
+    banana = instance.contract("banana_escrow")
+    # premium deposited h1, refunded at h5 (> t_b,e = 4)
+    assert banana.premium_lockup == 4
+
+
+def test_spec_premium_composition():
+    assert SPEC.alice_premium == SPEC.premium_a + SPEC.premium_b
+    assert SPEC.bob_premium == SPEC.premium_b
+
+
+def test_custom_amounts_flow_through():
+    spec = HedgedTwoPartySpec(amount_a=7, amount_b=9, premium_a=3, premium_b=2)
+    instance = HedgedTwoPartySwap(spec).build()
+    result = execute(instance)
+    out = extract_two_party_outcome(instance, result)
+    assert out.swapped
+    apricot = instance.contract("apricot_escrow")
+    assert apricot.principal_amount == 7
+    assert apricot.premium_amount == 2
