@@ -1,0 +1,64 @@
+"""EXP-C1 — campaign engine throughput: serial vs process backends.
+
+The campaign engine executes the full five-family adversarial matrix
+(two-party halts/skips/lags incl. adversary pairs, multi-party/broker/
+auction/bootstrap halts over premium schedules) through both backends and
+reports scenarios/sec plus the reproducibility digest.  The digests MUST
+match across backends — scenario execution is deterministic and
+order-preserving regardless of process layout.
+
+Run directly to print the table:  python benchmarks/bench_campaign.py
+"""
+
+import os
+
+from repro.campaign import CampaignRunner, default_matrix
+
+try:
+    from benchmarks.tables import format_table
+except ImportError:  # running the file directly from within benchmarks/
+    from tables import format_table
+
+
+def _run(backend: str, workers: int | None = None):
+    matrix = default_matrix()
+    return CampaignRunner(matrix, backend=backend, workers=workers).run()
+
+
+def generate_campaign_table():
+    rows = []
+    digests = []
+    for backend, workers in (("serial", None), ("process", None), ("process", 2)):
+        report = _run(backend, workers)
+        digests.append(report.run_digest)
+        label = backend if workers is None else f"{backend} (workers={workers})"
+        rows.append(
+            (
+                label,
+                report.scenarios,
+                report.transactions,
+                f"{report.elapsed_seconds:.2f}s",
+                f"{report.scenarios_per_second:.0f}/s",
+                len(report.violations),
+                report.run_digest[:12],
+            )
+        )
+    assert len(set(digests)) == 1, f"backend digests diverged: {digests}"
+    header = (
+        "backend", "scenarios", "transactions", "time", "throughput",
+        "violations", "digest",
+    )
+    return header, rows
+
+
+# ----------------------------------------------------------------------
+def test_campaign_backends_agree(benchmark):
+    header, rows = benchmark.pedantic(generate_campaign_table, rounds=1, iterations=1)
+    assert all(r[5] == 0 for r in rows)
+    assert all(r[1] >= 500 for r in rows)  # the acceptance-scale matrix
+    assert len({r[6] for r in rows}) == 1  # identical run digests
+
+
+if __name__ == "__main__":
+    print(f"cpus: {os.cpu_count()}")
+    print(format_table("EXP-C1: campaign engine throughput", *generate_campaign_table()))

@@ -1,0 +1,42 @@
+"""Batched adversarial scenario campaigns.
+
+The campaign engine is the scale substrate the ROADMAP asks for: it turns
+the paper's "a hedged compliant party is compensated at *every* deviation
+point" claim into something executable at thousands-of-scenarios scale.
+
+- :mod:`repro.campaign.scenario` — one scenario = one full deterministic
+  simulation (builder + adversary profile + properties) condensed into a
+  picklable :class:`ScenarioResult` with a stable content digest,
+- :mod:`repro.campaign.matrix` — :class:`ScenarioMatrix` expands axes
+  (protocol family × premium/timeout schedule × adversary subset × named
+  strategy × deviation round) into scenario specs in a deterministic order,
+- :mod:`repro.campaign.runner` — :class:`CampaignRunner` executes a matrix
+  through a pluggable serial or ``multiprocessing`` backend and aggregates
+  per-axis violation counts, payoff distributions, throughput, and a
+  reproducible run digest,
+- :mod:`repro.campaign.families` — the registry of protocol families
+  (two-party, multi-party, broker, auction, bootstrap) with their default
+  adversary spaces and premium schedules; :func:`default_matrix` builds the
+  standard all-families campaign.
+
+``repro.checker.ModelChecker`` is a thin client of this package: profile
+enumeration, execution, and property evaluation all live here.
+"""
+
+from repro.campaign.matrix import ScenarioMatrix, enumerate_profiles
+from repro.campaign.runner import CampaignReport, CampaignRunner, ScenarioViolation
+from repro.campaign.scenario import Scenario, ScenarioResult, run_scenario
+from repro.campaign.families import FAMILY_NAMES, default_matrix
+
+__all__ = [
+    "CampaignReport",
+    "CampaignRunner",
+    "FAMILY_NAMES",
+    "Scenario",
+    "ScenarioMatrix",
+    "ScenarioResult",
+    "ScenarioViolation",
+    "default_matrix",
+    "enumerate_profiles",
+    "run_scenario",
+]

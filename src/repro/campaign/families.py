@@ -1,0 +1,180 @@
+"""The protocol-family registry for campaigns.
+
+Each ``add_*`` helper contributes one family's blocks to a
+:class:`repro.campaign.matrix.ScenarioMatrix`: the protocol builder(s),
+the premium schedules worth sweeping, the per-party adversary strategy
+space, and the paper properties to assert on every outcome.
+:func:`default_matrix` assembles the standard all-families campaign — the
+matrix the CLI, the benchmarks, and the smoke tests run.
+
+Imports from ``repro.checker`` and the protocol cores are deliberately
+function-local: the checker is a *client* of the campaign engine, so the
+campaign package must not depend on it at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.campaign.matrix import ScenarioMatrix
+
+FAMILY_NAMES = ("two-party", "multi-party", "broker", "auction", "bootstrap")
+
+TWO_PARTY_METHODS = ("deposit_premium", "escrow_principal", "redeem")
+
+
+def add_two_party(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> None:
+    """Hedged two-party swap (§5.2): halts, skips, lags; premium schedules."""
+    from repro.checker import properties as props
+    from repro.checker.strategies import full_strategy_space
+    from repro.core.hedged_two_party import HedgedTwoPartySpec, HedgedTwoPartySwap
+
+    schedules = (
+        ("p2:1", HedgedTwoPartySpec()),
+        ("p3:2", HedgedTwoPartySpec(premium_a=3, premium_b=2)),
+    )
+    for name, spec in schedules:
+        instance = HedgedTwoPartySwap(spec).build()
+        space = full_strategy_space(
+            instance.horizon, TWO_PARTY_METHODS, max_skip_subset=2, max_lag=2
+        )
+        matrix.add_block(
+            family="two-party",
+            schedule=name,
+            builder=lambda spec=spec: HedgedTwoPartySwap(spec).build(),
+            properties=(props.no_stuck_escrow, props.two_party_hedged),
+            strategies={party: space for party in instance.actors},
+            max_adversaries=2 if max_adversaries is None else max_adversaries,
+        )
+
+
+def add_multi_party(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> None:
+    """Hedged multi-party swap (§7.1): halts over three graph/premium mixes."""
+    from repro.checker import properties as props
+    from repro.checker.strategies import halt_strategies
+    from repro.core.hedged_multi_party import HedgedMultiPartySwap
+    from repro.graph.digraph import complete_graph, figure3_graph, ring_graph
+
+    schedules = (
+        ("figure3/p1", figure3_graph, 1),
+        ("ring3/p2", lambda: ring_graph(3), 2),
+        ("complete3/p1", lambda: complete_graph(3), 1),
+    )
+    for name, graph_fn, premium in schedules:
+        instance = HedgedMultiPartySwap(graph=graph_fn(), premium=premium).build()
+        matrix.add_block(
+            family="multi-party",
+            schedule=name,
+            builder=lambda g=graph_fn, p=premium: HedgedMultiPartySwap(
+                graph=g(), premium=p
+            ).build(),
+            properties=(props.no_stuck_escrow, props.multi_party_lemmas),
+            strategies={
+                party: halt_strategies(instance.horizon) for party in instance.actors
+            },
+            max_adversaries=1 if max_adversaries is None else max_adversaries,
+        )
+
+
+def add_broker(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> None:
+    """Hedged broker deal (§8.2): halts over two premium schedules."""
+    from repro.checker import properties as props
+    from repro.checker.strategies import halt_strategies
+    from repro.core.hedged_broker import HedgedBrokerDeal
+
+    for premium in (1, 2):
+        instance = HedgedBrokerDeal(premium=premium).build()
+        matrix.add_block(
+            family="broker",
+            schedule=f"p{premium}",
+            builder=lambda p=premium: HedgedBrokerDeal(premium=p).build(),
+            properties=(props.no_stuck_escrow, props.broker_bounds),
+            strategies={
+                party: halt_strategies(instance.horizon) for party in instance.actors
+            },
+            max_adversaries=1 if max_adversaries is None else max_adversaries,
+        )
+
+
+def add_auction(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> None:
+    """Ticket auction (§9): every auctioneer strategy × bidder halts, plus
+    the unhedged base form."""
+    from repro.checker import properties as props
+    from repro.checker.strategies import halt_strategies
+    from repro.core.hedged_auction import AuctioneerStrategy, AuctionSpec, HedgedAuction
+
+    hedged = AuctionSpec()
+    base = AuctionSpec(premium=0)
+    for spec, premium_name in ((hedged, "p1"), (base, "p0")):
+        for strategy in AuctioneerStrategy:
+            if premium_name == "p0" and strategy is not AuctioneerStrategy.HONEST:
+                continue  # base form: deviant declarations only swept hedged
+            instance = HedgedAuction(spec=spec, strategy=strategy).build()
+            honest = strategy is AuctioneerStrategy.HONEST
+            halting = (
+                instance.actors
+                if honest
+                else [p for p in instance.actors if p != spec.auctioneer]
+            )
+            matrix.add_block(
+                family="auction",
+                schedule=f"{premium_name}/{strategy.value}",
+                builder=lambda spec=spec, strategy=strategy: HedgedAuction(
+                    spec=spec, strategy=strategy
+                ).build(),
+                properties=(props.no_stuck_escrow, props.auction_lemmas),
+                strategies={
+                    party: halt_strategies(instance.horizon) for party in halting
+                },
+                max_adversaries=1 if max_adversaries is None else max_adversaries,
+                extra_adversaries=() if honest else (spec.auctioneer,),
+            )
+
+
+def add_bootstrap(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> None:
+    """Bootstrapped swap (§6): halts at every round of a two-stage ladder."""
+    from repro.checker import properties as props
+    from repro.core.bootstrap import BootstrappedSwap, BootstrapSpec
+    from repro.checker.strategies import halt_strategies
+
+    spec = BootstrapSpec(amount_a=10_000, amount_b=10_000, rate=10, rounds=2)
+    instance = BootstrappedSwap(spec).build()
+    matrix.add_block(
+        family="bootstrap",
+        schedule="10k/P10/r2",
+        builder=lambda spec=spec: BootstrappedSwap(spec).build(),
+        properties=(props.no_stuck_escrow, props.bootstrap_hedged),
+        strategies={
+            party: halt_strategies(instance.horizon) for party in instance.actors
+        },
+        max_adversaries=1 if max_adversaries is None else max_adversaries,
+    )
+
+
+_FAMILY_ADDERS = {
+    "two-party": add_two_party,
+    "multi-party": add_multi_party,
+    "broker": add_broker,
+    "auction": add_auction,
+    "bootstrap": add_bootstrap,
+}
+
+
+def default_matrix(
+    families: Iterable[str] | None = None,
+    seed: int = 0,
+    max_adversaries: int | None = None,
+) -> ScenarioMatrix:
+    """The standard adversarial campaign over the requested families."""
+    chosen = (
+        tuple(dict.fromkeys(families)) if families is not None else FAMILY_NAMES
+    )
+    unknown = set(chosen) - set(_FAMILY_ADDERS)
+    if unknown:
+        raise ValueError(
+            f"unknown families {sorted(unknown)}; known: {sorted(_FAMILY_ADDERS)}"
+        )
+    matrix = ScenarioMatrix(seed=seed)
+    for name in chosen:
+        _FAMILY_ADDERS[name](matrix, max_adversaries)
+    return matrix

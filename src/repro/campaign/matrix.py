@@ -1,0 +1,243 @@
+"""Scenario matrices: deterministic expansion of campaign axes.
+
+A :class:`ScenarioMatrix` is a list of *blocks*.  Each block fixes the
+protocol-level axes — family, premium/timeout schedule, builder, properties
+— and carries a per-party strategy space; expansion enumerates every
+adversary subset (up to ``max_adversaries``) crossed with every strategy
+assignment, in a deterministic order, yielding :class:`Scenario` specs with
+stable global indices and labels.
+
+The matrix also knows its own identity: :meth:`ScenarioMatrix.digest`
+hashes the seed and every block descriptor (family, schedule, strategy
+labels, property names), so a campaign report can state exactly *which*
+matrix produced it.  ``scenarios(limit=N)`` deterministically subsamples by
+spreading ``N`` picks evenly across the full index range — coverage is
+proportional to family size, so a limit much smaller than the family count
+times ~30 can skip the smallest families entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import sha256
+from itertools import combinations, product
+from typing import Iterable, Iterator
+
+from repro.campaign.scenario import Builder, LabelledStrategy, Property, Scenario
+
+
+def enumerate_profiles(
+    strategies: dict[str, list[LabelledStrategy]],
+    max_adversaries: int = 1,
+    include_compliant: bool = True,
+) -> Iterator[dict[str, LabelledStrategy]]:
+    """All adversary profiles in deterministic order.
+
+    The all-compliant profile (if included) comes first, then subsets by
+    ascending size, parties sorted, strategy assignments in product order —
+    the ordering contract ``ModelChecker.profiles`` has always had.
+    """
+    if include_compliant:
+        yield {}
+    parties = sorted(strategies)
+    for size in range(1, max_adversaries + 1):
+        for subset in combinations(parties, size):
+            spaces = [strategies[p] for p in subset]
+            for combo in product(*spaces):
+                yield dict(zip(subset, combo))
+
+
+def profile_label(profile: dict[str, LabelledStrategy]) -> str:
+    """Human-readable profile name (stable across runs)."""
+    return (
+        "; ".join(f"{p}:{s.label}" for p, s in sorted(profile.items()))
+        or "all-compliant"
+    )
+
+
+def _strategy_kind(label: str) -> str:
+    """"halt@3" → "halt", "skip:redeem" → "skip", "lag+2" → "lag"."""
+    for sep in ("@", ":", "+"):
+        label = label.split(sep)[0]
+    return label
+
+
+def _strategy_axes(profile: dict[str, LabelledStrategy]) -> list[tuple[str, str]]:
+    """Strategy-kind and deviation-round coordinates for aggregation."""
+    if not profile:
+        return [("strategy", "compliant"), ("round", "-")]
+    if len(profile) > 1:
+        kinds = sorted({_strategy_kind(s.label) for s in profile.values()})
+        return [("strategy", "&".join(kinds)), ("round", "multi")]
+    (strategy,) = profile.values()
+    rnd = strategy.label.split("@", 1)[1] if "@" in strategy.label else "-"
+    return [("strategy", _strategy_kind(strategy.label)), ("round", rnd)]
+
+
+@dataclass(frozen=True)
+class MatrixBlock:
+    """One protocol-level cell of the matrix (family × schedule)."""
+
+    family: str
+    schedule: str
+    builder: Builder = field(repr=False)
+    properties: tuple[Property, ...] = field(repr=False)
+    strategies: tuple[tuple[str, tuple[LabelledStrategy, ...]], ...] = field(repr=False)
+    max_adversaries: int = 1
+    include_compliant: bool = True
+    #: builder-level deviants (counted adversarial in every scenario).
+    extra_adversaries: tuple[str, ...] = ()
+
+    def strategy_map(self) -> dict[str, list[LabelledStrategy]]:
+        return {party: list(space) for party, space in self.strategies}
+
+    def size(self) -> int:
+        count = 1 if self.include_compliant else 0
+        spaces = self.strategy_map()
+        parties = sorted(spaces)
+        for size in range(1, self.max_adversaries + 1):
+            for subset in combinations(parties, size):
+                block = 1
+                for p in subset:
+                    block *= len(spaces[p])
+                count += block
+        return count
+
+    def describe(self) -> str:
+        parts = [
+            self.family,
+            self.schedule,
+            # The builder's qualified name weakly identifies the protocol
+            # even when family/schedule are blank (ModelChecker blocks);
+            # closures hash as their defining scope, not their captures.
+            getattr(self.builder, "__qualname__", type(self.builder).__name__),
+            str(self.max_adversaries),
+            str(self.include_compliant),
+            ",".join(self.extra_adversaries),
+            ",".join(getattr(p, "__name__", repr(p)) for p in self.properties),
+        ]
+        for party, space in self.strategies:
+            parts.append(party + "=" + ",".join(s.label for s in space))
+        return "|".join(parts)
+
+
+class ScenarioMatrix:
+    """Axis expansion: (family × schedule × adversaries × strategy)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.blocks: list[MatrixBlock] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_block(
+        self,
+        family: str,
+        schedule: str,
+        builder: Builder,
+        properties: Iterable[Property],
+        strategies: dict[str, Iterable[LabelledStrategy]],
+        max_adversaries: int = 1,
+        include_compliant: bool = True,
+        extra_adversaries: Iterable[str] = (),
+    ) -> "ScenarioMatrix":
+        self.blocks.append(
+            MatrixBlock(
+                family=family,
+                schedule=schedule,
+                builder=builder,
+                properties=tuple(properties),
+                strategies=tuple(
+                    (party, tuple(space)) for party, space in sorted(strategies.items())
+                ),
+                max_adversaries=max_adversaries,
+                include_compliant=include_compliant,
+                extra_adversaries=tuple(extra_adversaries),
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(block.size() for block in self.blocks)
+
+    def families(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for block in self.blocks:
+            seen.setdefault(block.family, None)
+        return list(seen)
+
+    def block_sizes(self) -> dict[str, int]:
+        """Scenario count per family (for --list style reporting)."""
+        sizes: dict[str, int] = {}
+        for block in self.blocks:
+            sizes[block.family] = sizes.get(block.family, 0) + block.size()
+        return sizes
+
+    def digest(self) -> str:
+        """*Structural* identity: seed + every block descriptor.
+
+        Covers the axes, strategy labels, property names, and builder
+        qualnames — not parameters captured inside builder closures, which
+        no hash of the matrix can see.  Two matrices differing only in a
+        closure-captured spec share a structural digest; their *run*
+        digests still differ, because per-scenario digests hash the actual
+        outcomes (final ledgers, premium flows).  Provenance claims should
+        therefore cite the run digest; this one names the campaign shape.
+        """
+        h = sha256(f"seed={self.seed}".encode())
+        for block in self.blocks:
+            h.update(b"\n")
+            h.update(block.describe().encode())
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    # expansion
+    # ------------------------------------------------------------------
+    def scenarios(self, limit: int | None = None) -> Iterator[Scenario]:
+        """Expand the matrix; ``limit`` subsamples evenly across the range."""
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        total = len(self)
+        selected: set[int] | None = None
+        if limit is not None and limit < total:
+            selected = {(i * total) // limit for i in range(limit)}
+        index = 0
+        for block in self.blocks:
+            label_prefix = (
+                f"{block.family}/{block.schedule}/" if block.family else ""
+            )
+            base_axes = [("family", block.family), ("schedule", block.schedule)]
+            for profile in enumerate_profiles(
+                block.strategy_map(), block.max_adversaries, block.include_compliant
+            ):
+                if selected is not None and index not in selected:
+                    index += 1
+                    continue
+                adversaries = tuple(
+                    sorted(set(profile) | set(block.extra_adversaries))
+                )
+                strategy_axes = _strategy_axes(profile)
+                if not profile and block.extra_adversaries:
+                    # The deviation is baked into the builder (e.g. a
+                    # cheating auctioneer): not a compliant scenario.
+                    strategy_axes = [("strategy", "builder-deviant"), ("round", "-")]
+                yield Scenario(
+                    index=index,
+                    label=label_prefix + profile_label(profile),
+                    builder=block.builder,
+                    properties=block.properties,
+                    profile=tuple(sorted(profile.items())),
+                    adversaries=adversaries,
+                    axes=tuple(
+                        base_axes
+                        + strategy_axes
+                        + [("adversaries", ",".join(adversaries) or "none")]
+                    ),
+                )
+                index += 1
+        # size() mirrors enumerate_profiles' combinatorics; keep them honest.
+        assert index == total, f"matrix size {total} != enumerated {index}"

@@ -1,0 +1,199 @@
+"""Campaign execution: pluggable backends + aggregation.
+
+``CampaignRunner`` expands a :class:`repro.campaign.matrix.ScenarioMatrix`
+and executes every scenario through one of two backends:
+
+- ``serial`` — a plain loop in this process,
+- ``process`` — a ``multiprocessing`` pool using the ``fork`` start method.
+  Scenarios are dispatched *by index*: workers inherit the expanded
+  scenario list through fork, so builders and strategy transforms never
+  need to be picklable; only the primitive :class:`ScenarioResult` objects
+  cross the process boundary.  On platforms without ``fork`` the runner
+  falls back to serial (recorded in the report).
+
+Scenarios are independent full simulations, so results are identical
+across backends; the :class:`CampaignReport` proves it with a ``run_digest``
+— a hash over the matrix's structural digest and every per-scenario
+outcome digest in index order (so it distinguishes campaigns even when
+builder-closure parameters make their structural digests collide) — plus
+per-axis violation counts, premium-payoff distribution statistics, and
+throughput.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from hashlib import sha256
+
+from repro.campaign.matrix import ScenarioMatrix
+from repro.campaign.scenario import Scenario, ScenarioResult, run_scenario
+
+# Worker-side scenario table, inherited through fork (never pickled).
+_WORKER_SCENARIOS: list[Scenario] = []
+
+
+def _pool_init(scenarios: list[Scenario]) -> None:
+    global _WORKER_SCENARIOS
+    _WORKER_SCENARIOS = scenarios
+
+
+def _run_at(index: int) -> ScenarioResult:
+    return run_scenario(_WORKER_SCENARIOS[index])
+
+
+@dataclass(frozen=True)
+class ScenarioViolation:
+    """One property violation in one scenario."""
+
+    scenario: str
+    message: str
+
+
+@dataclass
+class AxisStats:
+    """Per-axis-value aggregate."""
+
+    scenarios: int = 0
+    violations: int = 0
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign observed, plus its reproducibility digest."""
+
+    backend: str
+    workers: int
+    matrix_digest: str
+    scenarios: int = 0
+    transactions: int = 0
+    reverted: int = 0
+    violations: list[ScenarioViolation] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    results: list[ScenarioResult] = field(default_factory=list)
+    by_axis: dict[str, dict[str, AxisStats]] = field(default_factory=dict)
+    premium_net_hist: Counter = field(default_factory=Counter)
+    run_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def scenarios_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.scenarios / self.elapsed_seconds
+
+    def payoff_summary(self) -> dict[str, float]:
+        """Distribution of per-(scenario, party) net premium flows."""
+        total = sum(self.premium_net_hist.values())
+        if not total:
+            return {"n": 0, "min": 0, "max": 0, "mean": 0.0, "nonzero": 0}
+        weighted = sum(v * c for v, c in self.premium_net_hist.items())
+        return {
+            "n": total,
+            "min": min(self.premium_net_hist),
+            "max": max(self.premium_net_hist),
+            "mean": weighted / total,
+            "nonzero": sum(
+                c for v, c in self.premium_net_hist.items() if v != 0
+            ),
+        }
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"{self.scenarios} scenarios, {self.transactions} transactions, "
+            f"{self.elapsed_seconds:.2f}s ({self.scenarios_per_second:.0f}/s, "
+            f"backend={self.backend}): {status}"
+        )
+
+    def axis_table(self, axis: str) -> list[tuple[str, int, int]]:
+        """(value, scenarios, violations) rows for one axis, sorted."""
+        stats = self.by_axis.get(axis, {})
+        return [
+            (value, s.scenarios, s.violations)
+            for value, s in sorted(stats.items())
+        ]
+
+
+class CampaignRunner:
+    """Execute a scenario matrix through a pluggable backend."""
+
+    def __init__(
+        self,
+        matrix: ScenarioMatrix,
+        backend: str = "serial",
+        workers: int | None = None,
+        limit: int | None = None,
+    ) -> None:
+        if backend not in ("serial", "process"):
+            raise ValueError(f"unknown backend {backend!r}: use serial or process")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self.matrix = matrix
+        self.backend = backend
+        self.workers = workers if workers is not None else max(2, os.cpu_count() or 1)
+        self.limit = limit
+
+    # ------------------------------------------------------------------
+    # backends
+    # ------------------------------------------------------------------
+    def _run_serial(self, scenarios: list[Scenario]) -> list[ScenarioResult]:
+        return [run_scenario(s) for s in scenarios]
+
+    def _run_process(self, scenarios: list[Scenario]) -> list[ScenarioResult]:
+        ctx = multiprocessing.get_context("fork")
+        chunksize = max(1, len(scenarios) // (self.workers * 8))
+        with ctx.Pool(
+            processes=self.workers, initializer=_pool_init, initargs=(scenarios,)
+        ) as pool:
+            return pool.map(_run_at, range(len(scenarios)), chunksize=chunksize)
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignReport:
+        scenarios = list(self.matrix.scenarios(limit=self.limit))
+        backend = self.backend
+        if backend == "process" and "fork" not in multiprocessing.get_all_start_methods():
+            backend = "serial"  # pragma: no cover - platform dependent
+
+        start = time.perf_counter()
+        if backend == "process":
+            results = self._run_process(scenarios)
+        else:
+            results = self._run_serial(scenarios)
+        elapsed = time.perf_counter() - start
+
+        report = CampaignReport(
+            backend=backend,
+            workers=self.workers if backend == "process" else 1,
+            matrix_digest=self.matrix.digest(),
+            elapsed_seconds=elapsed,
+            results=results,
+        )
+        digest = sha256(report.matrix_digest.encode())
+        for result in results:
+            report.scenarios += 1
+            report.transactions += result.transactions
+            report.reverted += result.reverted
+            digest.update(result.digest.encode())
+            for message in result.violations:
+                report.violations.append(ScenarioViolation(result.label, message))
+            for axis, value in result.axes:
+                stats = report.by_axis.setdefault(axis, {}).setdefault(
+                    value, AxisStats()
+                )
+                stats.scenarios += 1
+                stats.violations += len(result.violations)
+            for _, net in result.premium_net:
+                report.premium_net_hist[net] += 1
+        report.run_digest = digest.hexdigest()
+        return report

@@ -1,0 +1,125 @@
+"""One campaign scenario: a full simulation condensed to a stable digest.
+
+A :class:`Scenario` is executable data: a protocol builder, an adversary
+profile (party → labelled actor transform), the properties to assert, and
+the axis coordinates used for aggregation.  :func:`run_scenario` executes
+it — build, deviate, run to the horizon, evaluate every property — and
+condenses the run into a :class:`ScenarioResult` made only of primitives,
+so results cross process boundaries cheaply.
+
+The per-scenario ``digest`` hashes everything observable about the outcome
+(violations, transaction count, premium flows, the final ledger state of
+every chain), which is what makes whole campaigns reproducible: two runs of
+the same matrix — on any backend, in any process layout — must produce the
+same sequence of digests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Callable, Protocol
+
+from repro.protocols.instance import ProtocolInstance, execute
+
+Builder = Callable[[], ProtocolInstance]
+Property = Callable[[ProtocolInstance, object, frozenset[str]], list[str]]
+
+
+class LabelledStrategy(Protocol):
+    """Anything with a ``label`` and an actor ``transform`` (duck-typed so
+    the campaign core does not depend on ``repro.checker``)."""
+
+    label: str
+    transform: Callable
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully specified scenario, ready to execute."""
+
+    index: int
+    label: str
+    builder: Builder = field(repr=False)
+    properties: tuple[Property, ...] = field(repr=False)
+    #: (party, strategy) pairs; the strategy's transform wraps the actor.
+    profile: tuple[tuple[str, LabelledStrategy], ...] = ()
+    #: parties counted as adversarial when evaluating properties.  Includes
+    #: every profiled party plus builder-level deviants (e.g. a cheating
+    #: auctioneer baked into the builder rather than an actor transform).
+    adversaries: tuple[str, ...] = ()
+    #: (axis, value) coordinates for aggregation, e.g. ("family", "broker").
+    axes: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Primitive-only outcome of one scenario (picklable)."""
+
+    index: int
+    label: str
+    axes: tuple[tuple[str, str], ...]
+    violations: tuple[str, ...]
+    transactions: int
+    reverted: int
+    premium_net: tuple[tuple[str, int], ...]
+    elapsed_seconds: float
+    digest: str
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _ledger_fingerprint(instance: ProtocolInstance) -> str:
+    """Canonical rendering of every chain's final ledger state."""
+    lines = []
+    for name in sorted(instance.world.chains):
+        chain = instance.world.chains[name]
+        for (asset, account), balance in sorted(
+            chain.ledger.snapshot().items(), key=lambda kv: (str(kv[0][0]), kv[0][1])
+        ):
+            if balance:
+                lines.append(f"{asset}/{account}={balance}")
+    return ";".join(lines)
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute one scenario and condense the run."""
+    start = time.perf_counter()
+    instance = scenario.builder()
+    deviations = {party: strategy.transform for party, strategy in scenario.profile}
+    result = execute(instance, deviations)
+    adversaries = frozenset(scenario.adversaries)
+
+    violations: list[str] = []
+    for prop in scenario.properties:
+        violations.extend(prop(instance, result, adversaries))
+
+    payoffs = result.payoffs
+    premium_net = tuple(
+        (party, payoffs.premium_net(party)) for party in sorted(instance.actors)
+    )
+    elapsed = time.perf_counter() - start
+
+    summary = "|".join(
+        (
+            scenario.label,
+            ",".join(violations),
+            str(len(result.transactions)),
+            ",".join(f"{p}:{net}" for p, net in premium_net),
+            _ledger_fingerprint(instance),
+        )
+    )
+    return ScenarioResult(
+        index=scenario.index,
+        label=scenario.label,
+        axes=scenario.axes,
+        violations=tuple(violations),
+        transactions=len(result.transactions),
+        reverted=len(result.reverted()),
+        premium_net=premium_net,
+        elapsed_seconds=elapsed,
+        digest=sha256(summary.encode()).hexdigest(),
+    )

@@ -94,7 +94,10 @@ class Blockchain:
         try:
             contract = self.contract_at(tx.contract)
             method: Callable[..., Any] = getattr(contract, tx.method, None)
-            if method is None or tx.method.startswith("_"):
+            # Non-callable attributes (state fields, properties) are not an
+            # ABI: calling one must read as "no such method", not as the
+            # malformed-calldata TypeError the call below would raise.
+            if not callable(method) or tx.method.startswith("_"):
                 raise ContractError(f"no public method {tx.method!r}")
             try:
                 method(ctx, **tx.args)

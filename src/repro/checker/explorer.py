@@ -1,22 +1,28 @@
-"""The model-checking driver.
+"""The model-checking driver — a thin client of the campaign engine.
 
-``ModelChecker`` enumerates adversary profiles — every subset of parties up
-to ``max_adversaries``, each assigned every strategy from the per-party
-strategy space — executes the protocol for each profile, and evaluates all
-property predicates on the outcome.  Scenarios are independent full
-simulations, so exploration is embarrassingly deterministic: the same
-profile always yields the same trace.
+``ModelChecker`` keeps its historical interface (builder + properties +
+per-party strategy spaces, ``profiles()``, ``run()`` → :class:`CheckReport`)
+but profile enumeration, execution, and property evaluation all live in
+:mod:`repro.campaign` now: the checker wraps its configuration in a
+single-block :class:`repro.campaign.ScenarioMatrix` and hands it to a
+:class:`repro.campaign.CampaignRunner`.  That also gives every checker the
+campaign backends for free — pass ``backend="process"`` to explore a large
+deviation space across worker processes.
+
+Scenarios are independent full simulations, so exploration is
+embarrassingly deterministic: the same profile always yields the same
+trace, and the same matrix always yields the same run digest.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from itertools import combinations, product
 from typing import Callable, Iterable
 
+from repro.campaign.matrix import ScenarioMatrix, enumerate_profiles
+from repro.campaign.runner import CampaignRunner
 from repro.checker.strategies import NamedStrategy
-from repro.protocols.instance import ProtocolInstance, execute
+from repro.protocols.instance import ProtocolInstance
 from repro.sim.runner import RunResult
 
 Property = Callable[[ProtocolInstance, RunResult, frozenset[str]], list[str]]
@@ -39,6 +45,9 @@ class CheckReport:
     transactions: int = 0
     violations: list[Violation] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: the backend that actually ran (a requested "process" backend falls
+    #: back to "serial" on platforms without fork).
+    backend: str = "serial"
 
     @property
     def ok(self) -> bool:
@@ -62,41 +71,48 @@ class ModelChecker:
         strategies: dict[str, list[NamedStrategy]],
         max_adversaries: int = 1,
         include_compliant: bool = True,
+        backend: str = "serial",
+        workers: int | None = None,
     ) -> None:
         self.builder = builder
         self.properties = list(properties)
         self.strategies = strategies
         self.max_adversaries = max_adversaries
         self.include_compliant = include_compliant
+        self.backend = backend
+        self.workers = workers
 
     def profiles(self) -> Iterable[dict[str, NamedStrategy]]:
         """All adversary profiles in deterministic order."""
-        if self.include_compliant:
-            yield {}
-        parties = sorted(self.strategies)
-        for size in range(1, self.max_adversaries + 1):
-            for subset in combinations(parties, size):
-                spaces = [self.strategies[p] for p in subset]
-                for combo in product(*spaces):
-                    yield dict(zip(subset, combo))
+        return enumerate_profiles(
+            self.strategies, self.max_adversaries, self.include_compliant
+        )
+
+    def matrix(self) -> ScenarioMatrix:
+        """This checker's configuration as a one-block scenario matrix."""
+        matrix = ScenarioMatrix()
+        matrix.add_block(
+            family="",  # no prefix: scenario labels stay profile labels
+            schedule="",
+            builder=self.builder,
+            properties=self.properties,
+            strategies=self.strategies,
+            max_adversaries=self.max_adversaries,
+            include_compliant=self.include_compliant,
+        )
+        return matrix
 
     def run(self) -> CheckReport:
         """Execute every profile and evaluate every property."""
-        report = CheckReport()
-        start = time.perf_counter()
-        for profile in self.profiles():
-            label = (
-                "; ".join(f"{p}:{s.label}" for p, s in sorted(profile.items()))
-                or "all-compliant"
-            )
-            instance = self.builder()
-            deviations = {p: s.transform for p, s in profile.items()}
-            result = execute(instance, deviations)
-            report.scenarios += 1
-            report.transactions += len(result.transactions)
-            adversaries = frozenset(profile)
-            for prop in self.properties:
-                for message in prop(instance, result, adversaries):
-                    report.violations.append(Violation(label, message))
-        report.elapsed_seconds = time.perf_counter() - start
-        return report
+        campaign = CampaignRunner(
+            self.matrix(), backend=self.backend, workers=self.workers
+        ).run()
+        return CheckReport(
+            scenarios=campaign.scenarios,
+            transactions=campaign.transactions,
+            violations=[
+                Violation(v.scenario, v.message) for v in campaign.violations
+            ],
+            elapsed_seconds=campaign.elapsed_seconds,
+            backend=campaign.backend,
+        )

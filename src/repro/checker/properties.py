@@ -130,6 +130,50 @@ def broker_bounds(
     return violations
 
 
+def bootstrap_hedged(
+    instance: ProtocolInstance, result: RunResult, adversaries: frozenset[str]
+) -> list[str]:
+    """§6 claims: a renege costs only the deviator, at any stage.
+
+    Premium/deposit flows are zero-sum, a compliant party never ends with a
+    negative native flow (compensation covers any lockup it suffered), and
+    an all-compliant ladder completes every stage and swaps.
+    """
+    from repro.core.bootstrap import extract_bootstrap_outcome
+
+    spec = instance.meta["spec"]
+    out = extract_bootstrap_outcome(instance, result)
+    payoffs = result.payoffs
+    token_a = instance.world.chain(spec.chain_a).asset(spec.token_a)
+    token_b = instance.world.chain(spec.chain_b).asset(spec.token_b)
+    own = {spec.alice: (token_a, spec.amount_b, token_b),
+           spec.bob: (token_b, spec.amount_a, token_a)}
+    violations = []
+    if sum(out.premium_net.values()) != 0:
+        violations.append(f"premium flows not zero-sum: {out.premium_net}")
+    for party in (spec.alice, spec.bob):
+        if party in adversaries:
+            continue
+        if out.premium_net[party] < 0:
+            violations.append(
+                f"{party}: compliant party paid {out.premium_net[party]} net"
+            )
+        # Principal safety: keep (or recover) the own token, or be paid the
+        # counter-principal — never out both.
+        own_token, counter_amount, counter_token = own[party]
+        delta = payoffs.delta(party)
+        if delta.get(own_token, 0) < 0 and delta.get(counter_token, 0) < counter_amount:
+            violations.append(f"{party}: lost principal without counter-payment")
+    if not adversaries:
+        if not out.swapped:
+            violations.append("liveness: compliant ladder did not swap")
+        if out.stages_completed != out.total_stages:
+            violations.append(
+                f"liveness: {out.stages_completed}/{out.total_stages} stages completed"
+            )
+    return violations
+
+
 def auction_lemmas(
     instance: ProtocolInstance, result: RunResult, adversaries: frozenset[str]
 ) -> list[str]:

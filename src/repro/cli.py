@@ -12,7 +12,15 @@ Examples::
 
 ``--deviate NAME@ROUND`` wraps the named party in a sore-loser halt; it can
 be repeated.  ``check`` runs the exhaustive model checker for a protocol
-family and prints the report.
+family and prints the report.  ``campaign`` runs the batched adversarial
+scenario matrix over every protocol family (``--backend process``
+parallelises it; ``--limit N`` smoke-runs an even, deterministic subsample
+— ``--seed`` stamps the matrix identity into the digests but never changes
+which scenarios run)::
+
+    python -m repro.cli campaign
+    python -m repro.cli campaign --families two-party,broker --backend process
+    python -m repro.cli campaign --limit 120
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.campaign import CampaignRunner, FAMILY_NAMES, default_matrix
 from repro.checker import ModelChecker, full_strategy_space, halt_strategies, properties as props
 from repro.core.bootstrap import BootstrapSpec, BootstrappedSwap, extract_bootstrap_outcome
 from repro.core.hedged_auction import (
@@ -182,6 +191,52 @@ def cmd_check(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_campaign(args) -> None:
+    families = None
+    if args.families and args.families != "all":
+        families = [f.strip() for f in args.families.split(",") if f.strip()]
+    try:
+        matrix = default_matrix(
+            families=families, seed=args.seed, max_adversaries=args.adversaries
+        )
+    except ValueError as err:
+        raise SystemExit(f"error: {err}")
+    sizes = matrix.block_sizes()
+    total = len(matrix)
+    print(f"matrix: {total} scenarios over {len(sizes)} families "
+          f"(seed={matrix.seed}, digest={matrix.digest()[:16]})")
+    for family, size in sizes.items():
+        print(f"  {family:<12} {size:>6}")
+    if args.list:
+        return
+    try:
+        runner = CampaignRunner(
+            matrix, backend=args.backend, workers=args.workers, limit=args.limit
+        )
+    except ValueError as err:
+        raise SystemExit(f"error: {err}")
+    report = runner.run()
+    print()
+    print(report.summary())
+    for axis in ("family", "strategy"):
+        rows = report.axis_table(axis)
+        if not rows:
+            continue
+        print(f"by {axis}:")
+        for value, scenarios, violations in rows:
+            print(f"  {value:<24} {scenarios:>6} scenarios  {violations:>4} violations")
+    payoffs = report.payoff_summary()
+    print(
+        f"premium flows: n={payoffs['n']} nonzero={payoffs['nonzero']} "
+        f"min={payoffs['min']} max={payoffs['max']} mean={payoffs['mean']:.3f}"
+    )
+    print(f"run digest: {report.run_digest}")
+    for violation in report.violations[:20]:
+        print(f"  {violation.scenario}: {violation.message}")
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -240,6 +295,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph", default="figure3")
     p.add_argument("--adversaries", type=int, default=1)
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("campaign", help="batched adversarial scenario matrix")
+    p.add_argument(
+        "--families",
+        default="all",
+        help="comma-separated subset of " + ",".join(FAMILY_NAMES),
+    )
+    p.add_argument("--backend", choices=["serial", "process"], default="serial")
+    p.add_argument("--workers", type=int, default=None, help="process-pool size")
+    p.add_argument("--limit", type=int, default=None,
+                   help="run only N scenarios, spread evenly across the matrix")
+    p.add_argument("--seed", type=int, default=0, help="matrix identity seed")
+    p.add_argument("--adversaries", type=int, default=None,
+                   help="override max simultaneous adversaries per family")
+    p.add_argument("--list", action="store_true",
+                   help="print the matrix breakdown and exit")
+    p.set_defaults(func=cmd_campaign)
     return parser
 
 

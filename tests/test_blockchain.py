@@ -94,6 +94,18 @@ def test_unknown_method_reverts(deployed):
     assert tx.receipt.status == "reverted"
 
 
+def test_non_callable_attribute_rejected_as_missing_method(deployed):
+    # Regression: "calling" a state field used to crash into the generic
+    # TypeError path and report malformed calldata; it must read as a
+    # missing method, with state and events untouched.
+    chain, address = deployed
+    tx = chain.execute(_tx(chain, address, "value"))
+    assert tx.receipt.status == "reverted"
+    assert "no public method 'value'" in tx.receipt.error
+    assert "malformed arguments" not in tx.receipt.error
+    assert chain.contract_at(address).value == 0
+
+
 def test_private_method_not_callable(deployed):
     chain, address = deployed
     tx = chain.execute(_tx(chain, address, "_chain"))

@@ -1,0 +1,202 @@
+"""Tests for the campaign engine: matrix expansion, backends, digests."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    ScenarioMatrix,
+    default_matrix,
+    enumerate_profiles,
+    run_scenario,
+)
+from repro.checker import ModelChecker, halt_strategies, properties
+from repro.core.hedged_two_party import HedgedTwoPartySwap
+
+
+def two_party_builder():
+    return HedgedTwoPartySwap().build()
+
+
+def small_matrix(seed: int = 0) -> ScenarioMatrix:
+    matrix = ScenarioMatrix(seed=seed)
+    matrix.add_block(
+        family="two-party",
+        schedule="default",
+        builder=two_party_builder,
+        properties=(properties.no_stuck_escrow, properties.two_party_hedged),
+        strategies={p: halt_strategies(8) for p in ("Alice", "Bob")},
+        max_adversaries=2,
+    )
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# matrix expansion
+# ----------------------------------------------------------------------
+def test_matrix_len_matches_enumeration():
+    matrix = small_matrix()
+    scenarios = list(matrix.scenarios())
+    # 1 compliant + 2*8 singles + 8*8 pairs
+    assert len(matrix) == len(scenarios) == 1 + 16 + 64
+
+
+def test_scenario_indices_and_labels_are_stable():
+    first = list(small_matrix().scenarios())
+    second = list(small_matrix().scenarios())
+    assert [s.index for s in first] == list(range(len(first)))
+    assert [s.label for s in first] == [s.label for s in second]
+    assert first[0].label == "two-party/default/all-compliant"
+    assert first[1].label == "two-party/default/Alice:halt@0"
+
+
+def test_scenario_axes_carry_strategy_and_round():
+    scenarios = list(small_matrix().scenarios())
+    axes = dict(scenarios[1].axes)
+    assert axes["family"] == "two-party"
+    assert axes["strategy"] == "halt"
+    assert axes["round"] == "0"
+    assert axes["adversaries"] == "Alice"
+    pair_axes = dict(scenarios[-1].axes)
+    assert pair_axes["round"] == "multi"
+
+
+def test_limit_subsamples_evenly_across_families():
+    matrix = default_matrix()
+    limited = list(matrix.scenarios(limit=50))
+    assert len(limited) == 50
+    families = {dict(s.axes)["family"] for s in limited}
+    assert families == set(matrix.families())
+
+
+def test_matrix_digest_depends_on_seed_and_content():
+    assert small_matrix(seed=0).digest() != small_matrix(seed=1).digest()
+    assert small_matrix(seed=0).digest() == small_matrix(seed=0).digest()
+    bigger = small_matrix()
+    bigger.add_block(
+        family="extra",
+        schedule="x",
+        builder=two_party_builder,
+        properties=(),
+        strategies={"Alice": halt_strategies(2)},
+    )
+    assert bigger.digest() != small_matrix().digest()
+
+
+def test_default_matrix_rejects_unknown_family():
+    with pytest.raises(ValueError):
+        default_matrix(families=["two-party", "nope"])
+
+
+def test_default_matrix_scale_and_coverage():
+    matrix = default_matrix()
+    sizes = matrix.block_sizes()
+    assert set(sizes) == {"two-party", "multi-party", "broker", "auction", "bootstrap"}
+    assert len(matrix) >= 500  # the acceptance-scale matrix
+    assert all(size > 0 for size in sizes.values())
+
+
+# ----------------------------------------------------------------------
+# execution and aggregation
+# ----------------------------------------------------------------------
+def test_run_scenario_produces_digest_and_payoffs():
+    scenario = next(small_matrix().scenarios())
+    result = run_scenario(scenario)
+    assert result.ok
+    assert result.transactions > 0
+    assert dict(result.premium_net) == {"Alice": 0, "Bob": 0}
+    assert len(result.digest) == 64
+    assert result.digest == run_scenario(scenario).digest
+
+
+def test_campaign_report_aggregates_axes():
+    report = CampaignRunner(small_matrix()).run()
+    assert report.ok
+    assert report.scenarios == 81
+    family_rows = report.axis_table("family")
+    assert family_rows == [("two-party", 81, 0)]
+    by_round = dict(
+        (value, count) for value, count, _ in report.axis_table("round")
+    )
+    assert by_round["multi"] == 64
+    payoffs = report.payoff_summary()
+    assert payoffs["n"] == 2 * 81
+    assert payoffs["min"] <= 0 <= payoffs["max"]
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        CampaignRunner(small_matrix(), backend="threads")
+
+
+# ----------------------------------------------------------------------
+# determinism across backends (satellite: identical run digests)
+# ----------------------------------------------------------------------
+def test_campaign_digest_identical_across_backends():
+    matrix = default_matrix(families=["broker", "bootstrap"], seed=42)
+    serial = CampaignRunner(matrix, backend="serial").run()
+    process = CampaignRunner(matrix, backend="process", workers=2).run()
+    assert serial.ok and process.ok
+    assert serial.scenarios == process.scenarios == len(matrix)
+    assert serial.run_digest == process.run_digest
+    assert [r.digest for r in serial.results] == [r.digest for r in process.results]
+
+
+def test_campaign_digest_changes_with_seed():
+    base = CampaignRunner(default_matrix(families=["bootstrap"], seed=0)).run()
+    reseeded = CampaignRunner(default_matrix(families=["bootstrap"], seed=1)).run()
+    assert base.run_digest != reseeded.run_digest
+    # seed is identity only: the underlying scenario outcomes are identical
+    assert [r.digest for r in base.results] == [r.digest for r in reseeded.results]
+
+
+# ----------------------------------------------------------------------
+# the checker as a thin client
+# ----------------------------------------------------------------------
+def test_model_checker_profiles_order_preserved():
+    space = halt_strategies(3)
+    checker = ModelChecker(
+        builder=two_party_builder,
+        properties=[],
+        strategies={"Alice": space, "Bob": space},
+        max_adversaries=2,
+    )
+    profiles = list(checker.profiles())
+    assert profiles[0] == {}
+    assert list(profiles[1]) == ["Alice"]
+    assert len(profiles) == 1 + 6 + 9
+    assert profiles == [
+        dict(p)
+        for p in enumerate_profiles({"Alice": space, "Bob": space}, 2, True)
+    ]
+
+
+def test_model_checker_runs_through_campaign_engine():
+    checker = ModelChecker(
+        builder=two_party_builder,
+        properties=[properties.no_stuck_escrow, properties.two_party_hedged],
+        strategies={p: halt_strategies(8) for p in ("Alice", "Bob")},
+        max_adversaries=1,
+        backend="process",
+        workers=2,
+    )
+    report = checker.run()
+    assert report.ok
+    assert report.scenarios == 17
+    assert report.transactions > 0
+
+
+def test_model_checker_violation_labels_unprefixed():
+    def always_fails(instance, result, adversaries):
+        return ["boom"]
+
+    checker = ModelChecker(
+        builder=two_party_builder,
+        properties=[always_fails],
+        strategies={"Alice": halt_strategies(1)},
+    )
+    report = checker.run()
+    assert not report.ok
+    assert {v.scenario for v in report.violations} == {
+        "all-compliant",
+        "Alice:halt@0",
+    }

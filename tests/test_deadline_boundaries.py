@@ -1,0 +1,300 @@
+"""Deadline boundary semantics: landing exactly *at* a deadline succeeds.
+
+The paper's timing model gives every step exactly Δ: an action submitted in
+round ``r`` lands at height ``r + 1`` and is valid while
+``height <= deadline``; settlement refunds fire strictly *after* the
+deadline.  These tests pin the boundary for every deadline-bearing
+contract: a redeem landing exactly at its deadline height succeeds, while
+the same redeem one round later reverts and triggers the refund (plus, for
+the hedged escrow, the premium award).
+"""
+
+import pytest
+
+from repro.chain.block import Transaction
+from repro.contracts.auction import (
+    AuctionDeadlines,
+    CoinAuctionContract,
+    TicketAuctionContract,
+)
+from repro.contracts.hedged_escrow import HedgedEscrow
+from repro.contracts.htlc import HTLC
+from repro.crypto.hashing import Secret
+from repro.crypto.hashkeys import HashKey
+from repro.sim.world import World
+
+SECRET = Secret.from_text("boundary-secret")
+
+
+def _tx(chain, sender, address, method, **args):
+    return Transaction(
+        chain=chain.name, sender=sender, contract=address, method=method, args=args
+    )
+
+
+def _advance_to(chain, height):
+    while chain.height < height:
+        chain.advance()
+
+
+# ----------------------------------------------------------------------
+# HTLC: timelock
+# ----------------------------------------------------------------------
+@pytest.fixture
+def htlc(chain):
+    asset = chain.asset("apricot")
+    chain.ledger.mint(asset, "alice", 100)
+    address = chain.deploy(
+        HTLC(
+            asset=asset,
+            amount=100,
+            owner="alice",
+            counterparty="bob",
+            hashlock=SECRET.hashlock,
+            timelock=4,
+            escrow_deadline=2,
+        )
+    )
+    return chain, address, asset
+
+
+def test_htlc_redeem_exactly_at_timelock_succeeds(htlc):
+    chain, address, asset = htlc
+    chain.advance([_tx(chain, "alice", address, "escrow")])
+    _advance_to(chain, 3)
+    (tx,) = chain.advance([_tx(chain, "bob", address, "redeem", preimage=SECRET.preimage)])
+    assert chain.height == 4  # exactly the timelock
+    assert tx.receipt.ok
+    assert chain.contract_at(address).state == HTLC.REDEEMED
+    assert chain.ledger.balance(asset, "bob") == 100
+
+
+def test_htlc_redeem_one_round_late_reverts_and_refunds(htlc):
+    chain, address, asset = htlc
+    chain.advance([_tx(chain, "alice", address, "escrow")])
+    _advance_to(chain, 4)
+    (tx,) = chain.advance([_tx(chain, "bob", address, "redeem", preimage=SECRET.preimage)])
+    assert chain.height == 5
+    assert tx.receipt.status == "reverted"
+    assert "timelock expired" in tx.receipt.error
+    # Settlement on the same tick returns the principal to the owner.
+    assert chain.contract_at(address).state == HTLC.REFUNDED
+    assert chain.ledger.balance(asset, "alice") == 100
+
+
+def test_htlc_escrow_boundary(htlc):
+    chain, address, _ = htlc
+    chain.advance()
+    (tx,) = chain.advance([_tx(chain, "alice", address, "escrow")])
+    assert chain.height == 2  # exactly the escrow deadline
+    assert tx.receipt.ok
+    late_chain, late_address, _ = _fresh_htlc(chain.registry)
+    _advance_to(late_chain, 2)
+    (late,) = late_chain.advance([_tx(late_chain, "alice", late_address, "escrow")])
+    assert late.receipt.status == "reverted"
+    assert "escrow deadline passed" in late.receipt.error
+
+
+def _fresh_htlc(registry):
+    from repro.chain.blockchain import Blockchain
+
+    chain = Blockchain("testchain", registry)
+    asset = chain.asset("apricot")
+    chain.ledger.mint(asset, "alice", 100)
+    address = chain.deploy(
+        HTLC(
+            asset=asset,
+            amount=100,
+            owner="alice",
+            counterparty="bob",
+            hashlock=SECRET.hashlock,
+            timelock=4,
+            escrow_deadline=2,
+        )
+    )
+    return chain, address, asset
+
+
+# ----------------------------------------------------------------------
+# HedgedEscrow: redemption timelock + premium consequences
+# ----------------------------------------------------------------------
+@pytest.fixture
+def escrow(chain):
+    asset = chain.asset("apricot")
+    chain.ledger.mint(asset, "alice", 100)
+    chain.ledger.mint(chain.native, "bob", 5)
+    address = chain.deploy(
+        HedgedEscrow(
+            principal_asset=asset,
+            principal_amount=100,
+            principal_owner="alice",
+            redeemer="bob",
+            hashlock=SECRET.hashlock,
+            premium_amount=5,
+            premium_deadline=1,
+            principal_deadline=2,
+            redemption_timelock=4,
+        )
+    )
+    return chain, address, asset
+
+
+def _fund_and_escrow(chain, address):
+    chain.advance([_tx(chain, "bob", address, "deposit_premium")])
+    chain.advance([_tx(chain, "alice", address, "escrow_principal")])
+
+
+def test_hedged_escrow_redeem_exactly_at_timelock_refunds_premium(escrow):
+    chain, address, asset = escrow
+    _fund_and_escrow(chain, address)
+    _advance_to(chain, 3)
+    (tx,) = chain.advance(
+        [_tx(chain, "bob", address, "redeem", preimage=SECRET.preimage)]
+    )
+    assert chain.height == 4  # exactly the redemption timelock
+    assert tx.receipt.ok
+    contract = chain.contract_at(address)
+    assert contract.principal_state == "redeemed"
+    assert contract.premium_state == "refunded"
+    assert chain.ledger.balance(asset, "bob") == 100
+    assert chain.ledger.balance(chain.native, "bob") == 5
+
+
+def test_hedged_escrow_redeem_one_round_late_awards_premium(escrow):
+    chain, address, asset = escrow
+    _fund_and_escrow(chain, address)
+    _advance_to(chain, 4)
+    (tx,) = chain.advance(
+        [_tx(chain, "bob", address, "redeem", preimage=SECRET.preimage)]
+    )
+    assert chain.height == 5
+    assert tx.receipt.status == "reverted"
+    assert "timelock expired" in tx.receipt.error
+    # The same settlement tick refunds Alice's principal AND pays her the
+    # premium as lockup compensation — Bob's renege cost, §5.2.
+    contract = chain.contract_at(address)
+    assert contract.principal_state == "refunded"
+    assert contract.premium_state == "awarded"
+    assert chain.ledger.balance(asset, "alice") == 100
+    assert chain.ledger.balance(chain.native, "alice") == 5
+    assert chain.ledger.balance(chain.native, "bob") == 0
+
+
+def test_hedged_escrow_premium_and_principal_deadlines(escrow):
+    chain, address, _ = escrow
+    (tx,) = chain.advance([_tx(chain, "bob", address, "deposit_premium")])
+    assert chain.height == 1 and tx.receipt.ok  # exactly premium_deadline
+    (tx,) = chain.advance([_tx(chain, "alice", address, "escrow_principal")])
+    assert chain.height == 2 and tx.receipt.ok  # exactly principal_deadline
+    # A second instance one round later on each: both reverted.
+    chain2, address2, _ = escrow_like(chain.registry)
+    chain2.advance()
+    (late_premium,) = chain2.advance([_tx(chain2, "bob", address2, "deposit_premium")])
+    assert late_premium.receipt.status == "reverted"
+    assert "premium deadline passed" in late_premium.receipt.error
+
+
+def escrow_like(registry):
+    from repro.chain.blockchain import Blockchain
+
+    chain = Blockchain("testchain", registry)
+    asset = chain.asset("apricot")
+    chain.ledger.mint(asset, "alice", 100)
+    chain.ledger.mint(chain.native, "bob", 5)
+    address = chain.deploy(
+        HedgedEscrow(
+            principal_asset=asset,
+            principal_amount=100,
+            principal_owner="alice",
+            redeemer="bob",
+            hashlock=SECRET.hashlock,
+            premium_amount=5,
+            premium_deadline=1,
+            principal_deadline=2,
+            redemption_timelock=4,
+        )
+    )
+    return chain, address, asset
+
+
+# ----------------------------------------------------------------------
+# auction contracts: bidding close and hashkey timeout
+# ----------------------------------------------------------------------
+@pytest.fixture
+def auction_world():
+    world = World(["tickets", "coins"])
+    alice = world.register_party("Alice")
+    world.register_party("Bob")
+    world.register_party("Carol")
+    secrets = {b: Secret.from_text(f"designates-{b}") for b in ("Bob", "Carol")}
+    hashlocks = {b: s.hashlock for b, s in secrets.items()}
+    deadlines = AuctionDeadlines()  # bidding=2, hashkey_base=2
+    coins = world.chain("coins")
+    tickets = world.chain("tickets")
+    world.fund("coins", "Bob", "coin", 500)
+    world.fund("tickets", "Alice", "ticket", 1)
+    coin_addr = coins.deploy(
+        CoinAuctionContract(
+            auctioneer="Alice",
+            bidders=("Bob", "Carol"),
+            hashlocks=hashlocks,
+            public_of=world.public_of,
+            deadlines=deadlines,
+            coin_asset=coins.asset("coin"),
+        )
+    )
+    ticket_addr = tickets.deploy(
+        TicketAuctionContract(
+            auctioneer="Alice",
+            bidders=("Bob", "Carol"),
+            hashlocks=hashlocks,
+            public_of=world.public_of,
+            deadlines=deadlines,
+            ticket_asset=tickets.asset("ticket"),
+            tickets=1,
+        )
+    )
+    key = HashKey.originate(secrets["Bob"], alice, "Alice")
+    return world, coin_addr, ticket_addr, key
+
+
+def test_auction_bid_exactly_at_close_accepted(auction_world):
+    world, coin_addr, _, _ = auction_world
+    coins = world.chain("coins")
+    coins.advance()
+    (tx,) = coins.advance([_tx(coins, "Bob", coin_addr, "bid", amount=120)])
+    assert coins.height == 2  # exactly the bidding deadline
+    assert tx.receipt.ok
+    assert coins.contract_at(coin_addr).bids == {"Bob": 120}
+
+
+def test_auction_bid_one_round_late_rejected(auction_world):
+    world, coin_addr, _, _ = auction_world
+    coins = world.chain("coins")
+    _advance_to(coins, 2)
+    (tx,) = coins.advance([_tx(coins, "Bob", coin_addr, "bid", amount=120)])
+    assert coins.height == 3
+    assert tx.receipt.status == "reverted"
+    assert "bidding closed" in tx.receipt.error
+
+
+def test_auction_hashkey_exactly_at_timeout_accepted(auction_world):
+    world, _, ticket_addr, key = auction_world
+    tickets = world.chain("tickets")
+    assert key.length == 1  # deadline = hashkey_base + |q| = 3
+    _advance_to(tickets, 2)
+    (tx,) = tickets.advance([_tx(tickets, "Alice", ticket_addr, "present_hashkey", hashkey=key)])
+    assert tickets.height == 3
+    assert tx.receipt.ok
+    assert "Bob" in tickets.contract_at(ticket_addr).accepted
+
+
+def test_auction_hashkey_one_round_late_rejected(auction_world):
+    world, _, ticket_addr, key = auction_world
+    tickets = world.chain("tickets")
+    _advance_to(tickets, 3)
+    (tx,) = tickets.advance([_tx(tickets, "Alice", ticket_addr, "present_hashkey", hashkey=key)])
+    assert tickets.height == 4
+    assert tx.receipt.status == "reverted"
+    assert "hashkey timed out" in tx.receipt.error
+    assert not tickets.contract_at(ticket_addr).accepted
