@@ -11,20 +11,30 @@ point" claim into something executable at thousands-of-scenarios scale.
   (protocol family × premium/timeout schedule × adversary subset × named
   strategy × deviation round) into scenario specs in a deterministic order,
 - :mod:`repro.campaign.runner` — :class:`CampaignRunner` executes a matrix
-  through a pluggable serial or ``multiprocessing`` backend and aggregates
-  per-axis violation counts, payoff distributions, throughput, and a
-  reproducible run digest,
+  (or one ``shard=(i, n)`` slice of it) through a pluggable serial or
+  ``multiprocessing`` backend and aggregates per-axis violation counts,
+  payoff distributions, throughput, and a reproducible run digest whose
+  preamble records the effective selection; :func:`merge_reports`
+  recombines shard reports into the byte-identical unsharded digest,
+- :mod:`repro.campaign.pool` — :class:`WorkerPool`, a persistent fork pool
+  shared across runs, fed by picklable :class:`MatrixSpec` rebuild recipes,
 - :mod:`repro.campaign.families` — the registry of protocol families
-  (two-party, multi-party, broker, auction, bootstrap) with their default
-  adversary spaces and premium schedules; :func:`default_matrix` builds the
-  standard all-families campaign.
+  (two-party, multi-party, broker, auction, sealed-auction, bootstrap)
+  with their default adversary spaces and premium/timeout/graph schedules;
+  :func:`default_matrix` builds the standard all-families campaign.
 
 ``repro.checker.ModelChecker`` is a thin client of this package: profile
 enumeration, execution, and property evaluation all live here.
 """
 
 from repro.campaign.matrix import ScenarioMatrix, enumerate_profiles
-from repro.campaign.runner import CampaignReport, CampaignRunner, ScenarioViolation
+from repro.campaign.pool import MatrixSpec, WorkerPool, register_matrix_factory
+from repro.campaign.runner import (
+    CampaignReport,
+    CampaignRunner,
+    ScenarioViolation,
+    merge_reports,
+)
 from repro.campaign.scenario import Scenario, ScenarioResult, run_scenario
 from repro.campaign.families import FAMILY_NAMES, default_matrix
 
@@ -32,11 +42,15 @@ __all__ = [
     "CampaignReport",
     "CampaignRunner",
     "FAMILY_NAMES",
+    "MatrixSpec",
     "Scenario",
     "ScenarioMatrix",
     "ScenarioResult",
     "ScenarioViolation",
+    "WorkerPool",
     "default_matrix",
     "enumerate_profiles",
+    "merge_reports",
+    "register_matrix_factory",
     "run_scenario",
 ]

@@ -2,10 +2,24 @@
 
 Each ``add_*`` helper contributes one family's blocks to a
 :class:`repro.campaign.matrix.ScenarioMatrix`: the protocol builder(s),
-the premium schedules worth sweeping, the per-party adversary strategy
-space, and the paper properties to assert on every outcome.
+the premium/timeout schedules worth sweeping, the per-party adversary
+strategy space, and the paper properties to assert on every outcome.
 :func:`default_matrix` assembles the standard all-families campaign — the
-matrix the CLI, the benchmarks, and the smoke tests run.
+matrix the CLI, the benchmarks, and the smoke tests run — and registers
+itself as the ``default`` worker-pool factory so persistent pools can
+rebuild it on the far side of a fork.
+
+The swept axes (beyond adversary subset × strategy × deviation round):
+
+- **two-party** — a premium-growth *grid* (``premium_a`` × ``premium_b``,
+  not just the paper's two example points) and stretched ``k·Δ`` timeout
+  schedules (every deadline multiplied by ``k``, modelling slower chains),
+- **multi-party** — the paper's Figure-3 graph plus ``ring:N`` and
+  ``complete:N`` topologies up to 8 parties,
+- **broker** — premium schedules,
+- **auction** / **sealed-auction** — every auctioneer strategy × bidder
+  halts, open-bid and commit–reveal forms, hedged and unhedged,
+- **bootstrap** — halts at every rung of the two-stage ladder.
 
 Imports from ``repro.checker`` and the protocol cores are deliberately
 function-local: the checker is a *client* of the campaign engine, so the
@@ -17,22 +31,44 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.campaign.matrix import ScenarioMatrix
+from repro.campaign.pool import MatrixSpec, register_matrix_factory
 
-FAMILY_NAMES = ("two-party", "multi-party", "broker", "auction", "bootstrap")
+FAMILY_NAMES = (
+    "two-party",
+    "multi-party",
+    "broker",
+    "auction",
+    "sealed-auction",
+    "bootstrap",
+)
 
 TWO_PARTY_METHODS = ("deposit_premium", "escrow_principal", "redeem")
 
+#: the premium-growth grid: every (p_a, p_b) pair swept by `add_two_party`.
+TWO_PARTY_PREMIUM_GRID = tuple(
+    (premium_a, premium_b) for premium_a in (1, 2, 3) for premium_b in (1, 2)
+)
+
+#: deadline stretch factors (k·Δ schedules) swept by `add_two_party`.
+TWO_PARTY_STRETCH_FACTORS = (2, 3)
+
 
 def add_two_party(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> None:
-    """Hedged two-party swap (§5.2): halts, skips, lags; premium schedules."""
+    """Hedged two-party swap (§5.2): halts, skips, lags; premium grid and
+    stretched k·Δ timeout schedules."""
     from repro.checker import properties as props
     from repro.checker.strategies import full_strategy_space
     from repro.core.hedged_two_party import HedgedTwoPartySpec, HedgedTwoPartySwap
 
-    schedules = (
-        ("p2:1", HedgedTwoPartySpec()),
-        ("p3:2", HedgedTwoPartySpec(premium_a=3, premium_b=2)),
-    )
+    schedules = [
+        (f"p{premium_a}:{premium_b}", HedgedTwoPartySpec(
+            premium_a=premium_a, premium_b=premium_b))
+        for premium_a, premium_b in TWO_PARTY_PREMIUM_GRID
+    ]
+    schedules += [
+        (f"p2:1/k{k}", HedgedTwoPartySpec().stretched(k))
+        for k in TWO_PARTY_STRETCH_FACTORS
+    ]
     for name, spec in schedules:
         instance = HedgedTwoPartySwap(spec).build()
         space = full_strategy_space(
@@ -49,7 +85,8 @@ def add_two_party(matrix: ScenarioMatrix, max_adversaries: int | None = None) ->
 
 
 def add_multi_party(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> None:
-    """Hedged multi-party swap (§7.1): halts over three graph/premium mixes."""
+    """Hedged multi-party swap (§7.1): halts over graph/premium mixes, from
+    the paper's Figure 3 up to 8-party rings and 5-party cliques."""
     from repro.checker import properties as props
     from repro.checker.strategies import halt_strategies
     from repro.core.hedged_multi_party import HedgedMultiPartySwap
@@ -58,7 +95,11 @@ def add_multi_party(matrix: ScenarioMatrix, max_adversaries: int | None = None) 
     schedules = (
         ("figure3/p1", figure3_graph, 1),
         ("ring3/p2", lambda: ring_graph(3), 2),
+        ("ring5/p1", lambda: ring_graph(5), 1),
+        ("ring8/p1", lambda: ring_graph(8), 1),
         ("complete3/p1", lambda: complete_graph(3), 1),
+        ("complete4/p1", lambda: complete_graph(4), 1),
+        ("complete5/p2", lambda: complete_graph(5), 2),
     )
     for name, graph_fn, premium in schedules:
         instance = HedgedMultiPartySwap(graph=graph_fn(), premium=premium).build()
@@ -96,12 +137,17 @@ def add_broker(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> No
         )
 
 
-def add_auction(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> None:
-    """Ticket auction (§9): every auctioneer strategy × bidder halts, plus
-    the unhedged base form."""
+def _add_auction_blocks(
+    matrix: ScenarioMatrix,
+    family: str,
+    auction_cls,
+    max_adversaries: int | None,
+) -> None:
+    """Shared §9 sweep: every auctioneer strategy × bidder halts, plus the
+    unhedged base form, for either auction variant."""
     from repro.checker import properties as props
     from repro.checker.strategies import halt_strategies
-    from repro.core.hedged_auction import AuctioneerStrategy, AuctionSpec, HedgedAuction
+    from repro.core.hedged_auction import AuctioneerStrategy, AuctionSpec
 
     hedged = AuctionSpec()
     base = AuctionSpec(premium=0)
@@ -109,7 +155,7 @@ def add_auction(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> N
         for strategy in AuctioneerStrategy:
             if premium_name == "p0" and strategy is not AuctioneerStrategy.HONEST:
                 continue  # base form: deviant declarations only swept hedged
-            instance = HedgedAuction(spec=spec, strategy=strategy).build()
+            instance = auction_cls(spec=spec, strategy=strategy).build()
             honest = strategy is AuctioneerStrategy.HONEST
             halting = (
                 instance.actors
@@ -117,9 +163,9 @@ def add_auction(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> N
                 else [p for p in instance.actors if p != spec.auctioneer]
             )
             matrix.add_block(
-                family="auction",
+                family=family,
                 schedule=f"{premium_name}/{strategy.value}",
-                builder=lambda spec=spec, strategy=strategy: HedgedAuction(
+                builder=lambda spec=spec, strategy=strategy, cls=auction_cls: cls(
                     spec=spec, strategy=strategy
                 ).build(),
                 properties=(props.no_stuck_escrow, props.auction_lemmas),
@@ -129,6 +175,24 @@ def add_auction(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> N
                 max_adversaries=1 if max_adversaries is None else max_adversaries,
                 extra_adversaries=() if honest else (spec.auctioneer,),
             )
+
+
+def add_auction(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> None:
+    """Open-bid ticket auction (§9): every auctioneer strategy × bidder
+    halts, plus the unhedged base form."""
+    from repro.core.hedged_auction import HedgedAuction
+
+    _add_auction_blocks(matrix, "auction", HedgedAuction, max_adversaries)
+
+
+def add_sealed_auction(
+    matrix: ScenarioMatrix, max_adversaries: int | None = None
+) -> None:
+    """Sealed-bid (commit–reveal) auction — §9's footnote-8 extension, same
+    lemma properties, one extra Δ in the schedule for the reveal phase."""
+    from repro.core.hedged_auction import SealedBidAuction
+
+    _add_auction_blocks(matrix, "sealed-auction", SealedBidAuction, max_adversaries)
 
 
 def add_bootstrap(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> None:
@@ -156,6 +220,7 @@ _FAMILY_ADDERS = {
     "multi-party": add_multi_party,
     "broker": add_broker,
     "auction": add_auction,
+    "sealed-auction": add_sealed_auction,
     "bootstrap": add_bootstrap,
 }
 
@@ -165,7 +230,11 @@ def default_matrix(
     seed: int = 0,
     max_adversaries: int | None = None,
 ) -> ScenarioMatrix:
-    """The standard adversarial campaign over the requested families."""
+    """The standard adversarial campaign over the requested families.
+
+    The returned matrix carries a ``spec`` (its rebuild recipe), so it can
+    be dispatched through a persistent :class:`repro.campaign.pool.WorkerPool`.
+    """
     chosen = (
         tuple(dict.fromkeys(families)) if families is not None else FAMILY_NAMES
     )
@@ -177,4 +246,15 @@ def default_matrix(
     matrix = ScenarioMatrix(seed=seed)
     for name in chosen:
         _FAMILY_ADDERS[name](matrix, max_adversaries)
+    matrix.spec = MatrixSpec(
+        factory="default",
+        kwargs=(
+            ("families", chosen),
+            ("max_adversaries", max_adversaries),
+            ("seed", seed),
+        ),
+    )
     return matrix
+
+
+register_matrix_factory("default", default_matrix)

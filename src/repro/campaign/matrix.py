@@ -10,10 +10,19 @@ stable global indices and labels.
 The matrix also knows its own identity: :meth:`ScenarioMatrix.digest`
 hashes the seed and every block descriptor (family, schedule, strategy
 labels, property names), so a campaign report can state exactly *which*
-matrix produced it.  ``scenarios(limit=N)`` deterministically subsamples by
-spreading ``N`` picks evenly across the full index range — coverage is
-proportional to family size, so a limit much smaller than the family count
-times ~30 can skip the smallest families entirely.
+matrix produced it.
+
+Selection semantics (:meth:`ScenarioMatrix.selection`): ``limit=N``
+deterministically subsamples **exactly** ``min(N, total)`` scenarios by
+spreading picks evenly across the full index range.  Coverage is
+proportional to block size, so a limit smaller than ``total`` divided by
+the smallest family's size can skip that family entirely — a limited run
+is a smoke sample, not a coverage guarantee, and its report says so.
+``shard=(i, n)`` then takes the ``i``-th of ``n`` contiguous index-range
+slices of the (possibly limited) selection; the ``n`` shards partition the
+selection exactly, so per-scenario digests from all shards recombine —
+via :func:`repro.campaign.runner.merge_reports` — into the unsharded run
+digest, byte for byte.
 """
 
 from __future__ import annotations
@@ -53,6 +62,16 @@ def profile_label(profile: dict[str, LabelledStrategy]) -> str:
         "; ".join(f"{p}:{s.label}" for p, s in sorted(profile.items()))
         or "all-compliant"
     )
+
+
+def validate_shard(shard: tuple[int, int]) -> tuple[int, int]:
+    """Check a 1-based ``(i, n)`` shard coordinate; returns it unchanged."""
+    i, n = shard
+    if n < 1:
+        raise ValueError(f"shard count must be >= 1, got {n}")
+    if not 1 <= i <= n:
+        raise ValueError(f"shard index must be in 1..{n}, got {i}")
+    return i, n
 
 
 def _strategy_kind(label: str) -> str:
@@ -127,6 +146,11 @@ class ScenarioMatrix:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self.blocks: list[MatrixBlock] = []
+        #: picklable rebuild recipe (:class:`repro.campaign.pool.MatrixSpec`)
+        #: set by registered factories like ``default_matrix``; lets a
+        #: persistent :class:`~repro.campaign.pool.WorkerPool` rebuild the
+        #: matrix worker-side instead of inheriting it through fork.
+        self.spec = None
 
     # ------------------------------------------------------------------
     # construction
@@ -142,6 +166,7 @@ class ScenarioMatrix:
         include_compliant: bool = True,
         extra_adversaries: Iterable[str] = (),
     ) -> "ScenarioMatrix":
+        self.spec = None  # any rebuild recipe no longer describes this matrix
         self.blocks.append(
             MatrixBlock(
                 family=family,
@@ -197,14 +222,54 @@ class ScenarioMatrix:
     # ------------------------------------------------------------------
     # expansion
     # ------------------------------------------------------------------
-    def scenarios(self, limit: int | None = None) -> Iterator[Scenario]:
-        """Expand the matrix; ``limit`` subsamples evenly across the range."""
+    def selection(
+        self,
+        limit: int | None = None,
+        shard: tuple[int, int] | None = None,
+    ) -> list[int]:
+        """The global scenario indices a ``(limit, shard)`` run executes.
+
+        ``limit=N`` picks exactly ``min(N, total)`` indices, evenly spread:
+        pick *i* is ``(i * total) // count``, which is strictly increasing
+        whenever ``count <= total`` (consecutive picks differ by at least
+        ``total // count >= 1``), so the selection never collapses below
+        the requested count.  ``shard=(i, n)`` (1-based) then takes the
+        *i*-th of *n* contiguous slices; the slices partition the selection
+        exactly, each within one scenario of ``count / n`` in length.
+        """
         if limit is not None and limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
         total = len(self)
+        count = total if limit is None else min(limit, total)
+        if count == total:
+            indices = list(range(total))
+        else:
+            indices = [(i * total) // count for i in range(count)]
+            # The stride argument above guarantees this; keep it honest.
+            assert len(set(indices)) == count, "subsampler collapsed picks"
+        if shard is not None:
+            i, n = validate_shard(shard)
+            lo = ((i - 1) * len(indices)) // n
+            hi = (i * len(indices)) // n
+            indices = indices[lo:hi]
+        return indices
+
+    def scenarios(
+        self,
+        limit: int | None = None,
+        shard: tuple[int, int] | None = None,
+    ) -> Iterator[Scenario]:
+        """Expand the matrix; ``limit``/``shard`` select per :meth:`selection`.
+
+        Every yielded :class:`Scenario` keeps its *global* matrix index, so
+        sharded results interleave back into full-matrix order.
+        """
+        total = len(self)
         selected: set[int] | None = None
-        if limit is not None and limit < total:
-            selected = {(i * total) // limit for i in range(limit)}
+        if limit is not None or shard is not None:
+            chosen = self.selection(limit=limit, shard=shard)
+            if len(chosen) != total:
+                selected = set(chosen)
         index = 0
         for block in self.blocks:
             label_prefix = (

@@ -1,0 +1,189 @@
+"""Persistent worker pools: fork once, run many campaigns.
+
+``CampaignRunner``'s plain ``process`` backend forks a fresh pool per run
+and lets workers inherit the expanded scenario list through fork — which
+is why builders and strategy transforms never need to be picklable, but
+also why back-to-back runs (benchmarks, multi-matrix campaigns, sharded
+sweeps) pay the pool spawn cost every time.
+
+:class:`WorkerPool` keeps the workers alive across runs.  Since a
+long-lived worker cannot inherit scenarios that did not exist when it was
+forked, reuse needs a *rebuildable* matrix: a :class:`MatrixSpec` is a
+tiny picklable recipe (a registered factory name plus primitive
+arguments) that each worker resolves and expands once, caching the
+scenario table by spec.  Tasks then cross the process boundary as
+``(spec, matrix_digest, index)`` triples; the worker verifies the rebuilt
+matrix's structural digest before running anything, so structural drift
+between parent and worker fails loudly.  The structural digest cannot see
+parameters captured inside builder closures (see
+:meth:`ScenarioMatrix.digest`), so a registered factory must build its
+matrix purely from its arguments — not from mutable module state — for
+the verification to mean what it says.
+
+Factories register under a short name (``default`` is
+:func:`repro.campaign.families.default_matrix`); anything importable at
+worker startup can register its own via :func:`register_matrix_factory`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.campaign.matrix import ScenarioMatrix
+from repro.campaign.scenario import Scenario, ScenarioResult, run_scenario
+
+_FACTORIES: dict[str, Callable[..., ScenarioMatrix]] = {}
+
+# Worker-side cache: spec → (structural digest, expanded scenario table).
+# Bounded LRU: a run's tasks all share one spec, so a handful of entries
+# covers alternating matrices without letting a long parameter sweep grow
+# per-worker memory without limit.
+_SPEC_CACHE: dict["MatrixSpec", tuple[str, list[Scenario]]] = {}
+_MAX_CACHED_SPECS = 4
+
+
+def register_matrix_factory(
+    name: str, factory: Callable[..., ScenarioMatrix]
+) -> None:
+    """Register a matrix factory under ``name`` for worker-side rebuilds."""
+    _FACTORIES[name] = factory
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """The worker count both backends use when none is requested."""
+    return max(2, os.cpu_count() or 1)
+
+
+def dispatch_chunksize(tasks: int, workers: int) -> int:
+    """Shared batching policy: ~8 chunks per worker, at least 1 task each."""
+    return max(1, tasks // (workers * 8))
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """A picklable recipe for rebuilding a :class:`ScenarioMatrix`.
+
+    ``kwargs`` is a sorted tuple of ``(name, value)`` pairs so the spec is
+    hashable (it keys the worker-side cache) and deterministic.  Values
+    must be primitives/tuples — anything :mod:`pickle` moves cheaply.
+    """
+
+    factory: str
+    args: tuple = ()
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def build(self) -> ScenarioMatrix:
+        if self.factory not in _FACTORIES:
+            # The standard factories live in families.py; importing it
+            # populates the registry without a package-level import cycle.
+            import repro.campaign.families  # noqa: F401
+        if self.factory not in _FACTORIES:
+            raise KeyError(
+                f"unknown matrix factory {self.factory!r}; "
+                f"registered: {sorted(_FACTORIES)}"
+            )
+        return _FACTORIES[self.factory](*self.args, **dict(self.kwargs))
+
+
+def _cache_insert(spec: MatrixSpec, entry: tuple[str, list[Scenario]]) -> None:
+    _SPEC_CACHE.pop(spec, None)
+    while len(_SPEC_CACHE) >= _MAX_CACHED_SPECS:
+        _SPEC_CACHE.pop(next(iter(_SPEC_CACHE)))
+    _SPEC_CACHE[spec] = entry  # insert last: dict order is LRU order
+
+
+def _cached_scenarios(spec: MatrixSpec, matrix_digest: str) -> list[Scenario]:
+    entry = _SPEC_CACHE.get(spec)
+    if entry is None:
+        matrix = spec.build()
+        entry = (matrix.digest(), list(matrix.scenarios()))
+    _cache_insert(spec, entry)  # refresh recency either way
+    digest, scenarios = entry
+    if digest != matrix_digest:
+        raise RuntimeError(
+            f"worker rebuilt matrix {digest[:16]} but the campaign expected "
+            f"{matrix_digest[:16]}: the factory behind {spec.factory!r} is "
+            "not deterministic across processes"
+        )
+    return scenarios
+
+
+def _run_spec_index(task: tuple[MatrixSpec, str, int]) -> ScenarioResult:
+    spec, matrix_digest, index = task
+    return run_scenario(_cached_scenarios(spec, matrix_digest)[index])
+
+
+class WorkerPool:
+    """A fork-based process pool that outlives individual campaign runs.
+
+    Pass one instance as ``CampaignRunner(..., pool=...)`` across several
+    runs (or matrices) to pay the fork cost once.  Usable as a context
+    manager; :meth:`close` tears the workers down.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else default_workers()
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    @property
+    def started(self) -> bool:
+        return self._pool is not None
+
+    def _ensure_started(self) -> "multiprocessing.pool.Pool":
+        if self._pool is None:
+            if not fork_available():  # pragma: no cover - platform dependent
+                raise RuntimeError("WorkerPool requires the fork start method")
+            ctx = multiprocessing.get_context("fork")
+            self._pool = ctx.Pool(processes=self.workers)
+        return self._pool
+
+    def run_indices(
+        self,
+        spec: MatrixSpec,
+        matrix_digest: str,
+        indices: list[int],
+        scenarios: list[Scenario] | None = None,
+    ) -> list[ScenarioResult]:
+        """Run the given global scenario indices of ``spec``'s matrix.
+
+        ``scenarios`` (the parent's *full* expansion, in global index
+        order) is an optional warm-start: when supplied before the pool
+        has forked, it seeds the worker-side cache through fork
+        inheritance — the same copy-on-write mechanism the one-shot
+        process backend uses — so workers skip rebuilding the first
+        matrix.  It is ignored once workers exist, since nothing can be
+        inherited after the fork.
+        """
+        seeded = scenarios is not None and not self.started
+        if seeded:
+            _cache_insert(spec, (matrix_digest, scenarios))
+        pool = self._ensure_started()
+        if seeded:
+            # Workers inherited the entry at fork; the parent never reads
+            # its own cache, so drop the reference rather than pin the
+            # full expansion for the driver process's lifetime.
+            _SPEC_CACHE.pop(spec, None)
+        chunksize = dispatch_chunksize(len(indices), self.workers)
+        tasks = [(spec, matrix_digest, index) for index in indices]
+        return pool.map(_run_spec_index, tasks, chunksize=chunksize)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,7 +1,7 @@
-"""Campaign execution: pluggable backends + aggregation.
+"""Campaign execution: pluggable backends, sharding, and aggregation.
 
 ``CampaignRunner`` expands a :class:`repro.campaign.matrix.ScenarioMatrix`
-and executes every scenario through one of two backends:
+and executes the selected scenarios through one of two backends:
 
 - ``serial`` — a plain loop in this process,
 - ``process`` — a ``multiprocessing`` pool using the ``fork`` start method.
@@ -9,28 +9,53 @@ and executes every scenario through one of two backends:
   scenario list through fork, so builders and strategy transforms never
   need to be picklable; only the primitive :class:`ScenarioResult` objects
   cross the process boundary.  On platforms without ``fork`` the runner
-  falls back to serial (recorded in the report).
+  falls back to serial, and so do empty/tiny selections (below
+  :data:`MIN_PROCESS_SCENARIOS`, where fork overhead dominates); the
+  report's ``backend`` always records what actually ran.
+
+Passing a persistent :class:`repro.campaign.pool.WorkerPool` reuses one
+set of forked workers across runs (``backend="process"`` plus a matrix
+carrying a rebuild ``spec``); the report records ``process:pooled``.  An
+explicit pool always dispatches — even tiny runs — because its fork cost
+amortizes across every run that follows; the tiny-selection serial
+fallback applies only to one-shot pools.
 
 Scenarios are independent full simulations, so results are identical
-across backends; the :class:`CampaignReport` proves it with a ``run_digest``
-— a hash over the matrix's structural digest and every per-scenario
-outcome digest in index order (so it distinguishes campaigns even when
-builder-closure parameters make their structural digests collide) — plus
-per-axis violation counts, premium-payoff distribution statistics, and
-throughput.
+across backends and process layouts; the :class:`CampaignReport` proves it
+with a ``run_digest`` — a hash over a preamble naming the matrix's
+structural digest **and the effective selection** (limit/shard, scenario
+count out of the full matrix), then every per-scenario outcome digest in
+index order.  A ``--limit`` or ``--shard`` run therefore can never
+masquerade as full coverage: its preamble differs.  Conversely,
+:func:`merge_reports` recombines shard reports — validating that they
+share a matrix, a limit, and non-overlapping indices — into a report whose
+``run_digest`` is byte-identical to the unsharded run's, which is what
+makes cross-host sharding provable.  :meth:`CampaignReport.to_json` /
+:meth:`CampaignReport.from_json` move shard reports between hosts.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
-import os
 import time
 from collections import Counter
 from dataclasses import dataclass, field
 from hashlib import sha256
+from typing import Iterable
 
-from repro.campaign.matrix import ScenarioMatrix
+from repro.campaign.matrix import ScenarioMatrix, validate_shard
+from repro.campaign.pool import (
+    WorkerPool,
+    default_workers,
+    dispatch_chunksize,
+    fork_available,
+)
 from repro.campaign.scenario import Scenario, ScenarioResult, run_scenario
+
+# Below this many scenarios a requested process backend runs serially:
+# forking a pool costs more than the work itself.
+MIN_PROCESS_SCENARIOS = 24
 
 # Worker-side scenario table, inherited through fork (never pickled).
 _WORKER_SCENARIOS: list[Scenario] = []
@@ -43,6 +68,26 @@ def _pool_init(scenarios: list[Scenario]) -> None:
 
 def _run_at(index: int) -> ScenarioResult:
     return run_scenario(_WORKER_SCENARIOS[index])
+
+
+def selection_label(limit: int | None, shard: tuple[int, int] | None) -> str:
+    """Human-readable selection descriptor ("full", "limit=150 shard=1/3")."""
+    parts = [] if limit is None else [f"limit={limit}"]
+    if shard is not None:
+        parts.append(f"shard={shard[0]}/{shard[1]}")
+    return " ".join(parts) or "full"
+
+
+def _digest_preamble(
+    matrix_digest: str,
+    total: int,
+    count: int,
+    limit: int | None,
+    shard: tuple[int, int] | None,
+) -> bytes:
+    """The run-digest header: matrix identity plus the effective selection."""
+    label = selection_label(limit, shard)
+    return f"{matrix_digest}|selection={label}|coverage={count}/{total}".encode()
 
 
 @dataclass(frozen=True)
@@ -68,6 +113,11 @@ class CampaignReport:
     backend: str
     workers: int
     matrix_digest: str
+    #: size of the *full* matrix; ``scenarios`` counts what actually ran.
+    total_scenarios: int = 0
+    #: the selection this run was asked for (None/None = full coverage).
+    limit: int | None = None
+    shard: tuple[int, int] | None = None
     scenarios: int = 0
     transactions: int = 0
     reverted: int = 0
@@ -81,6 +131,20 @@ class CampaignReport:
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def selection(self) -> str:
+        label = selection_label(self.limit, self.shard)
+        if label == "full" and not self.complete:
+            # e.g. a merge of fewer shards than the matrix has: no limit or
+            # shard was requested, yet coverage fell short — say so.
+            return "partial"
+        return label
+
+    @property
+    def complete(self) -> bool:
+        """True iff this report covers the whole matrix."""
+        return self.scenarios == self.total_scenarios
 
     @property
     def scenarios_per_second(self) -> float:
@@ -106,10 +170,14 @@ class CampaignReport:
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        coverage = (
+            "" if self.complete
+            else f" [{self.selection}: {self.scenarios}/{self.total_scenarios}]"
+        )
         return (
             f"{self.scenarios} scenarios, {self.transactions} transactions, "
             f"{self.elapsed_seconds:.2f}s ({self.scenarios_per_second:.0f}/s, "
-            f"backend={self.backend}): {status}"
+            f"backend={self.backend}){coverage}: {status}"
         )
 
     def axis_table(self, axis: str) -> list[tuple[str, int, int]]:
@@ -120,9 +188,120 @@ class CampaignReport:
             for value, s in sorted(stats.items())
         ]
 
+    # ------------------------------------------------------------------
+    # serialization (cross-host shard transport)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize everything needed to merge or audit this report."""
+        return json.dumps(
+            {
+                "backend": self.backend,
+                "workers": self.workers,
+                "matrix_digest": self.matrix_digest,
+                "total_scenarios": self.total_scenarios,
+                "limit": self.limit,
+                "shard": list(self.shard) if self.shard else None,
+                "scenarios": self.scenarios,
+                "transactions": self.transactions,
+                "reverted": self.reverted,
+                "elapsed_seconds": self.elapsed_seconds,
+                "violations": [
+                    [v.scenario, v.message] for v in self.violations
+                ],
+                "results": [
+                    {
+                        "index": r.index,
+                        "label": r.label,
+                        "axes": [list(ax) for ax in r.axes],
+                        "violations": list(r.violations),
+                        "transactions": r.transactions,
+                        "reverted": r.reverted,
+                        "premium_net": [list(p) for p in r.premium_net],
+                        "elapsed_seconds": r.elapsed_seconds,
+                        "digest": r.digest,
+                    }
+                    for r in self.results
+                ],
+                "run_digest": self.run_digest,
+            },
+            indent=None,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignReport":
+        """Rebuild a report (with per-axis aggregates) from :meth:`to_json`."""
+        data = json.loads(text)
+        results = [
+            ScenarioResult(
+                index=r["index"],
+                label=r["label"],
+                axes=tuple((a, v) for a, v in r["axes"]),
+                violations=tuple(r["violations"]),
+                transactions=r["transactions"],
+                reverted=r["reverted"],
+                premium_net=tuple((p, int(n)) for p, n in r["premium_net"]),
+                elapsed_seconds=r["elapsed_seconds"],
+                digest=r["digest"],
+            )
+            for r in data["results"]
+        ]
+        shard = tuple(data["shard"]) if data.get("shard") else None
+        report = cls(
+            backend=data["backend"],
+            workers=data["workers"],
+            matrix_digest=data["matrix_digest"],
+            total_scenarios=data["total_scenarios"],
+            limit=data["limit"],
+            shard=shard,
+            elapsed_seconds=data["elapsed_seconds"],
+        )
+        _fold_results(
+            report,
+            results,
+            _digest_preamble(
+                report.matrix_digest,
+                report.total_scenarios,
+                len(results),
+                report.limit,
+                shard,
+            ),
+        )
+        if report.run_digest != data["run_digest"]:
+            raise ValueError(
+                "report digest mismatch after deserialization: "
+                f"{report.run_digest[:16]} != {data['run_digest'][:16]}"
+            )
+        return report
+
+
+def _fold_results(
+    report: CampaignReport, results: Iterable[ScenarioResult], preamble: bytes
+) -> CampaignReport:
+    """Aggregate results (in the given order) into ``report`` + run digest."""
+    digest = sha256(preamble)
+    for result in results:
+        report.results.append(result)
+        report.scenarios += 1
+        report.transactions += result.transactions
+        report.reverted += result.reverted
+        digest.update(result.digest.encode())
+        for message in result.violations:
+            report.violations.append(ScenarioViolation(result.label, message))
+        for axis, value in result.axes:
+            stats = report.by_axis.setdefault(axis, {}).setdefault(
+                value, AxisStats()
+            )
+            stats.scenarios += 1
+            stats.violations += len(result.violations)
+        for _, net in result.premium_net:
+            report.premium_net_hist[net] += 1
+    report.run_digest = digest.hexdigest()
+    return report
+
 
 class CampaignRunner:
-    """Execute a scenario matrix through a pluggable backend."""
+    """Execute a scenario matrix (or one shard of it) through a backend."""
 
     def __init__(
         self,
@@ -130,6 +309,8 @@ class CampaignRunner:
         backend: str = "serial",
         workers: int | None = None,
         limit: int | None = None,
+        shard: tuple[int, int] | None = None,
+        pool: WorkerPool | None = None,
     ) -> None:
         if backend not in ("serial", "process"):
             raise ValueError(f"unknown backend {backend!r}: use serial or process")
@@ -137,10 +318,27 @@ class CampaignRunner:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if limit is not None and limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
+        if shard is not None:
+            shard = validate_shard(shard)
+        if pool is not None:
+            if backend != "process":
+                raise ValueError("a WorkerPool requires backend='process'")
+            if workers is not None:
+                raise ValueError(
+                    "workers= conflicts with pool=: the pool's own worker "
+                    f"count ({pool.workers}) governs pooled runs"
+                )
+            if matrix.spec is None:
+                raise ValueError(
+                    "pool reuse needs a rebuildable matrix: use a registered "
+                    "factory (e.g. default_matrix) that sets matrix.spec"
+                )
         self.matrix = matrix
         self.backend = backend
-        self.workers = workers if workers is not None else max(2, os.cpu_count() or 1)
+        self.workers = workers if workers is not None else default_workers()
         self.limit = limit
+        self.shard = shard
+        self.pool = pool
 
     # ------------------------------------------------------------------
     # backends
@@ -150,7 +348,7 @@ class CampaignRunner:
 
     def _run_process(self, scenarios: list[Scenario]) -> list[ScenarioResult]:
         ctx = multiprocessing.get_context("fork")
-        chunksize = max(1, len(scenarios) // (self.workers * 8))
+        chunksize = dispatch_chunksize(len(scenarios), self.workers)
         with ctx.Pool(
             processes=self.workers, initializer=_pool_init, initargs=(scenarios,)
         ) as pool:
@@ -159,41 +357,130 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     # driver
     # ------------------------------------------------------------------
+    def _resolve_backend(self, selected: int) -> str:
+        """The backend that will actually run ``selected`` scenarios."""
+        if self.backend != "process":
+            return "serial"
+        if not fork_available():  # pragma: no cover - platform dependent
+            return "serial"
+        if self.pool is not None:
+            # An explicit pool is an opt-in to amortized dispatch: start it
+            # even for a tiny first run, since its fork cost is paid once
+            # across every run that follows.
+            return "process:pooled"
+        if selected < MIN_PROCESS_SCENARIOS:
+            return "serial"  # fork overhead would dominate a one-shot pool
+        return "process"
+
     def run(self) -> CampaignReport:
-        scenarios = list(self.matrix.scenarios(limit=self.limit))
-        backend = self.backend
-        if backend == "process" and "fork" not in multiprocessing.get_all_start_methods():
-            backend = "serial"  # pragma: no cover - platform dependent
+        total = len(self.matrix)
+        # Normalize no-op selections so the digest reflects the *effective*
+        # coverage: limit >= total and shard 1/1 are full runs.
+        limit = self.limit if self.limit is not None and self.limit < total else None
+        shard = self.shard if self.shard is not None and self.shard[1] > 1 else None
+        indices = self.matrix.selection(limit=limit, shard=shard)
+        backend = self._resolve_backend(len(indices))
+        matrix_digest = self.matrix.digest()
 
         start = time.perf_counter()
-        if backend == "process":
-            results = self._run_process(scenarios)
+        if backend == "process:pooled":
+            if self.matrix.spec is None:  # add_block after construction
+                raise ValueError(
+                    "pool reuse needs a rebuildable matrix: the matrix was "
+                    "modified after this runner was constructed, clearing "
+                    "its rebuild spec"
+                )
+            # Before the pool's first fork, hand it the parent-side
+            # expansion so workers inherit the table instead of rebuilding.
+            seed = None if self.pool.started else list(self.matrix.scenarios())
+            results = self.pool.run_indices(
+                self.matrix.spec, matrix_digest, indices, scenarios=seed
+            )
         else:
-            results = self._run_serial(scenarios)
+            scenarios = list(self.matrix.scenarios(limit=limit, shard=shard))
+            if backend == "process":
+                results = self._run_process(scenarios)
+            else:
+                results = self._run_serial(scenarios)
         elapsed = time.perf_counter() - start
 
+        if backend == "process:pooled":
+            workers = self.pool.workers
+        elif backend == "process":
+            workers = self.workers
+        else:
+            workers = 1
         report = CampaignReport(
             backend=backend,
-            workers=self.workers if backend == "process" else 1,
-            matrix_digest=self.matrix.digest(),
+            workers=workers,
+            matrix_digest=matrix_digest,
+            total_scenarios=total,
+            limit=limit,
+            shard=shard,
             elapsed_seconds=elapsed,
-            results=results,
         )
-        digest = sha256(report.matrix_digest.encode())
-        for result in results:
-            report.scenarios += 1
-            report.transactions += result.transactions
-            report.reverted += result.reverted
-            digest.update(result.digest.encode())
-            for message in result.violations:
-                report.violations.append(ScenarioViolation(result.label, message))
-            for axis, value in result.axes:
-                stats = report.by_axis.setdefault(axis, {}).setdefault(
-                    value, AxisStats()
-                )
-                stats.scenarios += 1
-                stats.violations += len(result.violations)
-            for _, net in result.premium_net:
-                report.premium_net_hist[net] += 1
-        report.run_digest = digest.hexdigest()
-        return report
+        preamble = _digest_preamble(
+            report.matrix_digest, total, len(results), limit, shard
+        )
+        return _fold_results(report, results, preamble)
+
+
+def merge_reports(reports: Iterable[CampaignReport]) -> CampaignReport:
+    """Recombine shard reports into one, with a recomputed run digest.
+
+    The shards must come from the same matrix (equal ``matrix_digest`` and
+    ``total_scenarios``) and the same pre-shard ``limit``, and must not
+    overlap.  Results are re-sorted into global index order, so when the
+    shards cover the whole selection the merged ``run_digest`` is
+    byte-identical to the unsharded run's.  A partial merge (missing
+    shards) is allowed but self-evident: its coverage count — folded into
+    the digest preamble — cannot match any fuller run.
+
+    ``elapsed_seconds`` sums the shards (total compute, not wall clock);
+    ``workers`` sums too, as the aggregate parallelism.
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("nothing to merge: empty report list")
+    first = reports[0]
+    for other in reports[1:]:
+        if other.matrix_digest != first.matrix_digest:
+            raise ValueError(
+                "cannot merge reports from different matrices: "
+                f"{first.matrix_digest[:16]} vs {other.matrix_digest[:16]}"
+            )
+        if other.total_scenarios != first.total_scenarios:
+            raise ValueError(
+                "cannot merge reports with different matrix sizes: "
+                f"{first.total_scenarios} vs {other.total_scenarios}"
+            )
+        if other.limit != first.limit:
+            raise ValueError(
+                "cannot merge reports with different limits: "
+                f"{first.limit} vs {other.limit}"
+            )
+    results = sorted(
+        (result for report in reports for result in report.results),
+        key=lambda result: result.index,
+    )
+    indices = [result.index for result in results]
+    if len(set(indices)) != len(indices):
+        raise ValueError("overlapping shards: duplicate scenario indices")
+
+    merged = CampaignReport(
+        backend="merged",
+        workers=sum(report.workers for report in reports),
+        matrix_digest=first.matrix_digest,
+        total_scenarios=first.total_scenarios,
+        limit=first.limit,
+        shard=None,
+        elapsed_seconds=sum(report.elapsed_seconds for report in reports),
+    )
+    preamble = _digest_preamble(
+        merged.matrix_digest,
+        merged.total_scenarios,
+        len(results),
+        merged.limit,
+        None,
+    )
+    return _fold_results(merged, results, preamble)

@@ -46,7 +46,8 @@ class CheckReport:
     violations: list[Violation] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     #: the backend that actually ran (a requested "process" backend falls
-    #: back to "serial" on platforms without fork).
+    #: back to "serial" on platforms without fork, and for selections too
+    #: small to amortize the pool fork cost).
     backend: str = "serial"
 
     @property

@@ -13,14 +13,31 @@ Examples::
 ``--deviate NAME@ROUND`` wraps the named party in a sore-loser halt; it can
 be repeated.  ``check`` runs the exhaustive model checker for a protocol
 family and prints the report.  ``campaign`` runs the batched adversarial
-scenario matrix over every protocol family (``--backend process``
-parallelises it; ``--limit N`` smoke-runs an even, deterministic subsample
-— ``--seed`` stamps the matrix identity into the digests but never changes
-which scenarios run)::
+scenario matrix over every protocol family:
+
+- ``--backend process`` parallelises it (tiny selections fall back to
+  serial; the report records the backend that actually ran),
+- ``--limit N`` smoke-runs a deterministic subsample of exactly
+  ``min(N, total)`` scenarios, evenly spread — note a limit below
+  ``total / smallest-family-size`` can skip the smallest families,
+- ``--shard I/N`` runs the I-th of N contiguous slices of the selection;
+  every report states its selection and coverage, and folds them into the
+  run digest, so a partial run can never pass for full coverage,
+- ``--out report.json`` writes the report (with per-scenario digests) for
+  ``campaign-merge``, which recombines shard reports and recomputes the
+  run digest — byte-identical to the unsharded run when coverage is
+  complete (``--expect DIGEST`` asserts it),
+- ``--seed`` stamps the matrix identity into the digests but never changes
+  which scenarios run.
+
+::
 
     python -m repro.cli campaign
     python -m repro.cli campaign --families two-party,broker --backend process
     python -m repro.cli campaign --limit 120
+    python -m repro.cli campaign --shard 1/3 --out shard1.json
+    python -m repro.cli campaign-merge shard1.json shard2.json shard3.json \
+        --expect 4f0c…
 """
 
 from __future__ import annotations
@@ -28,7 +45,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.campaign import CampaignRunner, FAMILY_NAMES, default_matrix
+from repro.campaign import (
+    CampaignReport,
+    CampaignRunner,
+    FAMILY_NAMES,
+    default_matrix,
+    merge_reports,
+)
 from repro.checker import ModelChecker, full_strategy_space, halt_strategies, properties as props
 from repro.core.bootstrap import BootstrapSpec, BootstrappedSwap, extract_bootstrap_outcome
 from repro.core.hedged_auction import (
@@ -191,6 +214,37 @@ def cmd_check(args) -> None:
         raise SystemExit(1)
 
 
+def _parse_shard(text: str | None) -> tuple[int, int] | None:
+    if text is None:
+        return None
+    try:
+        i, n = text.split("/", 1)
+        return int(i), int(n)
+    except ValueError:
+        raise SystemExit(f"--shard expects I/N (e.g. 2/3), got {text!r}")
+
+
+def _print_campaign_report(report: CampaignReport) -> None:
+    print(report.summary())
+    for axis in ("family", "strategy"):
+        rows = report.axis_table(axis)
+        if not rows:
+            continue
+        print(f"by {axis}:")
+        for value, scenarios, violations in rows:
+            print(f"  {value:<24} {scenarios:>6} scenarios  {violations:>4} violations")
+    payoffs = report.payoff_summary()
+    print(
+        f"premium flows: n={payoffs['n']} nonzero={payoffs['nonzero']} "
+        f"min={payoffs['min']} max={payoffs['max']} mean={payoffs['mean']:.3f}"
+    )
+    print(f"selection: {report.selection} "
+          f"({report.scenarios}/{report.total_scenarios} scenarios)")
+    print(f"run digest: {report.run_digest}")
+    for violation in report.violations[:20]:
+        print(f"  {violation.scenario}: {violation.message}")
+
+
 def cmd_campaign(args) -> None:
     families = None
     if args.families and args.families != "all":
@@ -206,34 +260,52 @@ def cmd_campaign(args) -> None:
     print(f"matrix: {total} scenarios over {len(sizes)} families "
           f"(seed={matrix.seed}, digest={matrix.digest()[:16]})")
     for family, size in sizes.items():
-        print(f"  {family:<12} {size:>6}")
+        print(f"  {family:<14} {size:>6}")
     if args.list:
         return
     try:
         runner = CampaignRunner(
-            matrix, backend=args.backend, workers=args.workers, limit=args.limit
+            matrix,
+            backend=args.backend,
+            workers=args.workers,
+            limit=args.limit,
+            shard=_parse_shard(args.shard),
         )
     except ValueError as err:
         raise SystemExit(f"error: {err}")
     report = runner.run()
     print()
-    print(report.summary())
-    for axis in ("family", "strategy"):
-        rows = report.axis_table(axis)
-        if not rows:
-            continue
-        print(f"by {axis}:")
-        for value, scenarios, violations in rows:
-            print(f"  {value:<24} {scenarios:>6} scenarios  {violations:>4} violations")
-    payoffs = report.payoff_summary()
-    print(
-        f"premium flows: n={payoffs['n']} nonzero={payoffs['nonzero']} "
-        f"min={payoffs['min']} max={payoffs['max']} mean={payoffs['mean']:.3f}"
-    )
-    print(f"run digest: {report.run_digest}")
-    for violation in report.violations[:20]:
-        print(f"  {violation.scenario}: {violation.message}")
+    _print_campaign_report(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"report written to {args.out}")
     if not report.ok:
+        raise SystemExit(1)
+
+
+def cmd_campaign_merge(args) -> None:
+    reports = []
+    for path in args.reports:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                reports.append(CampaignReport.from_json(handle.read()))
+        except (OSError, ValueError, KeyError, TypeError) as err:
+            raise SystemExit(f"error reading {path}: {err}")
+    try:
+        merged = merge_reports(reports)
+    except ValueError as err:
+        raise SystemExit(f"error: {err}")
+    _print_campaign_report(merged)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(merged.to_json())
+        print(f"merged report written to {args.out}")
+    if args.expect and merged.run_digest != args.expect:
+        raise SystemExit(
+            f"digest mismatch: merged {merged.run_digest} != expected {args.expect}"
+        )
+    if not merged.ok:
         raise SystemExit(1)
 
 
@@ -305,13 +377,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=["serial", "process"], default="serial")
     p.add_argument("--workers", type=int, default=None, help="process-pool size")
     p.add_argument("--limit", type=int, default=None,
-                   help="run only N scenarios, spread evenly across the matrix")
+                   help="run exactly min(N, total) scenarios, spread evenly "
+                        "across the matrix (small families may be skipped)")
+    p.add_argument("--shard", default=None, metavar="I/N",
+                   help="run the I-th of N contiguous slices of the selection")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the report as JSON (for campaign-merge)")
     p.add_argument("--seed", type=int, default=0, help="matrix identity seed")
     p.add_argument("--adversaries", type=int, default=None,
                    help="override max simultaneous adversaries per family")
     p.add_argument("--list", action="store_true",
                    help="print the matrix breakdown and exit")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "campaign-merge",
+        help="merge sharded campaign reports into one run digest",
+    )
+    p.add_argument("reports", nargs="+", metavar="REPORT.json",
+                   help="shard reports written by campaign --out")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the merged report as JSON")
+    p.add_argument("--expect", default=None, metavar="DIGEST",
+                   help="exit non-zero unless the merged run digest matches")
+    p.set_defaults(func=cmd_campaign_merge)
     return parser
 
 

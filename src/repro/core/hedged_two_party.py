@@ -26,7 +26,7 @@ transfer of ``p_a`` to Bob.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.chain.block import Transaction
 from repro.contracts.hedged_escrow import HedgedEscrow
@@ -58,6 +58,27 @@ class HedgedTwoPartySpec:
     bob_escrow_deadline: int = 4  # t_b,e
     alice_redeem_deadline: int = 5  # t_A (banana chain timelock)
     bob_redeem_deadline: int = 6  # t_B (apricot chain timelock)
+
+    def stretched(self, k: int) -> "HedgedTwoPartySpec":
+        """The same swap with every deadline stretched to ``k`` Δ-heights.
+
+        §5.2 prices premiums off the time value of locked assets, so the
+        deadline spacing is a real axis: a slower chain (or a cautious
+        confirmation policy) multiplies every timeout by ``k`` while the
+        compliant happy path still finishes at the original pace — only
+        deviant runs see the longer escrow windows.
+        """
+        if k < 1:
+            raise ValueError(f"stretch factor must be >= 1, got {k}")
+        return replace(
+            self,
+            alice_premium_deadline=self.alice_premium_deadline * k,
+            bob_premium_deadline=self.bob_premium_deadline * k,
+            alice_escrow_deadline=self.alice_escrow_deadline * k,
+            bob_escrow_deadline=self.bob_escrow_deadline * k,
+            alice_redeem_deadline=self.alice_redeem_deadline * k,
+            bob_redeem_deadline=self.bob_redeem_deadline * k,
+        )
 
     @property
     def alice_premium(self) -> int:

@@ -61,9 +61,14 @@ def test_scenario_axes_carry_strategy_and_round():
 
 
 def test_limit_subsamples_evenly_across_families():
+    # Coverage is proportional to family size, so the limit must keep the
+    # stride (total // limit) below the smallest family's scenario count
+    # for every family to appear.
     matrix = default_matrix()
-    limited = list(matrix.scenarios(limit=50))
-    assert len(limited) == 50
+    smallest = min(matrix.block_sizes().values())
+    limit = max(300, 2 * (len(matrix) // smallest))
+    limited = list(matrix.scenarios(limit=limit))
+    assert len(limited) == limit
     families = {dict(s.axes)["family"] for s in limited}
     assert families == set(matrix.families())
 
@@ -90,8 +95,15 @@ def test_default_matrix_rejects_unknown_family():
 def test_default_matrix_scale_and_coverage():
     matrix = default_matrix()
     sizes = matrix.block_sizes()
-    assert set(sizes) == {"two-party", "multi-party", "broker", "auction", "bootstrap"}
-    assert len(matrix) >= 500  # the acceptance-scale matrix
+    assert set(sizes) == {
+        "two-party",
+        "multi-party",
+        "broker",
+        "auction",
+        "sealed-auction",
+        "bootstrap",
+    }
+    assert len(matrix) >= 3000  # the acceptance-scale matrix
     assert all(size > 0 for size in sizes.values())
 
 

@@ -1,0 +1,350 @@
+"""Sharded execution, pool reuse, selection honesty, and the new axes.
+
+These pin the PR-2 contracts: ``limit=N`` yields exactly ``min(N, total)``
+scenarios (the subsampler can never silently collapse), ``shard=(i, n)``
+partitions the selection exactly, :func:`merge_reports` recombines shard
+runs into the byte-identical unsharded run digest, a partial run's digest
+preamble records its selection so it can never masquerade as full
+coverage, tiny process runs fall back to serial, and a persistent
+:class:`WorkerPool` reproduces fresh-pool digests across reused runs.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CampaignReport,
+    CampaignRunner,
+    MatrixSpec,
+    ScenarioMatrix,
+    WorkerPool,
+    default_matrix,
+    merge_reports,
+)
+from repro.campaign.runner import MIN_PROCESS_SCENARIOS
+from repro.checker import halt_strategies, properties
+from repro.core.hedged_two_party import HedgedTwoPartySpec, HedgedTwoPartySwap
+
+
+def two_party_builder():
+    return HedgedTwoPartySwap().build()
+
+
+def small_matrix(seed: int = 0) -> ScenarioMatrix:
+    matrix = ScenarioMatrix(seed=seed)
+    matrix.add_block(
+        family="two-party",
+        schedule="default",
+        builder=two_party_builder,
+        properties=(properties.no_stuck_escrow, properties.two_party_hedged),
+        strategies={p: halt_strategies(8) for p in ("Alice", "Bob")},
+        max_adversaries=2,
+    )
+    return matrix  # 81 scenarios
+
+
+# ----------------------------------------------------------------------
+# limit: exactly min(N, total), no silent collapse (satellite bugfix)
+# ----------------------------------------------------------------------
+def test_limit_total_minus_one_yields_exactly_that_many():
+    matrix = small_matrix()
+    total = len(matrix)
+    assert len(list(matrix.scenarios(limit=total - 1))) == total - 1
+
+
+@pytest.mark.parametrize("limit", [1, 2, 3, 79, 80, 81, 82, 1000])
+def test_limit_yields_exactly_min_of_limit_and_total(limit):
+    matrix = small_matrix()
+    total = len(matrix)
+    selected = list(matrix.scenarios(limit=limit))
+    assert len(selected) == min(limit, total)
+    # global indices stay strictly increasing (full-matrix order)
+    indices = [s.index for s in selected]
+    assert indices == sorted(set(indices))
+
+
+def test_selection_is_exact_for_every_limit_on_the_default_matrix():
+    matrix = default_matrix(families=["broker", "bootstrap"])
+    total = len(matrix)
+    for limit in range(1, total + 2):
+        assert len(matrix.selection(limit=limit)) == min(limit, total)
+
+
+# ----------------------------------------------------------------------
+# shard: contiguous, exact partition of the selection
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [1, 2, 3, 7, 81, 100])
+def test_shards_partition_the_full_matrix(n):
+    matrix = small_matrix()
+    pieces = [matrix.selection(shard=(i, n)) for i in range(1, n + 1)]
+    flat = [index for piece in pieces for index in piece]
+    assert flat == list(range(len(matrix)))  # exact, ordered, no overlap
+
+
+def test_shards_partition_a_limited_selection():
+    matrix = small_matrix()
+    whole = matrix.selection(limit=50)
+    pieces = [matrix.selection(limit=50, shard=(i, 3)) for i in (1, 2, 3)]
+    assert [i for piece in pieces for i in piece] == whole
+
+
+@pytest.mark.parametrize("shard", [(0, 3), (4, 3), (1, 0), (-1, 2)])
+def test_invalid_shards_rejected(shard):
+    with pytest.raises(ValueError):
+        small_matrix().selection(shard=shard)
+    with pytest.raises(ValueError):
+        CampaignRunner(small_matrix(), shard=shard)
+
+
+# ----------------------------------------------------------------------
+# merge_reports: byte-identical unsharded digest (tentpole contract)
+# ----------------------------------------------------------------------
+def test_merged_shards_equal_unsharded_run_digest():
+    unsharded = CampaignRunner(small_matrix()).run()
+    shards = [
+        CampaignRunner(small_matrix(), shard=(i, 3)).run() for i in (1, 2, 3)
+    ]
+    assert sum(s.scenarios for s in shards) == unsharded.scenarios
+    merged = merge_reports(shards)
+    assert merged.run_digest == unsharded.run_digest
+    assert merged.complete
+    assert merged.scenarios == unsharded.scenarios
+    assert merged.transactions == unsharded.transactions
+    assert merged.by_axis.keys() == unsharded.by_axis.keys()
+    assert merged.premium_net_hist == unsharded.premium_net_hist
+
+
+def test_merged_limited_shards_equal_limited_run_digest():
+    limited = CampaignRunner(small_matrix(), limit=50).run()
+    shards = [
+        CampaignRunner(small_matrix(), limit=50, shard=(i, 2)).run()
+        for i in (1, 2)
+    ]
+    assert merge_reports(shards).run_digest == limited.run_digest
+
+
+def test_merge_order_does_not_matter():
+    shards = [
+        CampaignRunner(small_matrix(), shard=(i, 3)).run() for i in (1, 2, 3)
+    ]
+    forward = merge_reports(shards)
+    shuffled = merge_reports([shards[2], shards[0], shards[1]])
+    assert forward.run_digest == shuffled.run_digest
+
+
+def test_merge_rejects_mismatched_inputs():
+    with pytest.raises(ValueError):
+        merge_reports([])
+    a = CampaignRunner(small_matrix(), shard=(1, 2)).run()
+    with pytest.raises(ValueError, match="different matrices"):
+        merge_reports([a, CampaignRunner(small_matrix(seed=1), shard=(2, 2)).run()])
+    with pytest.raises(ValueError, match="duplicate"):
+        merge_reports([a, CampaignRunner(small_matrix(), shard=(1, 2)).run()])
+    with pytest.raises(ValueError, match="different limits"):
+        merge_reports([a, CampaignRunner(small_matrix(), limit=40, shard=(2, 2)).run()])
+
+
+def test_partial_merge_cannot_masquerade_as_full():
+    unsharded = CampaignRunner(small_matrix()).run()
+    two_of_three = merge_reports(
+        [CampaignRunner(small_matrix(), shard=(i, 3)).run() for i in (1, 2)]
+    )
+    assert not two_of_three.complete
+    assert two_of_three.run_digest != unsharded.run_digest
+    assert two_of_three.selection == "partial"  # the label is honest too
+    assert "partial" in two_of_three.summary()
+
+
+# ----------------------------------------------------------------------
+# selection honesty in the report (satellite bugfix)
+# ----------------------------------------------------------------------
+def test_limited_report_records_selection_and_differs_from_full():
+    full = CampaignRunner(small_matrix()).run()
+    limited = CampaignRunner(small_matrix(), limit=80).run()
+    assert full.complete and full.selection == "full"
+    assert not limited.complete
+    assert limited.selection == "limit=80"
+    assert limited.scenarios == 80 and limited.total_scenarios == 81
+    assert limited.matrix_digest == full.matrix_digest
+    assert limited.run_digest != full.run_digest
+    assert "limit=80: 80/81" in limited.summary()
+
+
+def test_sharded_report_records_selection():
+    shard = CampaignRunner(small_matrix(), shard=(2, 3)).run()
+    assert shard.selection == "shard=2/3"
+    assert not shard.complete
+    assert shard.shard == (2, 3)
+
+
+def test_noop_selections_normalize_to_the_full_digest():
+    full = CampaignRunner(small_matrix()).run()
+    clamped = CampaignRunner(small_matrix(), limit=10_000).run()
+    one_shard = CampaignRunner(small_matrix(), shard=(1, 1)).run()
+    assert clamped.run_digest == full.run_digest
+    assert one_shard.run_digest == full.run_digest
+    assert clamped.complete and one_shard.complete
+
+
+def test_report_json_roundtrip_preserves_digest_and_aggregates():
+    report = CampaignRunner(small_matrix(), shard=(1, 2)).run()
+    restored = CampaignReport.from_json(report.to_json())
+    assert restored.run_digest == report.run_digest
+    assert restored.shard == (1, 2)
+    assert restored.scenarios == report.scenarios
+    assert restored.premium_net_hist == report.premium_net_hist
+    assert [r.digest for r in restored.results] == [
+        r.digest for r in report.results
+    ]
+    with pytest.raises(ValueError, match="digest mismatch"):
+        CampaignReport.from_json(
+            report.to_json().replace(report.results[0].digest, "0" * 64)
+        )
+
+
+# ----------------------------------------------------------------------
+# serial fallback for tiny selections (satellite bugfix)
+# ----------------------------------------------------------------------
+def test_tiny_process_run_falls_back_to_serial():
+    report = CampaignRunner(
+        small_matrix(), backend="process", limit=MIN_PROCESS_SCENARIOS - 1
+    ).run()
+    assert report.backend == "serial"
+    assert report.workers == 1
+    big = CampaignRunner(small_matrix(), backend="process").run()
+    assert big.backend == "process"  # 81 scenarios clears the threshold
+
+
+# ----------------------------------------------------------------------
+# persistent worker pool
+# ----------------------------------------------------------------------
+def test_worker_pool_reuse_matches_serial_digests():
+    serial = CampaignRunner(default_matrix(families=["broker", "bootstrap"])).run()
+    with WorkerPool(workers=2) as pool:
+        first = CampaignRunner(
+            default_matrix(families=["broker", "bootstrap"]),
+            backend="process",
+            pool=pool,
+        ).run()
+        second = CampaignRunner(
+            default_matrix(families=["broker", "bootstrap"]),
+            backend="process",
+            pool=pool,
+        ).run()
+        # a different matrix through the same (already started) workers
+        other = CampaignRunner(
+            default_matrix(families=["bootstrap"]), backend="process", pool=pool
+        ).run()
+    assert first.backend == second.backend == "process:pooled"
+    assert first.run_digest == second.run_digest == serial.run_digest
+    assert other.backend == "process:pooled"  # started pool serves tiny runs
+    assert other.ok
+
+
+def test_worker_pool_shards_merge_to_the_serial_digest():
+    serial = CampaignRunner(default_matrix(families=["broker", "bootstrap"])).run()
+    with WorkerPool(workers=2) as pool:
+        shards = [
+            CampaignRunner(
+                default_matrix(families=["broker", "bootstrap"]),
+                backend="process",
+                pool=pool,
+                shard=(i, 2),
+            ).run()
+            for i in (1, 2)
+        ]
+    assert merge_reports(shards).run_digest == serial.run_digest
+
+
+def test_pool_requires_process_backend_and_rebuildable_matrix():
+    pool = WorkerPool(workers=2)
+    with pytest.raises(ValueError, match="backend"):
+        CampaignRunner(default_matrix(families=["bootstrap"]), pool=pool)
+    with pytest.raises(ValueError, match="rebuildable"):
+        CampaignRunner(small_matrix(), backend="process", pool=pool)
+    with pytest.raises(ValueError, match="workers= conflicts"):
+        CampaignRunner(
+            default_matrix(families=["bootstrap"]),
+            backend="process",
+            workers=8,
+            pool=pool,
+        )
+    assert not pool.started  # nothing forced a fork
+
+
+def test_matrix_mutated_after_runner_construction_fails_loudly():
+    matrix = default_matrix(families=["bootstrap"])
+    with WorkerPool(workers=2) as pool:
+        # start the pool so the pooled path is chosen regardless of size
+        CampaignRunner(
+            default_matrix(families=["bootstrap"]), backend="process", pool=pool
+        ).run()
+        runner = CampaignRunner(matrix, backend="process", pool=pool)
+        matrix.add_block(
+            family="extra",
+            schedule="x",
+            builder=two_party_builder,
+            properties=(),
+            strategies={"Alice": halt_strategies(2)},
+        )
+        with pytest.raises(ValueError, match="rebuildable"):
+            runner.run()
+
+
+def test_add_block_invalidates_the_rebuild_spec():
+    matrix = default_matrix(families=["bootstrap"])
+    assert isinstance(matrix.spec, MatrixSpec)
+    rebuilt = matrix.spec.build()
+    assert rebuilt.digest() == matrix.digest()
+    matrix.add_block(
+        family="extra",
+        schedule="x",
+        builder=two_party_builder,
+        properties=(),
+        strategies={"Alice": halt_strategies(2)},
+    )
+    assert matrix.spec is None  # the recipe no longer describes the matrix
+
+
+def test_unknown_matrix_factory_raises():
+    with pytest.raises(KeyError, match="unknown matrix factory"):
+        MatrixSpec(factory="nope").build()
+
+
+# ----------------------------------------------------------------------
+# new workload axes: one compensation-bound sweep through each
+# ----------------------------------------------------------------------
+def test_two_party_premium_grid_and_stretched_schedules_hold_bounds():
+    matrix = default_matrix(families=["two-party"])
+    report = CampaignRunner(matrix, limit=400).run()
+    assert report.ok, [f"{v.scenario}: {v.message}" for v in report.violations]
+    schedules = {value for value, _, _ in report.axis_table("schedule")}
+    grid = {f"p{pa}:{pb}" for pa in (1, 2, 3) for pb in (1, 2)}
+    assert grid <= schedules  # the whole premium-growth grid is swept
+    assert {"p2:1/k2", "p2:1/k3"} <= schedules  # stretched k·Δ timeouts
+
+
+def test_stretched_spec_scales_every_deadline():
+    spec = HedgedTwoPartySpec().stretched(3)
+    assert spec.alice_premium_deadline == 3
+    assert spec.bob_redeem_deadline == 18
+    assert spec.premium_a == HedgedTwoPartySpec().premium_a  # premiums untouched
+    with pytest.raises(ValueError):
+        HedgedTwoPartySpec().stretched(0)
+
+
+def test_multi_party_larger_graphs_hold_lemma_bounds():
+    report = CampaignRunner(default_matrix(families=["multi-party"])).run()
+    assert report.ok, [f"{v.scenario}: {v.message}" for v in report.violations]
+    schedules = {value for value, _, _ in report.axis_table("schedule")}
+    assert {"ring5/p1", "ring8/p1", "complete4/p1", "complete5/p2"} <= schedules
+
+
+def test_sealed_auction_family_holds_lemma_bounds():
+    report = CampaignRunner(default_matrix(families=["sealed-auction"])).run()
+    assert report.ok, [f"{v.scenario}: {v.message}" for v in report.violations]
+    rows = report.axis_table("family")
+    assert rows == [("sealed-auction", report.scenarios, 0)]
+    # both the hedged (p1) and unhedged base (p0) forms are swept
+    schedules = {value for value, _, _ in report.axis_table("schedule")}
+    assert "p0/honest" in schedules
+    assert any(s.startswith("p1/") for s in schedules)
