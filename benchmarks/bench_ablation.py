@@ -1,6 +1,6 @@
 """EXP-AB — ablations over the design choices DESIGN.md calls out.
 
-Three ablations:
+Four ablations:
 
 1. **leader-set choice** (§7): the protocol works with any feedback vertex
    set; the choice changes premium sizes and phase lengths.  Sweep the
@@ -10,6 +10,12 @@ Three ablations:
 3. **the cost of hedging**: transaction counts, run lengths, and peak
    native capital locked, hedged vs base, for each protocol family —
    the price paid for sore-loser protection.
+4. **EXP-AB4, the deviation-profitability frontier**: the
+   ``repro.campaign.ablation`` engine runs rational (utility-driven)
+   pivots across a premium × shock grid on live protocol runs and reports,
+   per family and shock, the smallest premium fraction π* that makes
+   walking away irrational — the measured form of the paper's π-threshold
+   deterrence claim.
 
 Run directly to print the tables:  python benchmarks/bench_ablation.py
 """
@@ -123,6 +129,40 @@ def generate_overhead_table():
     ), rows
 
 
+FRONTIER_PREMIUMS = (0.0, 0.01, 0.03, 0.08)
+FRONTIER_SHOCKS = (0.015, 0.045, 0.105)
+
+
+def generate_frontier_table():
+    """EXP-AB4: the staked-stage deterrence frontier, every family."""
+    from repro.campaign import CampaignRunner, ablation_matrix, reduce_frontier
+
+    matrix = ablation_matrix(
+        premium_fractions=FRONTIER_PREMIUMS, shock_fractions=FRONTIER_SHOCKS
+    )
+    report = CampaignRunner(matrix).run()
+    assert report.ok, [v.message for v in report.violations]
+    frontier = reduce_frontier(report)
+    rows = []
+    for row in frontier.rows:
+        if row.stage != "staked":
+            continue
+        profitable = [c.pi for c in row.cells if c.deviation_profitable]
+        rows.append(
+            (
+                row.family,
+                f"{row.shock:g}",
+                "-" if row.pi_star is None else f"{row.pi_star:g}",
+                ",".join(f"{pi:g}" for pi in profitable) or "-",
+                f"{max((c.deviation_gain for c in row.cells), default=0.0):g}",
+            )
+        )
+    return (
+        "family", "price drop s", "pi* (deters)", "profitable pi",
+        "max deviation gain",
+    ), rows
+
+
 # ----------------------------------------------------------------------
 def test_every_valid_leader_set_works(benchmark):
     header, rows = benchmark(generate_leader_choice_table)
@@ -161,9 +201,29 @@ def test_hedging_overhead_is_bounded(benchmark):
         assert capital > 0
 
 
+def test_frontier_matches_two_party_closed_form(benchmark):
+    """EXP-AB4: the measured two-party π* is the smallest swept premium
+    fraction above the shock — the paper's threshold, within a grid step."""
+    header, rows = benchmark.pedantic(generate_frontier_table, rounds=1, iterations=1)
+    two_party = {r[1]: r for r in rows if r[0] == "two-party"}
+    for shock in FRONTIER_SHOCKS:
+        above = [pi for pi in FRONTIER_PREMIUMS if pi * 100 > shock * 100]
+        expected = f"{min(above):g}" if above else "-"
+        assert two_party[f"{shock:g}"][2] == expected, (shock, two_party)
+    # a deterred line never has a profitable premium at or past pi*
+    for family, shock, pi_star, profitable, max_gain in rows:
+        if pi_star != "-" and profitable != "-":
+            assert max(float(p) for p in profitable.split(",")) < float(pi_star)
+
+
 if __name__ == "__main__":
     print(format_table("EXP-AB: leader-set choice (Figure 3a)", *generate_leader_choice_table()))
     print()
     print(format_table("EXP-AB: footnote-7 pruning", *generate_pruning_table()))
     print()
     print(format_table("EXP-AB: the cost of hedging", *generate_overhead_table()))
+    print()
+    print(format_table(
+        "EXP-AB4: deviation-profitability frontier (staked-stage shocks)",
+        *generate_frontier_table(),
+    ))

@@ -21,7 +21,12 @@ point" claim into something executable at thousands-of-scenarios scale.
 - :mod:`repro.campaign.families` — the registry of protocol families
   (two-party, multi-party, broker, auction, sealed-auction, bootstrap)
   with their default adversary spaces and premium/timeout/graph schedules;
-  :func:`default_matrix` builds the standard all-families campaign.
+  :func:`default_matrix` builds the standard all-families campaign,
+- :mod:`repro.campaign.ablation` — the rational-adversary ablation engine:
+  :func:`ablation_matrix` crosses families with utility-driven pivots over
+  premium fractions × price shocks × shock stages, and
+  :func:`reduce_frontier` reduces the resulting report into the
+  deviation-profitability frontier (the measured π-threshold of §5.2).
 
 ``repro.checker.ModelChecker`` is a thin client of this package: profile
 enumeration, execution, and property evaluation all live here.
@@ -37,20 +42,30 @@ from repro.campaign.runner import (
 )
 from repro.campaign.scenario import Scenario, ScenarioResult, run_scenario
 from repro.campaign.families import FAMILY_NAMES, default_matrix
+from repro.campaign.ablation import (
+    AblationGrid,
+    FrontierReport,
+    ablation_matrix,
+    reduce_frontier,
+)
 
 __all__ = [
+    "AblationGrid",
     "CampaignReport",
     "CampaignRunner",
     "FAMILY_NAMES",
+    "FrontierReport",
     "MatrixSpec",
     "Scenario",
     "ScenarioMatrix",
     "ScenarioResult",
     "ScenarioViolation",
     "WorkerPool",
+    "ablation_matrix",
     "default_matrix",
     "enumerate_profiles",
     "merge_reports",
+    "reduce_frontier",
     "register_matrix_factory",
     "run_scenario",
 ]

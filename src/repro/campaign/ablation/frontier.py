@@ -1,0 +1,335 @@
+"""Reduce an ablation campaign into a deviation-profitability frontier.
+
+:func:`reduce_frontier` consumes the :class:`~repro.campaign.runner.CampaignReport`
+an ablation matrix produced — on any backend, merged from any shards — and
+pairs each grid cell's two arms into a :class:`FrontierCell`:
+
+- ``walked``: did the rational pivot abandon the protocol?
+- ``deviation_gain``: rational-arm utility minus comply-arm utility, both
+  measured on live runs at post-shock prices — deviating *paid* iff this
+  is positive,
+- ``victim_net``: the best premium compensation any counterparty collected
+  in the rational arm (zero when the walk was victimless).
+
+Cells aggregate into :class:`FrontierRow` per ``(family, stage, shock)``:
+``pi_star`` is the smallest swept premium fraction at which the rational
+pivot completes — the measured deterrence frontier.  ``None`` means no
+swept premium deters that shock (always the case at the ``pre-stake``
+stage, where walking forfeits nothing).
+
+Digest rules: the frontier digest hashes a preamble naming the underlying
+run digest and coverage, then every cell in canonical order.  The run
+digest already folds in the matrix identity and the effective selection,
+so a frontier from a partial run can never collide with one from full
+coverage, and serial/pooled/sharded-then-merged runs of the same grid
+yield byte-identical frontier digests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from hashlib import sha256
+
+from repro.campaign.runner import CampaignReport
+
+
+@dataclass(frozen=True)
+class FrontierCell:
+    """One measured grid cell: a (family, stage, shock, π) pair of arms."""
+
+    family: str
+    stage: str
+    shock: float
+    pi: float
+    walked: bool
+    rational_utility: float
+    comply_utility: float
+    victim_net: int
+
+    @property
+    def deviation_gain(self) -> float:
+        return self.rational_utility - self.comply_utility
+
+    @property
+    def deviation_profitable(self) -> bool:
+        return self.deviation_gain > 0
+
+    def describe(self) -> str:
+        return "|".join(
+            (
+                self.family,
+                self.stage,
+                repr(self.shock),
+                repr(self.pi),
+                "walked" if self.walked else "completed",
+                repr(self.rational_utility),
+                repr(self.comply_utility),
+                str(self.victim_net),
+            )
+        )
+
+
+@dataclass(frozen=True)
+class FrontierRow:
+    """The frontier along π for one (family, stage, shock) line."""
+
+    family: str
+    stage: str
+    shock: float
+    #: smallest swept π at which the rational pivot completes; None if the
+    #: shock stays profitable to walk from at every swept premium.
+    pi_star: float | None
+    cells: tuple[FrontierCell, ...]
+
+    @property
+    def deterred(self) -> bool:
+        return self.pi_star is not None
+
+
+@dataclass(frozen=True)
+class FrontierReport:
+    """The reduced frontier plus its reproducibility digest."""
+
+    matrix_digest: str
+    run_digest: str
+    complete: bool
+    scenarios: int
+    total_scenarios: int
+    rows: tuple[FrontierRow, ...]
+    digest: str = ""
+
+    @property
+    def cells(self) -> tuple[FrontierCell, ...]:
+        return tuple(cell for row in self.rows for cell in row.cells)
+
+    def families(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            seen.setdefault(row.family, None)
+        return tuple(seen)
+
+    def row(self, family: str, stage: str, shock: float) -> FrontierRow:
+        for candidate in self.rows:
+            if (candidate.family, candidate.stage, candidate.shock) == (
+                family,
+                stage,
+                shock,
+            ):
+                return candidate
+        raise KeyError(f"no frontier row ({family}, {stage}, {shock})")
+
+    def summary(self) -> str:
+        deterred = sum(1 for row in self.rows if row.deterred)
+        coverage = (
+            "full coverage"
+            if self.complete
+            else f"PARTIAL coverage {self.scenarios}/{self.total_scenarios}"
+        )
+        return (
+            f"frontier: {len(self.rows)} (family × stage × shock) lines over "
+            f"{len(self.cells)} cells, {deterred} deterred ({coverage})"
+        )
+
+    def table(self) -> str:
+        """A printable frontier table (one line per row)."""
+        lines = [
+            f"{'family':<12} {'stage':<10} {'shock':>7}  {'pi*':>6}  "
+            f"{'walk premiums':<24} profitable-deviation span"
+        ]
+        for row in self.rows:
+            walked = [cell.pi for cell in row.cells if cell.walked]
+            profitable = [
+                cell.pi for cell in row.cells if cell.deviation_profitable
+            ]
+            lines.append(
+                f"{row.family:<12} {row.stage:<10} {row.shock:>7g}  "
+                f"{'-' if row.pi_star is None else format(row.pi_star, 'g'):>6}  "
+                f"{','.join(format(p, 'g') for p in walked) or '-':<24} "
+                f"{','.join(format(p, 'g') for p in profitable) or '-'}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "matrix_digest": self.matrix_digest,
+                "run_digest": self.run_digest,
+                "complete": self.complete,
+                "scenarios": self.scenarios,
+                "total_scenarios": self.total_scenarios,
+                "rows": [
+                    {
+                        "family": row.family,
+                        "stage": row.stage,
+                        "shock": row.shock,
+                        "pi_star": row.pi_star,
+                        "cells": [
+                            {
+                                "pi": cell.pi,
+                                "walked": cell.walked,
+                                "rational_utility": cell.rational_utility,
+                                "comply_utility": cell.comply_utility,
+                                "victim_net": cell.victim_net,
+                            }
+                            for cell in row.cells
+                        ],
+                    }
+                    for row in self.rows
+                ],
+                "digest": self.digest,
+            },
+            indent=None,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FrontierReport":
+        data = json.loads(text)
+        rows = tuple(
+            FrontierRow(
+                family=row["family"],
+                stage=row["stage"],
+                shock=float(row["shock"]),
+                pi_star=None if row["pi_star"] is None else float(row["pi_star"]),
+                cells=tuple(
+                    FrontierCell(
+                        family=row["family"],
+                        stage=row["stage"],
+                        shock=float(row["shock"]),
+                        pi=float(cell["pi"]),
+                        walked=bool(cell["walked"]),
+                        rational_utility=float(cell["rational_utility"]),
+                        comply_utility=float(cell["comply_utility"]),
+                        victim_net=int(cell["victim_net"]),
+                    )
+                    for cell in row["cells"]
+                ),
+            )
+            for row in data["rows"]
+        )
+        report = cls(
+            matrix_digest=data["matrix_digest"],
+            run_digest=data["run_digest"],
+            complete=bool(data["complete"]),
+            scenarios=int(data["scenarios"]),
+            total_scenarios=int(data["total_scenarios"]),
+            rows=rows,
+        )
+        report = _with_digest(report)
+        if report.digest != data["digest"]:
+            raise ValueError(
+                "frontier digest mismatch after deserialization: "
+                f"{report.digest[:16]} != {data['digest'][:16]}"
+            )
+        return report
+
+
+def _with_digest(report: FrontierReport) -> FrontierReport:
+    """Stamp the canonical digest: every header field and every row/cell.
+
+    The preamble binds the matrix identity, the run digest, and the
+    coverage claim; each row line binds its ``pi_star``.  Tampering with
+    any headline value in a serialized frontier therefore fails
+    :meth:`FrontierReport.from_json`'s recomputation.
+    """
+    digest = sha256(
+        f"frontier|matrix={report.matrix_digest}|run={report.run_digest}"
+        f"|complete={report.complete}"
+        f"|coverage={report.scenarios}/{report.total_scenarios}".encode()
+    )
+    for row in report.rows:
+        digest.update(b"\n")
+        digest.update(
+            f"row|{row.family}|{row.stage}|{row.shock!r}"
+            f"|pi_star={row.pi_star!r}".encode()
+        )
+        for cell in row.cells:
+            digest.update(b"\n")
+            digest.update(cell.describe().encode())
+    return replace(report, digest=digest.hexdigest())
+
+
+def reduce_frontier(report: CampaignReport) -> FrontierReport:
+    """Pair arms and reduce a campaign report into the frontier.
+
+    Requires an ablation-shaped report: every result carries ``pi``,
+    ``shock``, and ``stage`` axes and a ``comply``/``rational`` strategy
+    coordinate.  A cell missing one arm (e.g. a lone shard) raises —
+    merge the shards first (:func:`repro.campaign.runner.merge_reports`).
+    """
+    arms: dict[tuple[str, str, float, float], dict[str, object]] = {}
+    for result in report.results:
+        axes = dict(result.axes)
+        if "pi" not in axes or "shock" not in axes or "stage" not in axes:
+            raise ValueError(
+                f"not an ablation result: {result.label!r} lacks pi/shock/stage "
+                "axes — reduce_frontier needs a report from ablation_matrix"
+            )
+        key = (
+            axes["family"],
+            axes["stage"],
+            float(axes["shock"]),
+            float(axes["pi"]),
+        )
+        arms.setdefault(key, {})[axes["strategy"]] = result
+    cells = []
+    for key in sorted(arms):
+        pair = arms[key]
+        missing = {"comply", "rational"} - set(pair)
+        if missing:
+            raise ValueError(
+                f"cell {key} is missing its {sorted(missing)} arm(s): merge "
+                "all shards before reducing the frontier"
+            )
+        family, stage, shock, pi = key
+        rational = pair["rational"]
+        comply = pair["comply"]
+        r_metrics = dict(rational.metrics)
+        c_metrics = dict(comply.metrics)
+        pivot = dict(rational.axes)["adversaries"]
+        cells.append(
+            FrontierCell(
+                family=family,
+                stage=stage,
+                shock=shock,
+                pi=pi,
+                walked=r_metrics["completed"] == 0.0,
+                rational_utility=r_metrics["utility"],
+                comply_utility=c_metrics["utility"],
+                victim_net=max(
+                    (net for party, net in rational.premium_net if party != pivot),
+                    default=0,
+                ),
+            )
+        )
+
+    by_line: dict[tuple[str, str, float], list[FrontierCell]] = {}
+    for cell in cells:
+        by_line.setdefault((cell.family, cell.stage, cell.shock), []).append(cell)
+    rows = []
+    for line_key in sorted(by_line):
+        line = sorted(by_line[line_key], key=lambda cell: cell.pi)
+        deterring = [cell.pi for cell in line if not cell.walked]
+        rows.append(
+            FrontierRow(
+                family=line_key[0],
+                stage=line_key[1],
+                shock=line_key[2],
+                pi_star=min(deterring) if deterring else None,
+                cells=tuple(line),
+            )
+        )
+    return _with_digest(
+        FrontierReport(
+            matrix_digest=report.matrix_digest,
+            run_digest=report.run_digest,
+            complete=report.complete,
+            scenarios=report.scenarios,
+            total_scenarios=report.total_scenarios,
+            rows=tuple(rows),
+        )
+    )

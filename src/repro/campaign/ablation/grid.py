@@ -1,0 +1,493 @@
+"""The rational-adversary ablation grid.
+
+:func:`ablation_matrix` crosses protocol families with utility-driven
+actors (`repro.parties.rational`) over premium fractions × price-shock
+sizes × shock stages, producing an ordinary
+:class:`repro.campaign.matrix.ScenarioMatrix` that runs through every
+existing backend (serial, one-shot process pool, persistent
+:class:`~repro.campaign.pool.WorkerPool`).
+
+Each grid cell ``(family, π, s, stage)`` becomes one matrix block holding
+two scenarios for the family's *pivot* party (the one whose incoming asset
+takes the shock):
+
+- the **comply** arm — an identity transform; the protocol completes and
+  the pivot's realized utility under the shocked price path is the cost of
+  honoring the deal,
+- the **rational** arm — the pivot wrapped in a
+  :class:`~repro.parties.rational.UtilityModel`; it walks away exactly
+  when quitting beats finishing given its live premium stake.
+
+Both arms carry a metrics hook recording ``completed`` and the pivot's
+``utility`` (final balance deltas valued at the post-shock prices), which
+is what :func:`repro.campaign.ablation.frontier.reduce_frontier` pairs
+into deviation-profitability cells.
+
+Premium sizing maps the grid fraction π onto each family's integer premium
+knob against the pivot's principal value (e.g. two-party:
+``p_b = round(π · amount_b)``); :func:`deterrence_stake` exposes the
+resulting closed-form walk-forfeit at the staked stage, so tests can check
+the measured frontier against the paper's π-threshold claim exactly.
+
+Shock *stages* pin the shock height to protocol structure rather than raw
+numbers: ``pre-stake`` hits before the pivot has deposited anything
+(walking is free — no premium can deter it, and no victim has escrowed),
+``staked`` hits after its premiums are held but before its principal is
+locked — the window the paper's premiums are sized for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.matrix import ScenarioMatrix
+from repro.campaign.pool import MatrixSpec, register_matrix_factory
+
+ABLATION_FAMILIES = ("two-party", "multi-party", "broker", "auction")
+
+#: premium fractions π swept by the default grid (0 = unhedged baseline).
+DEFAULT_PREMIUM_FRACTIONS = (0.0, 0.01, 0.02, 0.03, 0.05, 0.08)
+
+#: relative price drops s; chosen off the grid's stake values so the
+#: walk/complete decision is never a floating-point tie.
+DEFAULT_SHOCK_FRACTIONS = (0.005, 0.015, 0.025, 0.045, 0.065, 0.105)
+
+DEFAULT_STAGES = ("pre-stake", "staked")
+
+#: the principal notional every family's π is sized against.
+PRINCIPAL = 100
+
+
+def fmt(value: float) -> str:
+    """Canonical axis rendering of a grid fraction ("0.025", "0")."""
+    return format(value, "g")
+
+
+def scaled_premium(fraction: float, base: int = PRINCIPAL) -> int:
+    """The integer premium a fraction π buys on a ``base`` principal."""
+    return int(round(fraction * base))
+
+
+def _comply(actor):
+    return actor
+
+
+def _make_strategies(party: str, transform):
+    """The two arms of one cell, as checker-style named strategies."""
+    from repro.checker.strategies import NamedStrategy
+
+    return {
+        party: (
+            NamedStrategy(label="comply", transform=_comply),
+            NamedStrategy(label="rational", transform=transform),
+        )
+    }
+
+
+def _make_metrics(party: str, prices, completed):
+    """The cell's digest-covered metrics: completion flag + pivot utility."""
+
+    def metrics(instance, result):
+        return (
+            ("completed", 1.0 if completed(instance) else 0.0),
+            (
+                "utility",
+                result.payoffs.realized_utility(party, prices, instance.horizon),
+            ),
+        )
+
+    return metrics
+
+
+def _axes(pi: float, premium: int, shock: float, stage: str, height: int):
+    """Cell coordinates; ``premium`` is the *effective* integer premium the
+    fraction π bought after rounding, recorded so a quantized grid (e.g.
+    π = 0.025 on a 100 principal → premium 2) can never misstate what
+    actually hedged the run."""
+    return (
+        ("pi", fmt(pi)),
+        ("premium", str(premium)),
+        ("shock", fmt(shock)),
+        ("stage", stage),
+        ("shock_height", str(height)),
+    )
+
+
+# ----------------------------------------------------------------------
+# family cells
+# ----------------------------------------------------------------------
+def _add_two_party(matrix, premium_fractions, shock_fractions, stages) -> None:
+    """§5.2 swap: rational Bob, shock on Alice's (incoming) token."""
+    from repro.checker import properties as props
+    from repro.core.hedged_two_party import HedgedTwoPartySpec, HedgedTwoPartySwap
+    from repro.parties.rational import TokenPrices, rational_party, two_party_model
+
+    for pi in premium_fractions:
+        spec = HedgedTwoPartySpec(premium_a=2, premium_b=scaled_premium(pi))
+        builder = lambda spec=spec: HedgedTwoPartySwap(spec).build()
+        probe = builder()
+        contracts = tuple(probe.contracts.values())
+        # Bob's premium lands at height 2; Alice escrows at height 3 and
+        # Bob's own escrow would land at height 4.
+        heights = {"pre-stake": 1, "staked": 3}
+
+        def completed(instance) -> bool:
+            return (
+                instance.contract("apricot_escrow").principal_state == "redeemed"
+                and instance.contract("banana_escrow").principal_state == "redeemed"
+            )
+
+        for shock in shock_fractions:
+            for stage in stages:
+                height = heights[stage]
+                prices = TokenPrices(
+                    shocked=spec.token_a, fraction=shock, at_height=height
+                )
+
+                def transform(actor, spec=spec, prices=prices, contracts=contracts):
+                    return rational_party(
+                        actor, two_party_model(spec, prices, contracts)
+                    )
+
+                matrix.add_block(
+                    family="two-party",
+                    schedule=f"pi{fmt(pi)}/s{fmt(shock)}@{stage}",
+                    builder=builder,
+                    properties=(props.no_stuck_escrow, props.two_party_hedged),
+                    strategies=_make_strategies(spec.bob, transform),
+                    max_adversaries=1,
+                    include_compliant=False,
+                    extra_axes=_axes(pi, spec.premium_b, shock, stage, height),
+                    metrics=_make_metrics(spec.bob, prices, completed),
+                )
+
+
+def _add_multi_party(matrix, premium_fractions, shock_fractions, stages) -> None:
+    """§7.1 ring:3 swap: rational P1, shock on the leader's token."""
+    from repro.checker import properties as props
+    from repro.core.hedged_multi_party import HedgedMultiPartySwap
+    from repro.graph.digraph import ring_graph
+    from repro.parties.rational import TokenPrices, rational_party, swap_party_model
+
+    party, leaders = "P1", ("P0",)
+    for pi in premium_fractions:
+        premium = scaled_premium(pi)
+        builder = lambda p=premium: HedgedMultiPartySwap(
+            graph=ring_graph(3), premium=p, leaders=leaders
+        ).build()
+        probe = builder()
+        contracts = tuple(probe.contracts.values())
+        schedule = probe.meta["schedule"]
+        # By phase 3 the pivot's escrow premium and its redemption premium
+        # for the leader's key are both held; its principal is not yet
+        # escrowed (followers escrow one round after the leaders).
+        heights = {"pre-stake": 0, "staked": schedule.p3_start}
+        arc_labels = tuple(sorted(probe.contracts))
+
+        def completed(instance, labels=arc_labels) -> bool:
+            return all(
+                instance.contract(label).principal_state == "redeemed"
+                for label in labels
+            )
+
+        for shock in shock_fractions:
+            for stage in stages:
+                height = heights[stage]
+                prices = TokenPrices(
+                    shocked="p0-token", fraction=shock, at_height=height
+                )
+
+                def transform(actor, prices=prices, contracts=contracts):
+                    return rational_party(
+                        actor, swap_party_model(party, prices, contracts)
+                    )
+
+                matrix.add_block(
+                    family="multi-party",
+                    schedule=f"ring3/pi{fmt(pi)}/s{fmt(shock)}@{stage}",
+                    builder=builder,
+                    properties=(props.no_stuck_escrow, props.multi_party_lemmas),
+                    strategies=_make_strategies(party, transform),
+                    max_adversaries=1,
+                    include_compliant=False,
+                    extra_axes=_axes(pi, premium, shock, stage, height),
+                    metrics=_make_metrics(party, prices, completed),
+                )
+
+
+def _add_broker(matrix, premium_fractions, shock_fractions, stages) -> None:
+    """§8.2 deal: rational seller Bob, shock on the coin he is paid in."""
+    from repro.checker import properties as props
+    from repro.core.hedged_broker import HedgedBrokerDeal
+    from repro.parties.rational import TokenPrices, rational_party, swap_party_model
+    from repro.protocols.base_broker import BrokerSpec
+
+    spec = BrokerSpec()
+    base_values = (
+        # A ticket trades for seller_price coins: that is its fair value.
+        (spec.ticket_token, float(spec.seller_price) / spec.tickets),
+        (spec.coin_token, 1.0),
+    )
+    for pi in premium_fractions:
+        premium = scaled_premium(pi)
+        builder = lambda p=premium: HedgedBrokerDeal(premium=p).build()
+        probe = builder()
+        contracts = tuple(probe.contracts.values())
+        # Activation height: all E/T/R premiums held, asset escrows still
+        # one round out.
+        heights = {"pre-stake": 0, "staked": probe.meta["deadlines"].activation}
+
+        def completed(instance) -> bool:
+            return (
+                instance.contract("ticket").escrow_state == "redeemed"
+                and instance.contract("coin").escrow_state == "redeemed"
+            )
+
+        for shock in shock_fractions:
+            for stage in stages:
+                height = heights[stage]
+                prices = TokenPrices(
+                    base=base_values,
+                    shocked=spec.coin_token,
+                    fraction=shock,
+                    at_height=height,
+                )
+
+                def transform(
+                    actor, spec=spec, prices=prices, contracts=contracts
+                ):
+                    return rational_party(
+                        actor, swap_party_model(spec.seller, prices, contracts)
+                    )
+
+                matrix.add_block(
+                    family="broker",
+                    schedule=f"pi{fmt(pi)}/s{fmt(shock)}@{stage}",
+                    builder=builder,
+                    properties=(props.no_stuck_escrow, props.broker_bounds),
+                    strategies=_make_strategies(spec.seller, transform),
+                    max_adversaries=1,
+                    include_compliant=False,
+                    extra_axes=_axes(pi, premium, shock, stage, height),
+                    metrics=_make_metrics(spec.seller, prices, completed),
+                )
+
+
+def _add_auction(matrix, premium_fractions, shock_fractions, stages) -> None:
+    """§9 auction: rational auctioneer, shock on the bid coin."""
+    from repro.checker import properties as props
+    from repro.core.hedged_auction import AuctionSpec, HedgedAuction
+    from repro.parties.rational import TokenPrices, auction_model, rational_party
+
+    probe_spec = AuctionSpec()
+    best_bid = max(probe_spec.bids.values())
+    bidders = len(probe_spec.bidders)
+    base_values = (
+        # Tickets are worth what the best bidder will pay for them.
+        (probe_spec.ticket_token, float(best_bid) / probe_spec.tickets),
+        (probe_spec.coin_token, 1.0),
+    )
+    for pi in premium_fractions:
+        # Her walk-forfeit is p per bid placed, so π prices n·p against the
+        # best bid: threshold s* = n·p / best_bid ≈ π.
+        premium = scaled_premium(pi, best_bid // bidders)
+        spec = AuctionSpec(premium=premium)
+        builder = lambda spec=spec: HedgedAuction(spec=spec).build()
+        probe = builder()
+        contracts = tuple(probe.contracts.values())
+        # Bids land at height 2; the declaration round is round 2.
+        heights = {"pre-stake": 0, "staked": 2}
+
+        def completed(instance) -> bool:
+            return instance.contract("coin").outcome == "completed"
+
+        for shock in shock_fractions:
+            for stage in stages:
+                height = heights[stage]
+                prices = TokenPrices(
+                    base=base_values,
+                    shocked=spec.coin_token,
+                    fraction=shock,
+                    at_height=height,
+                )
+
+                def transform(actor, spec=spec, prices=prices, contracts=contracts):
+                    return rational_party(
+                        actor, auction_model(spec, prices, contracts)
+                    )
+
+                matrix.add_block(
+                    family="auction",
+                    schedule=f"pi{fmt(pi)}/s{fmt(shock)}@{stage}",
+                    builder=builder,
+                    properties=(props.no_stuck_escrow, props.auction_lemmas),
+                    strategies=_make_strategies(spec.auctioneer, transform),
+                    max_adversaries=1,
+                    include_compliant=False,
+                    extra_axes=_axes(pi, premium, shock, stage, height),
+                    metrics=_make_metrics(spec.auctioneer, prices, completed),
+                )
+
+
+_FAMILY_ADDERS = {
+    "two-party": _add_two_party,
+    "multi-party": _add_multi_party,
+    "broker": _add_broker,
+    "auction": _add_auction,
+}
+
+
+# ----------------------------------------------------------------------
+# closed-form thresholds (for the deterrence-theorem tests)
+# ----------------------------------------------------------------------
+def deterrence_stake(family: str, pi: float) -> float:
+    """The pivot's walk-forfeit at the ``staked`` stage, in value units.
+
+    The rational pivot walks iff the shocked value drop exceeds this stake
+    (``PRINCIPAL · s > stake`` for the swap families, ``best_bid · s`` for
+    the auction), so ``stake / principal_value`` is the closed-form
+    deterrence threshold the measured frontier must reproduce.
+    """
+    if family == "two-party":
+        return float(scaled_premium(pi))
+    if family == "multi-party":
+        from repro.core.premiums import (
+            escrow_premium_amounts,
+            redemption_premium_amount,
+        )
+        from repro.graph.digraph import ring_graph
+
+        graph, p = ring_graph(3), scaled_premium(pi)
+        # P1's escrow premium on (P1,P2) plus its redemption premium for
+        # P0's key on (P0,P1), both still held at phase 3.
+        return float(
+            escrow_premium_amounts(graph, ("P0",), p)[("P1", "P2")]
+            + redemption_premium_amount(graph, ("P1", "P2", "P0"), "P0", p)
+        )
+    if family == "broker":
+        from repro.core.hedged_broker import broker_premium_tables
+        from repro.core.premiums import pruned_redemption_premium_amount
+        from repro.protocols.base_broker import BrokerSpec
+
+        spec, p = BrokerSpec(), scaled_premium(pi)
+        tables = broker_premium_tables(spec, p)
+        # The binding deviation is *escrow, then withhold the key*: deal
+        # redemption needs every party's hashkey, so Bob can still wreck
+        # the trade after escrowing — at which point his escrow premium
+        # E(B,A) has already refunded and only his redemption premium
+        # deposits (as redeemer of (A,B)) are forfeit.  The rational pivot
+        # finds that cheaper walk, so it is the measured frontier.
+        keys = tables["required_keys"][(spec.broker, spec.seller)]
+        graph, contract_of = spec.graph(), tables["contract_of"]
+        stake = 0
+        for leader in keys:
+            # every (seller → leader) path is unique in the deal digraph
+            (path,) = graph.simple_paths(spec.seller, leader)
+            stake += pruned_redemption_premium_amount(
+                graph, path, spec.broker, p, contract_of
+            )
+        return float(stake)
+    if family == "auction":
+        from repro.core.hedged_auction import AuctionSpec
+
+        spec = AuctionSpec()
+        best_bid = max(spec.bids.values())
+        p = scaled_premium(pi, best_bid // len(spec.bidders))
+        return float(p * len(spec.bidders))
+    raise ValueError(f"unknown ablation family {family!r}")
+
+
+def shocked_notional(family: str) -> float:
+    """The value the staked-stage shock applies to (denominator of s*)."""
+    if family == "auction":
+        from repro.core.hedged_auction import AuctionSpec
+
+        return float(max(AuctionSpec().bids.values()))
+    return float(PRINCIPAL)
+
+
+# ----------------------------------------------------------------------
+# the grid and its registered factory
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AblationGrid:
+    """A declarative (families × π × s × stage) grid specification."""
+
+    families: tuple[str, ...] = ABLATION_FAMILIES
+    premium_fractions: tuple[float, ...] = DEFAULT_PREMIUM_FRACTIONS
+    shock_fractions: tuple[float, ...] = DEFAULT_SHOCK_FRACTIONS
+    stages: tuple[str, ...] = DEFAULT_STAGES
+    seed: int = 0
+
+    def cells(self) -> int:
+        return (
+            len(self.families)
+            * len(self.premium_fractions)
+            * len(self.shock_fractions)
+            * len(self.stages)
+        )
+
+    def matrix(self) -> ScenarioMatrix:
+        return ablation_matrix(
+            families=self.families,
+            premium_fractions=self.premium_fractions,
+            shock_fractions=self.shock_fractions,
+            stages=self.stages,
+            seed=self.seed,
+        )
+
+
+@register_matrix_factory("ablation")
+def ablation_matrix(
+    families: tuple[str, ...] | None = None,
+    premium_fractions: tuple[float, ...] | None = None,
+    shock_fractions: tuple[float, ...] | None = None,
+    stages: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> ScenarioMatrix:
+    """Build the rational-adversary ablation matrix for the given grid.
+
+    Registered as the ``ablation`` worker-pool factory: the returned
+    matrix carries a :class:`~repro.campaign.pool.MatrixSpec` rebuild
+    recipe made only of the primitive grid parameters, so persistent pools
+    rebuild it worker-side and verify the structural digest before running
+    anything.
+    """
+    families = tuple(families) if families is not None else ABLATION_FAMILIES
+    premium_fractions = (
+        tuple(float(p) for p in premium_fractions)
+        if premium_fractions is not None
+        else DEFAULT_PREMIUM_FRACTIONS
+    )
+    shock_fractions = (
+        tuple(float(s) for s in shock_fractions)
+        if shock_fractions is not None
+        else DEFAULT_SHOCK_FRACTIONS
+    )
+    stages = tuple(stages) if stages is not None else DEFAULT_STAGES
+    unknown = set(families) - set(_FAMILY_ADDERS)
+    if unknown:
+        raise ValueError(
+            f"unknown ablation families {sorted(unknown)}; "
+            f"known: {sorted(_FAMILY_ADDERS)}"
+        )
+    unknown_stages = set(stages) - set(DEFAULT_STAGES)
+    if unknown_stages:
+        raise ValueError(
+            f"unknown shock stages {sorted(unknown_stages)}; "
+            f"known: {list(DEFAULT_STAGES)}"
+        )
+    matrix = ScenarioMatrix(seed=seed)
+    for family in families:
+        _FAMILY_ADDERS[family](matrix, premium_fractions, shock_fractions, stages)
+    matrix.spec = MatrixSpec(
+        factory="ablation",
+        kwargs=(
+            ("families", families),
+            ("premium_fractions", premium_fractions),
+            ("seed", seed),
+            ("shock_fractions", shock_fractions),
+            ("stages", stages),
+        ),
+    )
+    return matrix

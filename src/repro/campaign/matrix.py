@@ -32,7 +32,13 @@ from hashlib import sha256
 from itertools import combinations, product
 from typing import Iterable, Iterator
 
-from repro.campaign.scenario import Builder, LabelledStrategy, Property, Scenario
+from repro.campaign.scenario import (
+    Builder,
+    LabelledStrategy,
+    MetricsFn,
+    Property,
+    Scenario,
+)
 
 
 def enumerate_profiles(
@@ -106,6 +112,11 @@ class MatrixBlock:
     include_compliant: bool = True
     #: builder-level deviants (counted adversarial in every scenario).
     extra_adversaries: tuple[str, ...] = ()
+    #: extra (axis, value) coordinates stamped on every scenario of the
+    #: block, e.g. the ablation grid's premium fraction and shock size.
+    extra_axes: tuple[tuple[str, str], ...] = ()
+    #: optional per-scenario metric extractor (see ``repro.campaign.scenario``).
+    metrics: MetricsFn | None = field(default=None, repr=False)
 
     def strategy_map(self) -> dict[str, list[LabelledStrategy]]:
         return {party: list(space) for party, space in self.strategies}
@@ -134,6 +145,10 @@ class MatrixBlock:
             str(self.include_compliant),
             ",".join(self.extra_adversaries),
             ",".join(getattr(p, "__name__", repr(p)) for p in self.properties),
+            ",".join(f"{axis}={value}" for axis, value in self.extra_axes),
+            getattr(self.metrics, "__qualname__", type(self.metrics).__name__)
+            if self.metrics is not None
+            else "",
         ]
         for party, space in self.strategies:
             parts.append(party + "=" + ",".join(s.label for s in space))
@@ -165,6 +180,8 @@ class ScenarioMatrix:
         max_adversaries: int = 1,
         include_compliant: bool = True,
         extra_adversaries: Iterable[str] = (),
+        extra_axes: Iterable[tuple[str, str]] = (),
+        metrics: MetricsFn | None = None,
     ) -> "ScenarioMatrix":
         self.spec = None  # any rebuild recipe no longer describes this matrix
         self.blocks.append(
@@ -179,6 +196,8 @@ class ScenarioMatrix:
                 max_adversaries=max_adversaries,
                 include_compliant=include_compliant,
                 extra_adversaries=tuple(extra_adversaries),
+                extra_axes=tuple(extra_axes),
+                metrics=metrics,
             )
         )
         return self
@@ -276,6 +295,7 @@ class ScenarioMatrix:
                 f"{block.family}/{block.schedule}/" if block.family else ""
             )
             base_axes = [("family", block.family), ("schedule", block.schedule)]
+            base_axes += list(block.extra_axes)
             for profile in enumerate_profiles(
                 block.strategy_map(), block.max_adversaries, block.include_compliant
             ):
@@ -302,6 +322,7 @@ class ScenarioMatrix:
                         + strategy_axes
                         + [("adversaries", ",".join(adversaries) or "none")]
                     ),
+                    metrics_fn=block.metrics,
                 )
                 index += 1
         # size() mirrors enumerate_profiles' combinatorics; keep them honest.

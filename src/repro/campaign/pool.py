@@ -20,13 +20,22 @@ parameters captured inside builder closures (see
 matrix purely from its arguments — not from mutable module state — for
 the verification to mean what it says.
 
-Factories register under a short name (``default`` is
-:func:`repro.campaign.families.default_matrix`); anything importable at
-worker startup can register its own via :func:`register_matrix_factory`.
+Factories register under a short name — ``default`` is
+:func:`repro.campaign.families.default_matrix`, ``ablation`` is
+:func:`repro.campaign.ablation.ablation_matrix` — and anything importable
+at worker startup can register its own via :func:`register_matrix_factory`
+(plain call or decorator).  The *registry audit* in the worker-side digest
+check makes bespoke factories first-class: before a worker runs anything
+it verifies the named factory is registered (importing the standard
+factory modules on demand) and that the rebuilt matrix reproduces the
+parent's structural digest; either failure names the factory and the full
+registry, so a missing ``import yourmodule`` or a non-deterministic
+factory fails loudly instead of silently running the wrong matrix.
 """
 
 from __future__ import annotations
 
+import importlib
 import multiprocessing
 import os
 from dataclasses import dataclass
@@ -37,6 +46,14 @@ from repro.campaign.scenario import Scenario, ScenarioResult, run_scenario
 
 _FACTORIES: dict[str, Callable[..., ScenarioMatrix]] = {}
 
+#: modules whose import populates the registry with the shipped factories;
+#: imported lazily to avoid package-level cycles (each of these imports
+#: this module back for ``register_matrix_factory``).
+_STANDARD_FACTORY_MODULES = (
+    "repro.campaign.families",
+    "repro.campaign.ablation",
+)
+
 # Worker-side cache: spec → (structural digest, expanded scenario table).
 # Bounded LRU: a run's tasks all share one spec, so a handful of entries
 # covers alternating matrices without letting a long parameter sweep grow
@@ -46,10 +63,49 @@ _MAX_CACHED_SPECS = 4
 
 
 def register_matrix_factory(
-    name: str, factory: Callable[..., ScenarioMatrix]
-) -> None:
-    """Register a matrix factory under ``name`` for worker-side rebuilds."""
+    name: str, factory: Callable[..., ScenarioMatrix] | None = None
+):
+    """Register a matrix factory under ``name`` for worker-side rebuilds.
+
+    Usable directly — ``register_matrix_factory("default", default_matrix)``
+    — or as a decorator::
+
+        @register_matrix_factory("ablation")
+        def ablation_matrix(...): ...
+
+    A registered factory must build its matrix purely from its arguments
+    (see the module docstring); the worker-side audit verifies this by
+    structural digest on every rebuild.
+    """
+    if factory is None:
+
+        def decorate(fn: Callable[..., ScenarioMatrix]) -> Callable[..., ScenarioMatrix]:
+            _FACTORIES[name] = fn
+            return fn
+
+        return decorate
     _FACTORIES[name] = factory
+    return factory
+
+
+def registered_factories() -> tuple[str, ...]:
+    """The currently registered factory names (sorted), for audits."""
+    return tuple(sorted(_FACTORIES))
+
+
+def _audit_factory(name: str) -> Callable[..., ScenarioMatrix]:
+    """Resolve a factory name, importing the standard modules on demand."""
+    if name not in _FACTORIES:
+        for module in _STANDARD_FACTORY_MODULES:
+            importlib.import_module(module)
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown matrix factory {name!r}; "
+            f"registered: {list(registered_factories())} — a bespoke factory "
+            "must be registered via register_matrix_factory in a module "
+            "imported on the worker side"
+        )
+    return _FACTORIES[name]
 
 
 def fork_available() -> bool:
@@ -80,16 +136,7 @@ class MatrixSpec:
     kwargs: tuple[tuple[str, Any], ...] = ()
 
     def build(self) -> ScenarioMatrix:
-        if self.factory not in _FACTORIES:
-            # The standard factories live in families.py; importing it
-            # populates the registry without a package-level import cycle.
-            import repro.campaign.families  # noqa: F401
-        if self.factory not in _FACTORIES:
-            raise KeyError(
-                f"unknown matrix factory {self.factory!r}; "
-                f"registered: {sorted(_FACTORIES)}"
-            )
-        return _FACTORIES[self.factory](*self.args, **dict(self.kwargs))
+        return _audit_factory(self.factory)(*self.args, **dict(self.kwargs))
 
 
 def _cache_insert(spec: MatrixSpec, entry: tuple[str, list[Scenario]]) -> None:
@@ -102,6 +149,8 @@ def _cache_insert(spec: MatrixSpec, entry: tuple[str, list[Scenario]]) -> None:
 def _cached_scenarios(spec: MatrixSpec, matrix_digest: str) -> list[Scenario]:
     entry = _SPEC_CACHE.get(spec)
     if entry is None:
+        # build() audits the registry first: a missing registration fails
+        # with the factory name and the full registered set.
         matrix = spec.build()
         entry = (matrix.digest(), list(matrix.scenarios()))
     _cache_insert(spec, entry)  # refresh recency either way
@@ -109,8 +158,9 @@ def _cached_scenarios(spec: MatrixSpec, matrix_digest: str) -> list[Scenario]:
     if digest != matrix_digest:
         raise RuntimeError(
             f"worker rebuilt matrix {digest[:16]} but the campaign expected "
-            f"{matrix_digest[:16]}: the factory behind {spec.factory!r} is "
-            "not deterministic across processes"
+            f"{matrix_digest[:16]}: the factory behind {spec.factory!r} "
+            f"(registered: {list(registered_factories())}) is not "
+            "deterministic across processes"
         )
     return scenarios
 

@@ -92,10 +92,16 @@ def _digest_preamble(
 
 @dataclass(frozen=True)
 class ScenarioViolation:
-    """One property violation in one scenario."""
+    """One property violation in one scenario.
+
+    ``trace`` carries the violating run's lane diagram (captured by
+    :func:`repro.campaign.scenario.run_scenario` at execution time), so a
+    frontier/campaign anomaly is debuggable straight from the report.
+    """
 
     scenario: str
     message: str
+    trace: str = ""
 
 
 @dataclass
@@ -205,8 +211,11 @@ class CampaignReport:
                 "transactions": self.transactions,
                 "reverted": self.reverted,
                 "elapsed_seconds": self.elapsed_seconds,
+                # Redundant with per-result violations/traces (from_json
+                # rebuilds them via _fold_results), but kept complete for
+                # external consumers reading the report directly.
                 "violations": [
-                    [v.scenario, v.message] for v in self.violations
+                    [v.scenario, v.message, v.trace] for v in self.violations
                 ],
                 "results": [
                     {
@@ -219,6 +228,8 @@ class CampaignReport:
                         "premium_net": [list(p) for p in r.premium_net],
                         "elapsed_seconds": r.elapsed_seconds,
                         "digest": r.digest,
+                        "metrics": [list(m) for m in r.metrics],
+                        "trace": r.trace,
                     }
                     for r in self.results
                 ],
@@ -243,6 +254,10 @@ class CampaignReport:
                 premium_net=tuple((p, int(n)) for p, n in r["premium_net"]),
                 elapsed_seconds=r["elapsed_seconds"],
                 digest=r["digest"],
+                metrics=tuple(
+                    (name, float(value)) for name, value in r.get("metrics", [])
+                ),
+                trace=r.get("trace", ""),
             )
             for r in data["results"]
         ]
@@ -287,7 +302,9 @@ def _fold_results(
         report.reverted += result.reverted
         digest.update(result.digest.encode())
         for message in result.violations:
-            report.violations.append(ScenarioViolation(result.label, message))
+            report.violations.append(
+                ScenarioViolation(result.label, message, result.trace)
+            )
         for axis, value in result.axes:
             stats = report.by_axis.setdefault(axis, {}).setdefault(
                 value, AxisStats()

@@ -8,10 +8,23 @@ condenses the run into a :class:`ScenarioResult` made only of primitives,
 so results cross process boundaries cheaply.
 
 The per-scenario ``digest`` hashes everything observable about the outcome
-(violations, transaction count, premium flows, the final ledger state of
-every chain), which is what makes whole campaigns reproducible: two runs of
-the same matrix — on any backend, in any process layout — must produce the
-same sequence of digests.
+(violations, transaction count, premium flows, custom metrics, the final
+ledger state of every chain), which is what makes whole campaigns
+reproducible: two runs of the same matrix — on any backend, in any process
+layout — must produce the same sequence of digests.
+
+Two optional extensions serve analysis campaigns:
+
+- a scenario may carry a ``metrics_fn`` (from its matrix block): a pure
+  function of the finished run that condenses it into named floats — e.g.
+  the ablation engine's realized-utility and completion metrics.  Metrics
+  fold into the scenario digest, so they are covered by the same
+  cross-backend determinism contract as ledger state,
+- when any property is violated, the run's lane diagram
+  (:func:`repro.sim.trace.render_lanes`) is attached to the result as
+  ``trace``, making frontier/campaign anomalies one-shot debuggable without
+  re-running the scenario.  The trace is *derived* presentation, not
+  outcome, so it stays out of the digest.
 """
 
 from __future__ import annotations
@@ -25,6 +38,8 @@ from repro.protocols.instance import ProtocolInstance, execute
 
 Builder = Callable[[], ProtocolInstance]
 Property = Callable[[ProtocolInstance, object, frozenset[str]], list[str]]
+#: condenses a finished run into named floats, e.g. realized utilities.
+MetricsFn = Callable[[ProtocolInstance, object], tuple[tuple[str, float], ...]]
 
 
 class LabelledStrategy(Protocol):
@@ -51,6 +66,8 @@ class Scenario:
     adversaries: tuple[str, ...] = ()
     #: (axis, value) coordinates for aggregation, e.g. ("family", "broker").
     axes: tuple[tuple[str, str], ...] = ()
+    #: optional post-run metric extractor (digest-covered; see module doc).
+    metrics_fn: MetricsFn | None = field(default=None, repr=False)
 
 
 @dataclass(frozen=True)
@@ -66,6 +83,10 @@ class ScenarioResult:
     premium_net: tuple[tuple[str, int], ...]
     elapsed_seconds: float
     digest: str
+    #: named floats from the scenario's ``metrics_fn`` (digest-covered).
+    metrics: tuple[tuple[str, float], ...] = ()
+    #: lane diagram of the run, captured only when a property failed.
+    trace: str = ""
 
     @property
     def ok(self) -> bool:
@@ -101,6 +122,18 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     premium_net = tuple(
         (party, payoffs.premium_net(party)) for party in sorted(instance.actors)
     )
+    metrics: tuple[tuple[str, float], ...] = ()
+    if scenario.metrics_fn is not None:
+        metrics = tuple(
+            (name, float(value)) for name, value in scenario.metrics_fn(instance, result)
+        )
+    trace = ""
+    if violations:
+        # Capture the lane diagram while the run is still in hand, so a
+        # violation record is debuggable without re-running the scenario.
+        from repro.sim.trace import render_lanes
+
+        trace = render_lanes(result)
     elapsed = time.perf_counter() - start
 
     summary = "|".join(
@@ -109,6 +142,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
             ",".join(violations),
             str(len(result.transactions)),
             ",".join(f"{p}:{net}" for p, net in premium_net),
+            ",".join(f"{name}={value!r}" for name, value in metrics),
             _ledger_fingerprint(instance),
         )
     )
@@ -122,4 +156,6 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         premium_net=premium_net,
         elapsed_seconds=elapsed,
         digest=sha256(summary.encode()).hexdigest(),
+        metrics=metrics,
+        trace=trace,
     )

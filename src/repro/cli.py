@@ -38,6 +38,31 @@ scenario matrix over every protocol family:
     python -m repro.cli campaign --shard 1/3 --out shard1.json
     python -m repro.cli campaign-merge shard1.json shard2.json shard3.json \
         --expect 4f0c…
+
+``ablate`` maps the deviation-profitability frontier: it crosses the
+protocol families with rational (utility-driven) pivot actors over a
+premium-fraction × price-shock × shock-stage grid, runs every cell's
+comply/rational arm pair, and reduces the report to — per family, stage,
+and shock — the smallest swept premium π* at which walking away stops
+being rational (`repro.campaign.ablation`).  The frontier digest is
+byte-identical across serial, process, pooled, and sharded-then-merged
+runs of the same grid:
+
+- ``--premiums`` / ``--shocks`` take comma-separated fractions,
+  ``--stages`` a subset of ``pre-stake,staked``,
+- ``--pooled`` runs through a persistent worker pool (the matrix is a
+  registered pool factory, so workers rebuild and digest-verify it),
+- ``--shard I/N --out shard.json`` writes a mergeable campaign report;
+  ``ablate-merge`` recombines the shards, reduces the frontier, and
+  checks ``--expect`` against the frontier digest.
+
+::
+
+    python -m repro.cli ablate
+    python -m repro.cli ablate --families two-party --premiums 0,0.02 \
+        --shocks 0.015,0.045 --pooled --expect 9c31…
+    python -m repro.cli ablate --shard 1/2 --out s1.json
+    python -m repro.cli ablate-merge s1.json s2.json --frontier-out frontier.json
 """
 
 from __future__ import annotations
@@ -49,9 +74,13 @@ from repro.campaign import (
     CampaignReport,
     CampaignRunner,
     FAMILY_NAMES,
+    WorkerPool,
+    ablation_matrix,
     default_matrix,
     merge_reports,
+    reduce_frontier,
 )
+from repro.campaign.ablation import ABLATION_FAMILIES, FrontierReport
 from repro.checker import ModelChecker, full_strategy_space, halt_strategies, properties as props
 from repro.core.bootstrap import BootstrapSpec, BootstrappedSwap, extract_bootstrap_outcome
 from repro.core.hedged_auction import (
@@ -241,8 +270,7 @@ def _print_campaign_report(report: CampaignReport) -> None:
     print(f"selection: {report.selection} "
           f"({report.scenarios}/{report.total_scenarios} scenarios)")
     print(f"run digest: {report.run_digest}")
-    for violation in report.violations[:20]:
-        print(f"  {violation.scenario}: {violation.message}")
+    _print_violations(report)
 
 
 def cmd_campaign(args) -> None:
@@ -305,6 +333,129 @@ def cmd_campaign_merge(args) -> None:
         raise SystemExit(
             f"digest mismatch: merged {merged.run_digest} != expected {args.expect}"
         )
+    if not merged.ok:
+        raise SystemExit(1)
+
+
+def _parse_fractions(text: str | None, flag: str) -> tuple[float, ...] | None:
+    if text is None:
+        return None
+    try:
+        return tuple(float(f.strip()) for f in text.split(",") if f.strip())
+    except ValueError:
+        raise SystemExit(f"{flag} expects comma-separated fractions, got {text!r}")
+
+
+def _print_violations(report: CampaignReport, traces: int = 1) -> None:
+    for index, violation in enumerate(report.violations[:20]):
+        print(f"  {violation.scenario}: {violation.message}")
+        if violation.trace and index < traces:
+            print("    " + violation.trace.replace("\n", "\n    "))
+
+
+def _print_frontier(frontier: FrontierReport) -> None:
+    print()
+    print(frontier.summary())
+    print(frontier.table())
+    print(f"frontier digest: {frontier.digest}")
+
+
+def _finish_frontier(frontier: FrontierReport, args) -> None:
+    _print_frontier(frontier)
+    if args.frontier_out:
+        with open(args.frontier_out, "w", encoding="utf-8") as handle:
+            handle.write(frontier.to_json())
+        print(f"frontier written to {args.frontier_out}")
+    if args.expect and frontier.digest != args.expect:
+        raise SystemExit(
+            f"digest mismatch: frontier {frontier.digest} != expected {args.expect}"
+        )
+
+
+def cmd_ablate(args) -> None:
+    families = None
+    if args.families and args.families != "all":
+        families = tuple(f.strip() for f in args.families.split(",") if f.strip())
+    try:
+        matrix = ablation_matrix(
+            families=families,
+            premium_fractions=_parse_fractions(args.premiums, "--premiums"),
+            shock_fractions=_parse_fractions(args.shocks, "--shocks"),
+            stages=tuple(s.strip() for s in args.stages.split(",") if s.strip())
+            if args.stages
+            else None,
+            seed=args.seed,
+        )
+    except ValueError as err:
+        raise SystemExit(f"error: {err}")
+    print(
+        f"ablation grid: {len(matrix)} scenarios over "
+        f"{len(matrix.families())} families "
+        f"(seed={matrix.seed}, digest={matrix.digest()[:16]})"
+    )
+    for family, size in matrix.block_sizes().items():
+        print(f"  {family:<14} {size:>6}")
+    if args.list:
+        return
+    pool = WorkerPool(workers=args.workers) if args.pooled else None
+    try:
+        runner = CampaignRunner(
+            matrix,
+            backend="process" if args.pooled else args.backend,
+            workers=None if args.pooled else args.workers,
+            shard=_parse_shard(args.shard),
+            pool=pool,
+        )
+        report = runner.run()
+    except ValueError as err:
+        raise SystemExit(f"error: {err}")
+    finally:
+        if pool is not None:
+            pool.close()
+    print()
+    print(report.summary())
+    _print_violations(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"report written to {args.out}")
+    if report.complete:
+        _finish_frontier(reduce_frontier(report), args)
+    else:
+        if args.expect or args.frontier_out:
+            raise SystemExit(
+                f"error: selection {report.selection} cannot honor "
+                "--expect/--frontier-out — frontier reduction needs full "
+                "coverage; merge all shards with ablate-merge"
+            )
+        print(
+            f"selection {report.selection}: frontier reduction needs full "
+            "coverage — merge all shards with ablate-merge"
+        )
+    if not report.ok:
+        raise SystemExit(1)
+
+
+def cmd_ablate_merge(args) -> None:
+    reports = []
+    for path in args.reports:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                reports.append(CampaignReport.from_json(handle.read()))
+        except (OSError, ValueError, KeyError, TypeError) as err:
+            raise SystemExit(f"error reading {path}: {err}")
+    try:
+        merged = merge_reports(reports)
+        frontier = reduce_frontier(merged)
+    except ValueError as err:
+        raise SystemExit(f"error: {err}")
+    print(merged.summary())
+    _print_violations(merged)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(merged.to_json())
+        print(f"merged report written to {args.out}")
+    _finish_frontier(frontier, args)
     if not merged.ok:
         raise SystemExit(1)
 
@@ -389,6 +540,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list", action="store_true",
                    help="print the matrix breakdown and exit")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "ablate",
+        help="map the rational-adversary deviation-profitability frontier",
+    )
+    p.add_argument(
+        "--families",
+        default="all",
+        help="comma-separated subset of " + ",".join(ABLATION_FAMILIES),
+    )
+    p.add_argument("--premiums", default=None, metavar="F1,F2,...",
+                   help="premium fractions pi to sweep (default grid)")
+    p.add_argument("--shocks", default=None, metavar="F1,F2,...",
+                   help="relative price drops s to sweep (default grid)")
+    p.add_argument("--stages", default=None, metavar="S1,S2",
+                   help="shock stages (subset of pre-stake,staked)")
+    p.add_argument("--backend", choices=["serial", "process"], default="serial")
+    p.add_argument("--pooled", action="store_true",
+                   help="run through a persistent WorkerPool (implies process)")
+    p.add_argument("--workers", type=int, default=None, help="process-pool size")
+    p.add_argument("--shard", default=None, metavar="I/N",
+                   help="run the I-th of N contiguous slices of the grid")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the campaign report as JSON (for ablate-merge)")
+    p.add_argument("--frontier-out", default=None, metavar="PATH",
+                   help="write the reduced frontier as JSON")
+    p.add_argument("--expect", default=None, metavar="DIGEST",
+                   help="exit non-zero unless the frontier digest matches")
+    p.add_argument("--seed", type=int, default=0, help="matrix identity seed")
+    p.add_argument("--list", action="store_true",
+                   help="print the grid breakdown and exit")
+    p.set_defaults(func=cmd_ablate)
+
+    p = sub.add_parser(
+        "ablate-merge",
+        help="merge sharded ablation reports and reduce the frontier",
+    )
+    p.add_argument("reports", nargs="+", metavar="REPORT.json",
+                   help="shard reports written by ablate --out")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the merged campaign report as JSON")
+    p.add_argument("--frontier-out", default=None, metavar="PATH",
+                   help="write the reduced frontier as JSON")
+    p.add_argument("--expect", default=None, metavar="DIGEST",
+                   help="exit non-zero unless the frontier digest matches")
+    p.set_defaults(func=cmd_ablate_merge)
 
     p = sub.add_parser(
         "campaign-merge",

@@ -26,6 +26,17 @@ well-defined because leaders form a feedback vertex set.
 
 Everything is exact integer arithmetic: with integer ``p`` both equations
 stay integral.
+
+**Complexity.**  Equation 1's recursion branches over every simple
+extension of the path, which is exponential in the vertex count if
+evaluated naively — dense graphs beyond ``complete:5`` were infeasible.
+But the recursion only ever tests *membership* in the path, never order,
+so its true state space is (vertex subset, beneficiary): at most
+``n·2^n`` states per ``(graph, p)``.  :func:`redemption_premium_amount`
+memoizes on that key, shared across calls through a cache slotted on the
+graph instance itself, which is what makes ``complete:6+`` premium
+sizing (and the per-deposit re-validation inside
+:class:`repro.contracts.swap_arc.HedgedSwapArc`) feasible.
 """
 
 from __future__ import annotations
@@ -36,6 +47,21 @@ from functools import lru_cache
 from repro.errors import GraphError
 from repro.graph.digraph import Arc, SwapGraph
 from repro.graph.feedback import is_feedback_vertex_set
+
+
+def _amount_memo(graph: SwapGraph) -> dict:
+    """The graph's shared Equation-1 memo, keyed ``(members, u, p)``.
+
+    ``SwapGraph`` is a frozen dataclass, but — like ``cached_property``,
+    which the graph already uses — we can slot the cache straight into the
+    instance ``__dict__``; it dies with the graph, so distinct graphs can
+    never share entries.
+    """
+    memo = graph.__dict__.get("_equation1_memo")
+    if memo is None:
+        memo = {}
+        graph.__dict__["_equation1_memo"] = memo
+    return memo
 
 
 def redemption_premium_amount(
@@ -49,20 +75,30 @@ def redemption_premium_amount(
     passthrough needed — the leader case is the paper's "cycle" clause),
     otherwise ``p`` plus the beneficiary's own extended deposits on every
     arc entering it.
+
+    The recursion depends on the path only through its *member set* (the
+    base case is a membership test and extensions only add members), so
+    results are memoized per graph on ``(frozenset(path), beneficiary,
+    p)`` — see the module docstring.
     """
     if not path:
         raise GraphError("empty premium path")
     if not graph.is_path(path):
         raise GraphError(f"{path} is not a simple forward path")
+    memo = _amount_memo(graph)
 
-    @lru_cache(maxsize=None)
-    def amount(q: tuple[str, ...], u: str) -> int:
-        if u in q:
+    def amount(members: frozenset[str], u: str) -> int:
+        if u in members:
             return p
-        extended = (u,) + q
-        return p + sum(amount(extended, x) for x in graph.in_neighbors(u))
+        key = (members, u, p)
+        cached = memo.get(key)
+        if cached is None:
+            extended = members | {u}
+            cached = p + sum(amount(extended, x) for x in graph.in_neighbors(u))
+            memo[key] = cached
+        return cached
 
-    return amount(tuple(path), beneficiary)
+    return amount(frozenset(path), beneficiary)
 
 
 def leader_redemption_total(graph: SwapGraph, leader: str, p: int) -> int:

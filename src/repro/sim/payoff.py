@@ -78,6 +78,21 @@ class PayoffSheet:
         """Value-weighted total payoff for ``party``."""
         return sum(valuation.value_of(a) * v for a, v in self.delta(party).items())
 
+    def realized_utility(self, party: str, price_of, height: int) -> float:
+        """The party's realized utility under an exogenous price path.
+
+        ``price_of(asset, height)`` is a per-unit value function (e.g.
+        :class:`repro.parties.rational.TokenPrices`); the party's final
+        balance deltas are valued at the path's prices at ``height`` —
+        typically the run horizon, so a mid-run shock is priced in.  This
+        is the quantity the ablation engine compares between a rational
+        deviator and its compliant twin to decide whether deviating paid.
+        """
+        return sum(
+            price_of(asset, height) * change
+            for asset, change in self.delta(party).items()
+        )
+
     def table(self) -> dict[str, dict[str, object]]:
         """A printable summary: premium net + principal deltas per party."""
         return {

@@ -155,3 +155,70 @@ def test_flow_amounts_match_eq1(fig3):
     for deposit in redemption_premium_flow(fig3, ("A",), 2):
         expected = redemption_premium_amount(fig3, deposit.path, deposit.arc[0], 2)
         assert deposit.amount == expected
+
+
+# ----------------------------------------------------------------------
+# Equation-1 memoization (the complete:6 enabler)
+# ----------------------------------------------------------------------
+def test_eq1_amount_depends_only_on_path_membership():
+    """The memo key is (member set, beneficiary, p): two paths with the
+    same vertex set must price identically — the invariant the shared
+    cache relies on."""
+    from repro.graph.digraph import complete_graph
+
+    graph = complete_graph(4)
+    a = redemption_premium_amount(graph, ("P1", "P2", "P0"), "P3", 2)
+    b = redemption_premium_amount(graph, ("P2", "P1", "P0"), "P3", 2)
+    assert a == b
+
+
+def test_eq1_memo_is_per_graph_and_per_p():
+    from repro.graph.digraph import complete_graph
+
+    graph = complete_graph(4)
+    assert redemption_premium_amount(graph, ("P1", "P0"), "P2", 1) * 3 == (
+        redemption_premium_amount(graph, ("P1", "P0"), "P2", 3)
+    )
+    memo = graph.__dict__["_equation1_memo"]
+    assert memo  # populated
+    fresh = complete_graph(4)
+    assert "_equation1_memo" not in fresh.__dict__  # never shared
+
+
+def test_complete6_premium_sizing_is_feasible_and_consistent():
+    import time
+
+    from repro.graph.digraph import complete_graph
+
+    graph = complete_graph(6)
+    leaders = tuple(sorted(graph.parties)[:-1])  # n-1 leaders for a clique
+    start = time.perf_counter()
+    escrow = escrow_premium_amounts(graph, leaders, 1)
+    worst = max(
+        redemption_premium_amount(graph, q, u, 1)
+        for (u, v) in graph.arcs
+        for leader in leaders
+        for q in graph.simple_paths(v, leader)
+    )
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0  # exponential pre-memo, ~ms now
+    assert len(escrow) == 30 and all(v > 0 for v in escrow.values())
+    assert worst > 1
+
+
+def test_complete6_joins_the_default_multi_party_family():
+    from itertools import islice
+
+    from repro.campaign import default_matrix, run_scenario
+
+    matrix = default_matrix(families=["multi-party"])
+    schedules = {block.schedule for block in matrix.blocks}
+    assert "complete6/p1" in schedules
+    complete6 = (
+        scenario
+        for scenario in matrix.scenarios()
+        if ("schedule", "complete6/p1") in scenario.axes
+    )
+    results = [run_scenario(scenario) for scenario in islice(complete6, 8)]
+    assert len(results) == 8
+    assert all(result.ok for result in results)

@@ -1,11 +1,21 @@
-"""Tests for rational (opportunistic) actors."""
+"""Tests for rational (opportunistic) actors and the utility-model framework."""
 
 import pytest
 
 from repro.core.hedged_two_party import HedgedTwoPartySpec, HedgedTwoPartySwap
 from repro.core.outcomes import extract_two_party_outcome
 from repro.parties.base import Actor
-from repro.parties.rational import Opportunist, price_shock, rational_bob
+from repro.parties.rational import (
+    Opportunist,
+    TokenPrices,
+    held_premium_stake,
+    pending_completion_gain,
+    price_shock,
+    rational_bob,
+    rational_party,
+    swap_party_model,
+    two_party_model,
+)
 from repro.protocols.base_two_party import BaseTwoPartySwap
 from repro.protocols.instance import execute
 
@@ -77,3 +87,98 @@ def test_hedged_rational_bob_pays_when_walking():
     assert not out.swapped
     assert out.bob_premium_net < 0  # exercising the option costs p_b
     assert out.alice_premium_net > 0  # the victim is compensated
+
+
+# ----------------------------------------------------------------------
+# the generalized utility-model framework
+# ----------------------------------------------------------------------
+def test_token_prices_shock_applies_from_height_and_spares_native():
+    from repro.chain.assets import Asset, native_asset
+
+    prices = TokenPrices(
+        base=(("apricot-token", 2.0),),
+        shocked="apricot-token",
+        fraction=0.25,
+        at_height=4,
+    )
+    token = Asset("apricot", "apricot-token")
+    assert prices(token, 3) == 2.0
+    assert prices(token, 4) == 1.5
+    assert prices(native_asset("apricot"), 9) == 1.0
+    assert prices(Asset("banana", "banana-token"), 9) == 1.0  # default base
+
+
+def test_two_party_model_matches_rational_bob_decisions():
+    spec = HedgedTwoPartySpec(premium_a=2, premium_b=2)
+    for shock, swaps in ((0.01, True), (0.25, False)):
+        instance = HedgedTwoPartySwap(spec).build()
+        prices = TokenPrices(shocked=spec.token_a, fraction=shock, at_height=3)
+        contracts = tuple(instance.contracts.values())
+        transform = lambda a: rational_party(
+            a, two_party_model(spec, prices, contracts)
+        )
+        out = extract_two_party_outcome(
+            instance, execute(instance, {"Bob": transform})
+        )
+        assert out.swapped is swaps, shock
+
+
+def test_marginal_model_never_abandons_its_own_redemption():
+    """A late shock (after Bob escrowed) must not trigger a walk: the
+    escrow is sunk, so completing strictly dominates — the flaw a naive
+    whole-protocol valuation has."""
+    spec = HedgedTwoPartySpec(premium_a=2, premium_b=1)
+    instance = HedgedTwoPartySwap(spec).build()
+    prices = TokenPrices(shocked=spec.token_a, fraction=0.30, at_height=5)
+    transform = lambda a: rational_party(
+        a, two_party_model(spec, prices, tuple(instance.contracts.values()))
+    )
+    out = extract_two_party_outcome(instance, execute(instance, {"Bob": transform}))
+    assert out.swapped  # 30% drop, but Bob was already committed
+
+
+def test_held_premium_stake_tracks_the_two_party_contract():
+    spec = HedgedTwoPartySpec(premium_a=2, premium_b=3)
+    instance = HedgedTwoPartySwap(spec).build()
+    contracts = tuple(instance.contracts.values())
+    assert held_premium_stake("Bob", instance.world.view(), contracts) == 0.0
+    execute(instance)  # a full compliant run resolves every premium
+    assert held_premium_stake("Bob", instance.world.view(), contracts) == 0.0
+
+
+def test_pending_gain_is_zero_after_a_completed_swap():
+    spec = HedgedTwoPartySpec()
+    instance = HedgedTwoPartySwap(spec).build()
+    prices = TokenPrices()
+    execute(instance)
+    view = instance.world.view()
+    contracts = tuple(instance.contracts.values())
+    assert pending_completion_gain("Bob", view, contracts, prices) == 0.0
+    assert pending_completion_gain("Alice", view, contracts, prices) == 0.0
+
+
+def test_swap_party_model_deters_multi_party_pivot():
+    from repro.core.hedged_multi_party import HedgedMultiPartySwap
+    from repro.graph.digraph import ring_graph
+
+    for premium, redeemed in ((0, False), (3, True)):
+        instance = HedgedMultiPartySwap(
+            graph=ring_graph(3), premium=premium, leaders=("P0",)
+        ).build()
+        schedule = instance.meta["schedule"]
+        prices = TokenPrices(
+            shocked="p0-token", fraction=0.045, at_height=schedule.p3_start
+        )
+        contracts = tuple(instance.contracts.values())
+        transform = lambda a: rational_party(
+            a, swap_party_model("P1", prices, contracts)
+        )
+        execute(instance, {"P1": transform})
+        states = {
+            label: instance.contract(label).principal_state
+            for label in instance.contracts
+        }
+        assert all(s == "redeemed" for s in states.values()) is redeemed, (
+            premium,
+            states,
+        )
