@@ -1,6 +1,6 @@
 """EXP-AB — ablations over the design choices DESIGN.md calls out.
 
-Four ablations:
+Five ablations:
 
 1. **leader-set choice** (§7): the protocol works with any feedback vertex
    set; the choice changes premium sizes and phase lengths.  Sweep the
@@ -16,6 +16,11 @@ Four ablations:
    per family and shock, the smallest premium fraction π* that makes
    walking away irrational — the measured form of the paper's π-threshold
    deterrence claim.
+5. **EXP-AB5, the refined (continuous) frontier**: adaptive bisection
+   between the lattice points (``repro.campaign.ablation.refine``) closes
+   the staircase to a π* within 1/64 of the closed forms, and prices the
+   named two-party coalitions' collusive walks alongside the single
+   pivots.
 
 Run directly to print the tables:  python benchmarks/bench_ablation.py
 """
@@ -163,6 +168,53 @@ def generate_frontier_table():
     ), rows
 
 
+REFINED_SHOCK = 0.045
+
+
+def generate_refined_frontier_table():
+    """EXP-AB5: bisected continuous π* vs the closed forms, + coalitions."""
+    from repro.campaign import (
+        CampaignRunner,
+        ablation_matrix,
+        reduce_frontier,
+        refine_frontier,
+    )
+    from repro.campaign.ablation import closed_form_pi_star
+    from repro.campaign.canon import fmt_fraction
+
+    matrix = ablation_matrix(
+        premium_fractions=FRONTIER_PREMIUMS,
+        shock_fractions=(REFINED_SHOCK,),
+        stages=("staked",),
+        coalitions=True,
+    )
+    report = CampaignRunner(matrix).run()
+    assert report.ok, [v.message for v in report.violations]
+    refined = refine_frontier(reduce_frontier(report))
+    rows = []
+    for row in refined.rows:
+        closed = (
+            closed_form_pi_star(row.family, row.shock)
+            if not row.coalition
+            else None
+        )
+        rows.append(
+            (
+                row.family,
+                row.coalition or "pivot",
+                f"{row.shock:g}",
+                "-" if row.lattice_hi is None else f"{row.lattice_hi:g}",
+                "-" if row.pi_star is None else fmt_fraction(row.pi_star),
+                "-" if closed is None else f"{closed:g}",
+                len(row.probes),
+            )
+        )
+    return (
+        "family", "pivot", "price drop s", "lattice pi*", "refined pi*",
+        "closed form", "probes",
+    ), rows
+
+
 # ----------------------------------------------------------------------
 def test_every_valid_leader_set_works(benchmark):
     header, rows = benchmark(generate_leader_choice_table)
@@ -216,6 +268,30 @@ def test_frontier_matches_two_party_closed_form(benchmark):
             assert max(float(p) for p in profitable.split(",")) < float(pi_star)
 
 
+def test_refined_frontier_brackets_the_closed_forms(benchmark):
+    """EXP-AB5: the bisected π* lands within the default tolerance of the
+    continuous closed-form thresholds; coalition rows never price below
+    the single pivot (member-to-member forfeits deter nothing)."""
+    from repro.campaign.ablation import DEFAULT_TOL
+
+    header, rows = benchmark.pedantic(
+        generate_refined_frontier_table, rounds=1, iterations=1
+    )
+    singles = {}
+    for family, pivot, shock, lattice, refined, closed, probes in rows:
+        if pivot == "pivot":
+            singles[family] = refined
+            assert refined != "-" and closed != "-"
+            assert abs(float(refined) - float(closed)) <= DEFAULT_TOL, (
+                family, refined, closed,
+            )
+            # refinement strictly improves on the lattice staircase
+            assert float(refined) <= float(lattice)
+    for family, pivot, shock, lattice, refined, closed, probes in rows:
+        if pivot != "pivot" and refined != "-":
+            assert float(refined) >= float(singles[family])
+
+
 if __name__ == "__main__":
     print(format_table("EXP-AB: leader-set choice (Figure 3a)", *generate_leader_choice_table()))
     print()
@@ -226,4 +302,9 @@ if __name__ == "__main__":
     print(format_table(
         "EXP-AB4: deviation-profitability frontier (staked-stage shocks)",
         *generate_frontier_table(),
+    ))
+    print()
+    print(format_table(
+        "EXP-AB5: refined (bisected) frontier vs closed forms + coalitions",
+        *generate_refined_frontier_table(),
     ))

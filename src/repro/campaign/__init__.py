@@ -23,10 +23,14 @@ point" claim into something executable at thousands-of-scenarios scale.
   with their default adversary spaces and premium/timeout/graph schedules;
   :func:`default_matrix` builds the standard all-families campaign,
 - :mod:`repro.campaign.ablation` — the rational-adversary ablation engine:
-  :func:`ablation_matrix` crosses families with utility-driven pivots over
-  premium fractions × price shocks × shock stages, and
+  :func:`ablation_matrix` crosses families with utility-driven pivots
+  (single and coalition) over premium fractions × price shocks × shock
+  stages (named, per-round, or the dense ``all`` sweep),
   :func:`reduce_frontier` reduces the resulting report into the
-  deviation-profitability frontier (the measured π-threshold of §5.2).
+  deviation-profitability frontier (the measured π-threshold of §5.2), and
+  :func:`refine_frontier` bisects between lattice points — via
+  :func:`ablation_cell` probe matrices — for a continuous π* that
+  brackets the closed forms.
 
 ``repro.checker.ModelChecker`` is a thin client of this package: profile
 enumeration, execution, and property evaluation all live here.
@@ -45,8 +49,11 @@ from repro.campaign.families import FAMILY_NAMES, default_matrix
 from repro.campaign.ablation import (
     AblationGrid,
     FrontierReport,
+    RefinedFrontierReport,
+    ablation_cell,
     ablation_matrix,
     reduce_frontier,
+    refine_frontier,
 )
 
 __all__ = [
@@ -56,16 +63,19 @@ __all__ = [
     "FAMILY_NAMES",
     "FrontierReport",
     "MatrixSpec",
+    "RefinedFrontierReport",
     "Scenario",
     "ScenarioMatrix",
     "ScenarioResult",
     "ScenarioViolation",
     "WorkerPool",
+    "ablation_cell",
     "ablation_matrix",
     "default_matrix",
     "enumerate_profiles",
     "merge_reports",
     "reduce_frontier",
+    "refine_frontier",
     "register_matrix_factory",
     "run_scenario",
 ]

@@ -40,33 +40,53 @@ masquerade as full coverage.
 """
 
 from repro.campaign.ablation.frontier import (
+    CoalitionFrontierRow,
     FrontierCell,
     FrontierReport,
     FrontierRow,
     reduce_frontier,
 )
 from repro.campaign.ablation.grid import (
+    ABLATION_COALITIONS,
     ABLATION_FAMILIES,
     DEFAULT_PREMIUM_FRACTIONS,
     DEFAULT_SHOCK_FRACTIONS,
     DEFAULT_STAGES,
     AblationGrid,
+    ablation_cell,
     ablation_matrix,
+    closed_form_pi_star,
     deterrence_stake,
+    premium_base,
     shocked_notional,
+)
+from repro.campaign.ablation.refine import (
+    DEFAULT_TOL,
+    RefinedFrontierReport,
+    RefinedRow,
+    refine_frontier,
 )
 
 __all__ = [
+    "ABLATION_COALITIONS",
     "ABLATION_FAMILIES",
     "AblationGrid",
+    "CoalitionFrontierRow",
     "DEFAULT_PREMIUM_FRACTIONS",
     "DEFAULT_SHOCK_FRACTIONS",
     "DEFAULT_STAGES",
+    "DEFAULT_TOL",
     "FrontierCell",
     "FrontierReport",
     "FrontierRow",
+    "RefinedFrontierReport",
+    "RefinedRow",
+    "ablation_cell",
     "ablation_matrix",
+    "closed_form_pi_star",
     "deterrence_stake",
+    "premium_base",
     "reduce_frontier",
+    "refine_frontier",
     "shocked_notional",
 ]

@@ -4,25 +4,32 @@
 an ablation matrix produced — on any backend, merged from any shards — and
 pairs each grid cell's two arms into a :class:`FrontierCell`:
 
-- ``walked``: did the rational pivot abandon the protocol?
+- ``walked``: did the rational pivot (or pivot coalition) abandon the
+  protocol?
 - ``deviation_gain``: rational-arm utility minus comply-arm utility, both
   measured on live runs at post-shock prices — deviating *paid* iff this
   is positive,
-- ``victim_net``: the best premium compensation any counterparty collected
-  in the rational arm (zero when the walk was victimless).
+- ``victim_net``: the best premium compensation any non-pivot party
+  collected in the rational arm (zero when the walk was victimless); for
+  coalition cells every member counts as a pivot, so compensation flowing
+  *inside* the coalition can never masquerade as victim relief.
 
-Cells aggregate into :class:`FrontierRow` per ``(family, stage, shock)``:
-``pi_star`` is the smallest swept premium fraction at which the rational
-pivot completes — the measured deterrence frontier.  ``None`` means no
-swept premium deters that shock (always the case at the ``pre-stake``
-stage, where walking forfeits nothing).
+Cells aggregate into :class:`FrontierRow` per ``(family, stage, shock)``
+and — when the grid swept coalitions — into :class:`CoalitionFrontierRow`
+per ``(family, coalition, stage, shock)``: ``pi_star`` is the smallest
+swept premium fraction at which the (joint) pivot completes — the measured
+deterrence frontier.  ``None`` means no swept premium deters that shock
+(always the case at the ``pre-stake`` stage, where walking forfeits
+nothing).
 
 Digest rules: the frontier digest hashes a preamble naming the underlying
-run digest and coverage, then every cell in canonical order.  The run
-digest already folds in the matrix identity and the effective selection,
-so a frontier from a partial run can never collide with one from full
-coverage, and serial/pooled/sharded-then-merged runs of the same grid
-yield byte-identical frontier digests.
+run digest and coverage, then every row and cell in canonical order —
+coalition rows included.  The run digest already folds in the matrix
+identity and the effective selection, so a frontier from a partial run can
+never collide with one from full coverage, and serial/pooled/sharded-then-
+merged runs of the same grid yield byte-identical frontier digests.  All
+float fields pass through :func:`repro.campaign.canon.canon_float`, so a
+bisected premium deserialized on another host hashes identically.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ import json
 from dataclasses import dataclass, replace
 from hashlib import sha256
 
+from repro.campaign.canon import canon_float, canon_opt
 from repro.campaign.runner import CampaignReport
 
 
@@ -46,6 +54,8 @@ class FrontierCell:
     rational_utility: float
     comply_utility: float
     victim_net: int
+    #: the joint-pivot name for coalition cells ("" = single pivot).
+    coalition: str = ""
 
     @property
     def deviation_gain(self) -> float:
@@ -59,12 +69,13 @@ class FrontierCell:
         return "|".join(
             (
                 self.family,
+                self.coalition,
                 self.stage,
-                repr(self.shock),
-                repr(self.pi),
+                repr(canon_float(self.shock)),
+                repr(canon_float(self.pi)),
                 "walked" if self.walked else "completed",
-                repr(self.rational_utility),
-                repr(self.comply_utility),
+                repr(canon_float(self.rational_utility)),
+                repr(canon_float(self.comply_utility)),
                 str(self.victim_net),
             )
         )
@@ -88,6 +99,28 @@ class FrontierRow:
 
 
 @dataclass(frozen=True)
+class CoalitionFrontierRow:
+    """The frontier along π for one *joint* pivot set.
+
+    Same reduction as :class:`FrontierRow`, keyed additionally by the
+    coalition name; its ``pi_star`` prices the collusive walk — at least
+    the single-pivot threshold, since member-to-member forfeits deter
+    nothing.
+    """
+
+    family: str
+    coalition: str
+    stage: str
+    shock: float
+    pi_star: float | None
+    cells: tuple[FrontierCell, ...]
+
+    @property
+    def deterred(self) -> bool:
+        return self.pi_star is not None
+
+
+@dataclass(frozen=True)
 class FrontierReport:
     """The reduced frontier plus its reproducibility digest."""
 
@@ -97,15 +130,22 @@ class FrontierReport:
     scenarios: int
     total_scenarios: int
     rows: tuple[FrontierRow, ...]
+    coalition_rows: tuple[CoalitionFrontierRow, ...] = ()
     digest: str = ""
 
     @property
     def cells(self) -> tuple[FrontierCell, ...]:
         return tuple(cell for row in self.rows for cell in row.cells)
 
+    @property
+    def coalition_cells(self) -> tuple[FrontierCell, ...]:
+        return tuple(cell for row in self.coalition_rows for cell in row.cells)
+
     def families(self) -> tuple[str, ...]:
         seen: dict[str, None] = {}
         for row in self.rows:
+            seen.setdefault(row.family, None)
+        for row in self.coalition_rows:
             seen.setdefault(row.family, None)
         return tuple(seen)
 
@@ -119,6 +159,27 @@ class FrontierReport:
                 return candidate
         raise KeyError(f"no frontier row ({family}, {stage}, {shock})")
 
+    def coalition_row(
+        self, family: str, coalition: str, stage: str, shock: float
+    ) -> CoalitionFrontierRow:
+        for candidate in self.coalition_rows:
+            key = (candidate.family, candidate.coalition, candidate.stage,
+                   candidate.shock)
+            if key == (family, coalition, stage, shock):
+                return candidate
+        raise KeyError(
+            f"no coalition frontier row ({family}, {coalition}, {stage}, {shock})"
+        )
+
+    def stages(self, family: str) -> tuple[str, ...]:
+        """The stage labels swept for one family (coalition rows included),
+        in row order."""
+        seen: dict[str, None] = {}
+        for row in (*self.rows, *self.coalition_rows):
+            if row.family == family:
+                seen.setdefault(row.stage, None)
+        return tuple(seen)
+
     def summary(self) -> str:
         deterred = sum(1 for row in self.rows if row.deterred)
         coverage = (
@@ -126,34 +187,67 @@ class FrontierReport:
             if self.complete
             else f"PARTIAL coverage {self.scenarios}/{self.total_scenarios}"
         )
+        coalition = (
+            f", {len(self.coalition_rows)} coalition lines"
+            if self.coalition_rows
+            else ""
+        )
         return (
             f"frontier: {len(self.rows)} (family × stage × shock) lines over "
-            f"{len(self.cells)} cells, {deterred} deterred ({coverage})"
+            f"{len(self.cells)} cells, {deterred} deterred{coalition} "
+            f"({coverage})"
         )
 
     def table(self) -> str:
         """A printable frontier table (one line per row)."""
         lines = [
-            f"{'family':<12} {'stage':<10} {'shock':>7}  {'pi*':>6}  "
+            f"{'family':<12} {'pivot':<14} {'stage':<10} {'shock':>7}  {'pi*':>6}  "
             f"{'walk premiums':<24} profitable-deviation span"
         ]
-        for row in self.rows:
+
+        def render(row, pivot: str) -> str:
             walked = [cell.pi for cell in row.cells if cell.walked]
             profitable = [
                 cell.pi for cell in row.cells if cell.deviation_profitable
             ]
-            lines.append(
-                f"{row.family:<12} {row.stage:<10} {row.shock:>7g}  "
+            return (
+                f"{row.family:<12} {pivot:<14} {row.stage:<10} {row.shock:>7g}  "
                 f"{'-' if row.pi_star is None else format(row.pi_star, 'g'):>6}  "
                 f"{','.join(format(p, 'g') for p in walked) or '-':<24} "
                 f"{','.join(format(p, 'g') for p in profitable) or '-'}"
             )
+
+        for row in self.rows:
+            lines.append(render(row, "pivot"))
+        for row in self.coalition_rows:
+            lines.append(render(row, row.coalition))
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
     def to_json(self) -> str:
+        def cell_payload(cell: FrontierCell) -> dict:
+            return {
+                "pi": canon_float(cell.pi),
+                "walked": cell.walked,
+                "rational_utility": canon_float(cell.rational_utility),
+                "comply_utility": canon_float(cell.comply_utility),
+                "victim_net": cell.victim_net,
+            }
+
+        def row_payload(row) -> dict:
+            payload = {
+                "family": row.family,
+                "stage": row.stage,
+                "shock": canon_float(row.shock),
+                "pi_star": None if row.pi_star is None else canon_float(row.pi_star),
+                "cells": [cell_payload(cell) for cell in row.cells],
+            }
+            if isinstance(row, CoalitionFrontierRow):
+                payload["coalition"] = row.coalition
+            return payload
+
         return json.dumps(
             {
                 "matrix_digest": self.matrix_digest,
@@ -161,24 +255,9 @@ class FrontierReport:
                 "complete": self.complete,
                 "scenarios": self.scenarios,
                 "total_scenarios": self.total_scenarios,
-                "rows": [
-                    {
-                        "family": row.family,
-                        "stage": row.stage,
-                        "shock": row.shock,
-                        "pi_star": row.pi_star,
-                        "cells": [
-                            {
-                                "pi": cell.pi,
-                                "walked": cell.walked,
-                                "rational_utility": cell.rational_utility,
-                                "comply_utility": cell.comply_utility,
-                                "victim_net": cell.victim_net,
-                            }
-                            for cell in row.cells
-                        ],
-                    }
-                    for row in self.rows
+                "rows": [row_payload(row) for row in self.rows],
+                "coalition_rows": [
+                    row_payload(row) for row in self.coalition_rows
                 ],
                 "digest": self.digest,
             },
@@ -189,27 +268,46 @@ class FrontierReport:
     @classmethod
     def from_json(cls, text: str) -> "FrontierReport":
         data = json.loads(text)
+
+        def cells_of(row: dict, coalition: str) -> tuple[FrontierCell, ...]:
+            return tuple(
+                FrontierCell(
+                    family=row["family"],
+                    stage=row["stage"],
+                    shock=canon_float(row["shock"]),
+                    pi=canon_float(cell["pi"]),
+                    walked=bool(cell["walked"]),
+                    rational_utility=canon_float(cell["rational_utility"]),
+                    comply_utility=canon_float(cell["comply_utility"]),
+                    victim_net=int(cell["victim_net"]),
+                    coalition=coalition,
+                )
+                for cell in row["cells"]
+            )
+
+        def pi_star_of(row: dict) -> float | None:
+            return None if row["pi_star"] is None else canon_float(row["pi_star"])
+
         rows = tuple(
             FrontierRow(
                 family=row["family"],
                 stage=row["stage"],
-                shock=float(row["shock"]),
-                pi_star=None if row["pi_star"] is None else float(row["pi_star"]),
-                cells=tuple(
-                    FrontierCell(
-                        family=row["family"],
-                        stage=row["stage"],
-                        shock=float(row["shock"]),
-                        pi=float(cell["pi"]),
-                        walked=bool(cell["walked"]),
-                        rational_utility=float(cell["rational_utility"]),
-                        comply_utility=float(cell["comply_utility"]),
-                        victim_net=int(cell["victim_net"]),
-                    )
-                    for cell in row["cells"]
-                ),
+                shock=canon_float(row["shock"]),
+                pi_star=pi_star_of(row),
+                cells=cells_of(row, ""),
             )
             for row in data["rows"]
+        )
+        coalition_rows = tuple(
+            CoalitionFrontierRow(
+                family=row["family"],
+                coalition=row["coalition"],
+                stage=row["stage"],
+                shock=canon_float(row["shock"]),
+                pi_star=pi_star_of(row),
+                cells=cells_of(row, row["coalition"]),
+            )
+            for row in data.get("coalition_rows", [])
         )
         report = cls(
             matrix_digest=data["matrix_digest"],
@@ -218,6 +316,7 @@ class FrontierReport:
             scenarios=int(data["scenarios"]),
             total_scenarios=int(data["total_scenarios"]),
             rows=rows,
+            coalition_rows=coalition_rows,
         )
         report = _with_digest(report)
         if report.digest != data["digest"]:
@@ -244,8 +343,18 @@ def _with_digest(report: FrontierReport) -> FrontierReport:
     for row in report.rows:
         digest.update(b"\n")
         digest.update(
-            f"row|{row.family}|{row.stage}|{row.shock!r}"
-            f"|pi_star={row.pi_star!r}".encode()
+            f"row|{row.family}|{row.stage}|{canon_float(row.shock)!r}"
+            f"|pi_star={canon_opt(row.pi_star)!r}".encode()
+        )
+        for cell in row.cells:
+            digest.update(b"\n")
+            digest.update(cell.describe().encode())
+    for row in report.coalition_rows:
+        digest.update(b"\n")
+        digest.update(
+            f"coalition-row|{row.family}|{row.coalition}|{row.stage}"
+            f"|{canon_float(row.shock)!r}"
+            f"|pi_star={canon_opt(row.pi_star)!r}".encode()
         )
         for cell in row.cells:
             digest.update(b"\n")
@@ -258,10 +367,11 @@ def reduce_frontier(report: CampaignReport) -> FrontierReport:
 
     Requires an ablation-shaped report: every result carries ``pi``,
     ``shock``, and ``stage`` axes and a ``comply``/``rational`` strategy
-    coordinate.  A cell missing one arm (e.g. a lone shard) raises —
+    coordinate (coalition cells use the all-``compliant`` profile as their
+    comply arm).  A cell missing one arm (e.g. a lone shard) raises —
     merge the shards first (:func:`repro.campaign.runner.merge_reports`).
     """
-    arms: dict[tuple[str, str, float, float], dict[str, object]] = {}
+    arms: dict[tuple[str, str, str, float, float], dict[str, object]] = {}
     for result in report.results:
         axes = dict(result.axes)
         if "pi" not in axes or "shock" not in axes or "stage" not in axes:
@@ -271,26 +381,33 @@ def reduce_frontier(report: CampaignReport) -> FrontierReport:
             )
         key = (
             axes["family"],
+            axes.get("coalition", ""),
             axes["stage"],
-            float(axes["shock"]),
-            float(axes["pi"]),
+            canon_float(axes["shock"]),
+            canon_float(axes["pi"]),
         )
         arms.setdefault(key, {})[axes["strategy"]] = result
     cells = []
     for key in sorted(arms):
         pair = arms[key]
-        missing = {"comply", "rational"} - set(pair)
+        # A coalition cell's comply arm is the all-compliant profile.
+        comply = pair.get("comply", pair.get("compliant"))
+        rational = pair.get("rational")
+        missing = [
+            arm
+            for arm, result in (("comply", comply), ("rational", rational))
+            if result is None
+        ]
         if missing:
             raise ValueError(
-                f"cell {key} is missing its {sorted(missing)} arm(s): merge "
+                f"cell {key} is missing its {missing} arm(s): merge "
                 "all shards before reducing the frontier"
             )
-        family, stage, shock, pi = key
-        rational = pair["rational"]
-        comply = pair["comply"]
+        family, coalition, stage, shock, pi = key
         r_metrics = dict(rational.metrics)
         c_metrics = dict(comply.metrics)
-        pivot = dict(rational.axes)["adversaries"]
+        # Every pivot (all coalition members) is excluded from victimhood.
+        pivots = set(dict(rational.axes)["adversaries"].split(","))
         cells.append(
             FrontierCell(
                 family=family,
@@ -298,31 +415,54 @@ def reduce_frontier(report: CampaignReport) -> FrontierReport:
                 shock=shock,
                 pi=pi,
                 walked=r_metrics["completed"] == 0.0,
-                rational_utility=r_metrics["utility"],
-                comply_utility=c_metrics["utility"],
+                rational_utility=canon_float(r_metrics["utility"]),
+                comply_utility=canon_float(c_metrics["utility"]),
                 victim_net=max(
-                    (net for party, net in rational.premium_net if party != pivot),
+                    (
+                        net
+                        for party, net in rational.premium_net
+                        if party not in pivots
+                    ),
                     default=0,
                 ),
+                coalition=coalition,
             )
         )
 
-    by_line: dict[tuple[str, str, float], list[FrontierCell]] = {}
-    for cell in cells:
-        by_line.setdefault((cell.family, cell.stage, cell.shock), []).append(cell)
-    rows = []
-    for line_key in sorted(by_line):
-        line = sorted(by_line[line_key], key=lambda cell: cell.pi)
-        deterring = [cell.pi for cell in line if not cell.walked]
-        rows.append(
-            FrontierRow(
-                family=line_key[0],
-                stage=line_key[1],
-                shock=line_key[2],
-                pi_star=min(deterring) if deterring else None,
-                cells=tuple(line),
+    def reduce_lines(line_cells, row_factory):
+        by_line: dict[tuple, list[FrontierCell]] = {}
+        for cell in line_cells:
+            by_line.setdefault(
+                (cell.family, cell.coalition, cell.stage, cell.shock), []
+            ).append(cell)
+        rows = []
+        for line_key in sorted(by_line):
+            line = sorted(by_line[line_key], key=lambda cell: cell.pi)
+            deterring = [cell.pi for cell in line if not cell.walked]
+            rows.append(
+                row_factory(
+                    line_key, min(deterring) if deterring else None, tuple(line)
+                )
             )
-        )
+        return tuple(rows)
+
+    rows = reduce_lines(
+        (cell for cell in cells if not cell.coalition),
+        lambda key, pi_star, line: FrontierRow(
+            family=key[0], stage=key[2], shock=key[3], pi_star=pi_star, cells=line
+        ),
+    )
+    coalition_rows = reduce_lines(
+        (cell for cell in cells if cell.coalition),
+        lambda key, pi_star, line: CoalitionFrontierRow(
+            family=key[0],
+            coalition=key[1],
+            stage=key[2],
+            shock=key[3],
+            pi_star=pi_star,
+            cells=line,
+        ),
+    )
     return _with_digest(
         FrontierReport(
             matrix_digest=report.matrix_digest,
@@ -330,6 +470,7 @@ def reduce_frontier(report: CampaignReport) -> FrontierReport:
             complete=report.complete,
             scenarios=report.scenarios,
             total_scenarios=report.total_scenarios,
-            rows=tuple(rows),
+            rows=rows,
+            coalition_rows=coalition_rows,
         )
     )

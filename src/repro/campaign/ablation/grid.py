@@ -26,20 +26,38 @@ into deviation-profitability cells.
 Premium sizing maps the grid fraction π onto each family's integer premium
 knob against the pivot's principal value (e.g. two-party:
 ``p_b = round(π · amount_b)``); :func:`deterrence_stake` exposes the
-resulting closed-form walk-forfeit at the staked stage, so tests can check
-the measured frontier against the paper's π-threshold claim exactly.
+resulting closed-form walk-forfeit at the staked stage, and
+:func:`closed_form_pi_star` the continuous §5.2-style threshold the
+refinement engine's bisected π* must bracket.
 
-Shock *stages* pin the shock height to protocol structure rather than raw
-numbers: ``pre-stake`` hits before the pivot has deposited anything
-(walking is free — no premium can deter it, and no victim has escrowed),
-``staked`` hits after its premiums are held but before its principal is
-locked — the window the paper's premiums are sized for.
+**Shock stages.**  A stage pins the shock height to protocol structure:
+
+- the named stages ``pre-stake`` (before the pivot deposited anything —
+  walking is free, no premium can deter it) and ``staked`` (premiums held,
+  principal not yet locked — the window the paper's premiums are sized
+  for) survive as aliases into each family's schedule,
+- ``round:K`` pins the shock to height ``K`` directly, and the pseudo
+  stage ``all`` expands to one ``round:K`` arm per protocol round of each
+  family — the *dense stage sweep* that charts how the deterrent decays
+  round by round.  Nothing is hard-coded per family: the binding deviation
+  (e.g. the broker's escrow-then-withhold-the-key walk) emerges from the
+  per-round utility rule, not from a named stage.
+
+**Coalitions.**  With ``coalitions=True`` the grid adds *joint* pivot
+blocks for the named two-party coalitions in :data:`ABLATION_COALITIONS`
+(adjacent ring members walking together; seller + buyer squeezing the
+broker).  Both members share one
+:func:`~repro.parties.rational.coalition_model`, so they walk in the same
+round exactly when the joint utility says collusion pays; the blocks carry
+a ``coalition`` axis and expand only the compliant and the joint-rational
+profile (``min_adversaries == max_adversaries == 2``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.campaign.canon import canon_float, fmt_fraction
 from repro.campaign.matrix import ScenarioMatrix
 from repro.campaign.pool import MatrixSpec, register_matrix_factory
 
@@ -54,18 +72,58 @@ DEFAULT_SHOCK_FRACTIONS = (0.005, 0.015, 0.025, 0.045, 0.065, 0.105)
 
 DEFAULT_STAGES = ("pre-stake", "staked")
 
+#: the pseudo-stage expanding to one ``round:K`` arm per protocol round.
+STAGE_ALL = "all"
+
+#: the named two-party coalitions swept when ``coalitions=True``.
+ABLATION_COALITIONS = {
+    "multi-party": ("P1+P2",),
+    "broker": ("seller+buyer",),
+}
+
 #: the principal notional every family's π is sized against.
 PRINCIPAL = 100
-
-
-def fmt(value: float) -> str:
-    """Canonical axis rendering of a grid fraction ("0.025", "0")."""
-    return format(value, "g")
 
 
 def scaled_premium(fraction: float, base: int = PRINCIPAL) -> int:
     """The integer premium a fraction π buys on a ``base`` principal."""
     return int(round(fraction * base))
+
+
+def valid_stage(stage: str) -> bool:
+    """True iff ``stage`` is a named stage, ``round:K``, or ``all``."""
+    if stage in DEFAULT_STAGES or stage == STAGE_ALL:
+        return True
+    if stage.startswith("round:"):
+        suffix = stage.split(":", 1)[1]
+        return suffix.isdigit()
+    return False
+
+
+def stage_heights(
+    stages: tuple[str, ...], named: dict[str, int], horizon: int
+) -> list[tuple[str, int]]:
+    """Resolve stage labels into ``(stage, shock height)`` arms.
+
+    ``named`` maps a family's named stages to their schedule heights;
+    ``all`` expands to every protocol round ``round:0 .. round:horizon-1``;
+    ``round:K`` passes through.  Duplicate labels collapse, order is
+    preserved.
+    """
+    out: list[tuple[str, int]] = []
+    seen: set[str] = set()
+    for stage in stages:
+        if stage == STAGE_ALL:
+            expanded = [(f"round:{h}", h) for h in range(horizon)]
+        elif stage.startswith("round:"):
+            expanded = [(stage, int(stage.split(":", 1)[1]))]
+        else:
+            expanded = [(stage, named[stage])]
+        for label, height in expanded:
+            if label not in seen:
+                seen.add(label)
+                out.append((label, height))
+    return out
 
 
 def _comply(actor):
@@ -84,33 +142,65 @@ def _make_strategies(party: str, transform):
     }
 
 
-def _make_metrics(party: str, prices, completed):
-    """The cell's digest-covered metrics: completion flag + pivot utility."""
+def _make_coalition_strategies(transforms: dict[str, object]):
+    """One joint-rational strategy per member; the comply arm is the
+    block's all-compliant profile (``min_adversaries=2`` suppresses the
+    spurious single-member profiles)."""
+    from repro.checker.strategies import NamedStrategy
+
+    return {
+        party: (NamedStrategy(label="rational", transform=transform),)
+        for party, transform in transforms.items()
+    }
+
+
+def _make_metrics(parties, prices, completed):
+    """The cell's digest-covered metrics: completion flag + pivot utility.
+
+    ``parties`` may be one pivot or a coalition tuple; the utility metric
+    is the (joint) realized value of the pivot set at post-shock prices.
+    """
+    if isinstance(parties, str):
+        parties = (parties,)
 
     def metrics(instance, result):
         return (
             ("completed", 1.0 if completed(instance) else 0.0),
             (
                 "utility",
-                result.payoffs.realized_utility(party, prices, instance.horizon),
+                sum(
+                    result.payoffs.realized_utility(p, prices, instance.horizon)
+                    for p in parties
+                ),
             ),
         )
 
     return metrics
 
 
-def _axes(pi: float, premium: int, shock: float, stage: str, height: int):
+def _axes(
+    pi: float,
+    premium: int,
+    shock: float,
+    stage: str,
+    height: int,
+    coalition: str = "",
+):
     """Cell coordinates; ``premium`` is the *effective* integer premium the
     fraction π bought after rounding, recorded so a quantized grid (e.g.
     π = 0.025 on a 100 principal → premium 2) can never misstate what
-    actually hedged the run."""
-    return (
-        ("pi", fmt(pi)),
+    actually hedged the run.  Coalition cells carry their pivot-set name as
+    an extra axis so the frontier reducer prices them separately."""
+    axes = [
+        ("pi", fmt_fraction(pi)),
         ("premium", str(premium)),
-        ("shock", fmt(shock)),
+        ("shock", fmt_fraction(shock)),
         ("stage", stage),
         ("shock_height", str(height)),
-    )
+    ]
+    if coalition:
+        axes.append(("coalition", coalition))
+    return tuple(axes)
 
 
 # ----------------------------------------------------------------------
@@ -129,7 +219,7 @@ def _add_two_party(matrix, premium_fractions, shock_fractions, stages) -> None:
         contracts = tuple(probe.contracts.values())
         # Bob's premium lands at height 2; Alice escrows at height 3 and
         # Bob's own escrow would land at height 4.
-        heights = {"pre-stake": 1, "staked": 3}
+        named = {"pre-stake": 1, "staked": 3}
 
         def completed(instance) -> bool:
             return (
@@ -138,8 +228,7 @@ def _add_two_party(matrix, premium_fractions, shock_fractions, stages) -> None:
             )
 
         for shock in shock_fractions:
-            for stage in stages:
-                height = heights[stage]
+            for stage, height in stage_heights(stages, named, probe.horizon):
                 prices = TokenPrices(
                     shocked=spec.token_a, fraction=shock, at_height=height
                 )
@@ -151,7 +240,7 @@ def _add_two_party(matrix, premium_fractions, shock_fractions, stages) -> None:
 
                 matrix.add_block(
                     family="two-party",
-                    schedule=f"pi{fmt(pi)}/s{fmt(shock)}@{stage}",
+                    schedule=f"pi{fmt_fraction(pi)}/s{fmt_fraction(shock)}@{stage}",
                     builder=builder,
                     properties=(props.no_stuck_escrow, props.two_party_hedged),
                     strategies=_make_strategies(spec.bob, transform),
@@ -162,37 +251,48 @@ def _add_two_party(matrix, premium_fractions, shock_fractions, stages) -> None:
                 )
 
 
+def _multi_party_probe(premium: int):
+    """Shared ring:3 builder/probe for pivot and coalition blocks."""
+    from repro.core.hedged_multi_party import HedgedMultiPartySwap
+    from repro.graph.digraph import ring_graph
+
+    builder = lambda p=premium: HedgedMultiPartySwap(
+        graph=ring_graph(3), premium=p, leaders=("P0",)
+    ).build()
+    return builder, builder()
+
+
+def _multi_party_completed(probe):
+    arc_labels = tuple(sorted(probe.contracts))
+
+    def completed(instance, labels=arc_labels) -> bool:
+        return all(
+            instance.contract(label).principal_state == "redeemed"
+            for label in labels
+        )
+
+    return completed
+
+
 def _add_multi_party(matrix, premium_fractions, shock_fractions, stages) -> None:
     """§7.1 ring:3 swap: rational P1, shock on the leader's token."""
     from repro.checker import properties as props
-    from repro.core.hedged_multi_party import HedgedMultiPartySwap
-    from repro.graph.digraph import ring_graph
     from repro.parties.rational import TokenPrices, rational_party, swap_party_model
 
-    party, leaders = "P1", ("P0",)
+    party = "P1"
     for pi in premium_fractions:
         premium = scaled_premium(pi)
-        builder = lambda p=premium: HedgedMultiPartySwap(
-            graph=ring_graph(3), premium=p, leaders=leaders
-        ).build()
-        probe = builder()
+        builder, probe = _multi_party_probe(premium)
         contracts = tuple(probe.contracts.values())
         schedule = probe.meta["schedule"]
         # By phase 3 the pivot's escrow premium and its redemption premium
         # for the leader's key are both held; its principal is not yet
         # escrowed (followers escrow one round after the leaders).
-        heights = {"pre-stake": 0, "staked": schedule.p3_start}
-        arc_labels = tuple(sorted(probe.contracts))
-
-        def completed(instance, labels=arc_labels) -> bool:
-            return all(
-                instance.contract(label).principal_state == "redeemed"
-                for label in labels
-            )
+        named = {"pre-stake": 0, "staked": schedule.p3_start}
+        completed = _multi_party_completed(probe)
 
         for shock in shock_fractions:
-            for stage in stages:
-                height = heights[stage]
+            for stage, height in stage_heights(stages, named, schedule.horizon):
                 prices = TokenPrices(
                     shocked="p0-token", fraction=shock, at_height=height
                 )
@@ -204,7 +304,7 @@ def _add_multi_party(matrix, premium_fractions, shock_fractions, stages) -> None
 
                 matrix.add_block(
                     family="multi-party",
-                    schedule=f"ring3/pi{fmt(pi)}/s{fmt(shock)}@{stage}",
+                    schedule=f"ring3/pi{fmt_fraction(pi)}/s{fmt_fraction(shock)}@{stage}",
                     builder=builder,
                     properties=(props.no_stuck_escrow, props.multi_party_lemmas),
                     strategies=_make_strategies(party, transform),
@@ -215,6 +315,74 @@ def _add_multi_party(matrix, premium_fractions, shock_fractions, stages) -> None
                 )
 
 
+def _add_multi_party_coalition(
+    matrix, premium_fractions, shock_fractions, stages
+) -> None:
+    """Adjacent ring members P1+P2 walking together (coalition ``P1+P2``).
+
+    The members' shared arc (P1, P2) is internal: its escrow premium and
+    redemption deposits forfeit member-to-member, so the joint walk is
+    deterred only by the premiums facing P0 — a strictly smaller stake
+    than either single pivot's, which is what prices the collusive π*.
+    """
+    from repro.checker import properties as props
+    from repro.parties.rational import TokenPrices, coalition_model, rational_party
+
+    members = ("P1", "P2")
+    coalition = "P1+P2"
+    for pi in premium_fractions:
+        premium = scaled_premium(pi)
+        builder, probe = _multi_party_probe(premium)
+        contracts = tuple(probe.contracts.values())
+        schedule = probe.meta["schedule"]
+        named = {"pre-stake": 0, "staked": schedule.p3_start}
+        completed = _multi_party_completed(probe)
+
+        for shock in shock_fractions:
+            for stage, height in stage_heights(stages, named, schedule.horizon):
+                prices = TokenPrices(
+                    shocked="p0-token", fraction=shock, at_height=height
+                )
+
+                def transform(actor, prices=prices, contracts=contracts):
+                    return rational_party(
+                        actor, coalition_model(members, prices, contracts)
+                    )
+
+                matrix.add_block(
+                    family="multi-party",
+                    schedule=(
+                        f"ring3/{coalition}/pi{fmt_fraction(pi)}"
+                        f"/s{fmt_fraction(shock)}@{stage}"
+                    ),
+                    builder=builder,
+                    properties=(props.no_stuck_escrow, props.multi_party_lemmas),
+                    strategies=_make_coalition_strategies(
+                        {member: transform for member in members}
+                    ),
+                    max_adversaries=2,
+                    min_adversaries=2,
+                    include_compliant=True,
+                    extra_axes=_axes(pi, premium, shock, stage, height, coalition),
+                    metrics=_make_metrics(members, prices, completed),
+                )
+
+
+def _broker_prices_base(spec):
+    return (
+        # A ticket trades for seller_price coins: that is its fair value.
+        (spec.ticket_token, float(spec.seller_price) / spec.tickets),
+        (spec.coin_token, 1.0),
+    )
+
+
+def _broker_completed(instance) -> bool:
+    return (
+        instance.contract("ticket").escrow_state == "redeemed"
+        and instance.contract("coin").escrow_state == "redeemed"
+    )
+
+
 def _add_broker(matrix, premium_fractions, shock_fractions, stages) -> None:
     """§8.2 deal: rational seller Bob, shock on the coin he is paid in."""
     from repro.checker import properties as props
@@ -223,29 +391,19 @@ def _add_broker(matrix, premium_fractions, shock_fractions, stages) -> None:
     from repro.protocols.base_broker import BrokerSpec
 
     spec = BrokerSpec()
-    base_values = (
-        # A ticket trades for seller_price coins: that is its fair value.
-        (spec.ticket_token, float(spec.seller_price) / spec.tickets),
-        (spec.coin_token, 1.0),
-    )
+    base_values = _broker_prices_base(spec)
     for pi in premium_fractions:
         premium = scaled_premium(pi)
         builder = lambda p=premium: HedgedBrokerDeal(premium=p).build()
         probe = builder()
         contracts = tuple(probe.contracts.values())
+        deadlines = probe.meta["deadlines"]
         # Activation height: all E/T/R premiums held, asset escrows still
         # one round out.
-        heights = {"pre-stake": 0, "staked": probe.meta["deadlines"].activation}
-
-        def completed(instance) -> bool:
-            return (
-                instance.contract("ticket").escrow_state == "redeemed"
-                and instance.contract("coin").escrow_state == "redeemed"
-            )
+        named = {"pre-stake": 0, "staked": deadlines.activation}
 
         for shock in shock_fractions:
-            for stage in stages:
-                height = heights[stage]
+            for stage, height in stage_heights(stages, named, deadlines.horizon):
                 prices = TokenPrices(
                     base=base_values,
                     shocked=spec.coin_token,
@@ -262,14 +420,74 @@ def _add_broker(matrix, premium_fractions, shock_fractions, stages) -> None:
 
                 matrix.add_block(
                     family="broker",
-                    schedule=f"pi{fmt(pi)}/s{fmt(shock)}@{stage}",
+                    schedule=f"pi{fmt_fraction(pi)}/s{fmt_fraction(shock)}@{stage}",
                     builder=builder,
                     properties=(props.no_stuck_escrow, props.broker_bounds),
                     strategies=_make_strategies(spec.seller, transform),
                     max_adversaries=1,
                     include_compliant=False,
                     extra_axes=_axes(pi, premium, shock, stage, height),
-                    metrics=_make_metrics(spec.seller, prices, completed),
+                    metrics=_make_metrics(spec.seller, prices, _broker_completed),
+                )
+
+
+def _add_broker_coalition(
+    matrix, premium_fractions, shock_fractions, stages
+) -> None:
+    """Seller + buyer squeezing the broker (coalition ``seller+buyer``).
+
+    Bob and Carol trade with each other *through* Alice; colluding, the
+    ticket-for-coins exchange is internal, so only their E deposits (which
+    reimburse the broker's passthrough) and the redemption deposits facing
+    Alice still deter the joint walk.
+    """
+    from repro.checker import properties as props
+    from repro.core.hedged_broker import HedgedBrokerDeal
+    from repro.parties.rational import TokenPrices, coalition_model, rational_party
+    from repro.protocols.base_broker import BrokerSpec
+
+    spec = BrokerSpec()
+    members = (spec.seller, spec.buyer)
+    coalition = "seller+buyer"
+    base_values = _broker_prices_base(spec)
+    for pi in premium_fractions:
+        premium = scaled_premium(pi)
+        builder = lambda p=premium: HedgedBrokerDeal(premium=p).build()
+        probe = builder()
+        contracts = tuple(probe.contracts.values())
+        deadlines = probe.meta["deadlines"]
+        named = {"pre-stake": 0, "staked": deadlines.activation}
+
+        for shock in shock_fractions:
+            for stage, height in stage_heights(stages, named, deadlines.horizon):
+                prices = TokenPrices(
+                    base=base_values,
+                    shocked=spec.coin_token,
+                    fraction=shock,
+                    at_height=height,
+                )
+
+                def transform(actor, prices=prices, contracts=contracts):
+                    return rational_party(
+                        actor, coalition_model(members, prices, contracts)
+                    )
+
+                matrix.add_block(
+                    family="broker",
+                    schedule=(
+                        f"{coalition}/pi{fmt_fraction(pi)}"
+                        f"/s{fmt_fraction(shock)}@{stage}"
+                    ),
+                    builder=builder,
+                    properties=(props.no_stuck_escrow, props.broker_bounds),
+                    strategies=_make_coalition_strategies(
+                        {member: transform for member in members}
+                    ),
+                    max_adversaries=2,
+                    min_adversaries=2,
+                    include_compliant=True,
+                    extra_axes=_axes(pi, premium, shock, stage, height, coalition),
+                    metrics=_make_metrics(members, prices, _broker_completed),
                 )
 
 
@@ -296,14 +514,13 @@ def _add_auction(matrix, premium_fractions, shock_fractions, stages) -> None:
         probe = builder()
         contracts = tuple(probe.contracts.values())
         # Bids land at height 2; the declaration round is round 2.
-        heights = {"pre-stake": 0, "staked": 2}
+        named = {"pre-stake": 0, "staked": 2}
 
         def completed(instance) -> bool:
             return instance.contract("coin").outcome == "completed"
 
         for shock in shock_fractions:
-            for stage in stages:
-                height = heights[stage]
+            for stage, height in stage_heights(stages, named, probe.horizon):
                 prices = TokenPrices(
                     base=base_values,
                     shocked=spec.coin_token,
@@ -318,7 +535,7 @@ def _add_auction(matrix, premium_fractions, shock_fractions, stages) -> None:
 
                 matrix.add_block(
                     family="auction",
-                    schedule=f"pi{fmt(pi)}/s{fmt(shock)}@{stage}",
+                    schedule=f"pi{fmt_fraction(pi)}/s{fmt_fraction(shock)}@{stage}",
                     builder=builder,
                     properties=(props.no_stuck_escrow, props.auction_lemmas),
                     strategies=_make_strategies(spec.auctioneer, transform),
@@ -334,6 +551,11 @@ _FAMILY_ADDERS = {
     "multi-party": _add_multi_party,
     "broker": _add_broker,
     "auction": _add_auction,
+}
+
+_COALITION_ADDERS = {
+    ("multi-party", "P1+P2"): _add_multi_party_coalition,
+    ("broker", "seller+buyer"): _add_broker_coalition,
 }
 
 
@@ -406,8 +628,35 @@ def shocked_notional(family: str) -> float:
     return float(PRINCIPAL)
 
 
+def premium_base(family: str) -> int:
+    """The base notional a family's π is quantized against: the integer
+    premium a fraction buys is ``round(π · premium_base)``."""
+    if family == "auction":
+        from repro.core.hedged_auction import AuctionSpec
+
+        spec = AuctionSpec()
+        return max(spec.bids.values()) // len(spec.bidders)
+    return PRINCIPAL
+
+
+def closed_form_pi_star(family: str, shock: float) -> float:
+    """The continuous §5.2-style deterrence threshold for a staked shock.
+
+    :func:`deterrence_stake` is linear in the integer premium π buys
+    (two-party ``p_b``, ring ``4p``, broker ``3p``, auction ``n·p``); the
+    un-quantized threshold is the π at which that stake equals the shocked
+    value drop.  The *measured* (bisected) π* differs from this by at most
+    half a premium unit of quantization, ``0.5 / premium_base`` — well
+    inside the refinement engine's default tolerance of 1/64.
+    """
+    base = premium_base(family)
+    ref_premium = 4  # exactly representable: ref_pi · base == 4 for all bases
+    slope = deterrence_stake(family, ref_premium / base) / ref_premium
+    return shocked_notional(family) * shock / (slope * base)
+
+
 # ----------------------------------------------------------------------
-# the grid and its registered factory
+# the grid and its registered factories
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class AblationGrid:
@@ -417,9 +666,13 @@ class AblationGrid:
     premium_fractions: tuple[float, ...] = DEFAULT_PREMIUM_FRACTIONS
     shock_fractions: tuple[float, ...] = DEFAULT_SHOCK_FRACTIONS
     stages: tuple[str, ...] = DEFAULT_STAGES
+    coalitions: bool = False
     seed: int = 0
 
     def cells(self) -> int:
+        """Single-pivot cell count (exact for named stages; the ``all``
+        pseudo-stage and coalition blocks add more — build the matrix and
+        count its blocks for those)."""
         return (
             len(self.families)
             * len(self.premium_fractions)
@@ -433,7 +686,23 @@ class AblationGrid:
             premium_fractions=self.premium_fractions,
             shock_fractions=self.shock_fractions,
             stages=self.stages,
+            coalitions=self.coalitions,
             seed=self.seed,
+        )
+
+
+def _validate_grid(families, stages) -> None:
+    unknown = set(families) - set(_FAMILY_ADDERS)
+    if unknown:
+        raise ValueError(
+            f"unknown ablation families {sorted(unknown)}; "
+            f"known: {sorted(_FAMILY_ADDERS)}"
+        )
+    bad_stages = [stage for stage in stages if not valid_stage(stage)]
+    if bad_stages:
+        raise ValueError(
+            f"unknown shock stages {sorted(bad_stages)}; "
+            f"known: {list(DEFAULT_STAGES)}, 'round:K', or 'all'"
         )
 
 
@@ -443,6 +712,7 @@ def ablation_matrix(
     premium_fractions: tuple[float, ...] | None = None,
     shock_fractions: tuple[float, ...] | None = None,
     stages: tuple[str, ...] | None = None,
+    coalitions: bool = False,
     seed: int = 0,
 ) -> ScenarioMatrix:
     """Build the rational-adversary ablation matrix for the given grid.
@@ -455,39 +725,88 @@ def ablation_matrix(
     """
     families = tuple(families) if families is not None else ABLATION_FAMILIES
     premium_fractions = (
-        tuple(float(p) for p in premium_fractions)
+        tuple(canon_float(p) for p in premium_fractions)
         if premium_fractions is not None
         else DEFAULT_PREMIUM_FRACTIONS
     )
     shock_fractions = (
-        tuple(float(s) for s in shock_fractions)
+        tuple(canon_float(s) for s in shock_fractions)
         if shock_fractions is not None
         else DEFAULT_SHOCK_FRACTIONS
     )
     stages = tuple(stages) if stages is not None else DEFAULT_STAGES
-    unknown = set(families) - set(_FAMILY_ADDERS)
-    if unknown:
-        raise ValueError(
-            f"unknown ablation families {sorted(unknown)}; "
-            f"known: {sorted(_FAMILY_ADDERS)}"
-        )
-    unknown_stages = set(stages) - set(DEFAULT_STAGES)
-    if unknown_stages:
-        raise ValueError(
-            f"unknown shock stages {sorted(unknown_stages)}; "
-            f"known: {list(DEFAULT_STAGES)}"
-        )
+    _validate_grid(families, stages)
     matrix = ScenarioMatrix(seed=seed)
     for family in families:
         _FAMILY_ADDERS[family](matrix, premium_fractions, shock_fractions, stages)
+        if coalitions:
+            for coalition in ABLATION_COALITIONS.get(family, ()):
+                _COALITION_ADDERS[(family, coalition)](
+                    matrix, premium_fractions, shock_fractions, stages
+                )
     matrix.spec = MatrixSpec(
         factory="ablation",
         kwargs=(
+            ("coalitions", coalitions),
             ("families", families),
             ("premium_fractions", premium_fractions),
             ("seed", seed),
             ("shock_fractions", shock_fractions),
             ("stages", stages),
+        ),
+    )
+    return matrix
+
+
+@register_matrix_factory("ablation_cell")
+def ablation_cell(
+    family: str,
+    pi: float,
+    shock: float,
+    stage: str,
+    coalition: str = "",
+    seed: int = 0,
+) -> ScenarioMatrix:
+    """One ``(family, π, shock, stage)`` cell as a standalone matrix.
+
+    The refinement engine's probe unit: a two-scenario (comply/rational)
+    matrix at an arbitrary — typically bisected — premium fraction,
+    registered as its own pool factory so probes dispatch through a
+    persistent :class:`~repro.campaign.pool.WorkerPool` with the same
+    worker-side digest audit as full grids.  ``coalition`` selects a named
+    joint-pivot cell instead of the family's single pivot.
+    """
+    if family not in _FAMILY_ADDERS:
+        raise ValueError(
+            f"unknown ablation family {family!r}; known: {sorted(_FAMILY_ADDERS)}"
+        )
+    if not valid_stage(stage) or stage == STAGE_ALL:
+        raise ValueError(
+            f"ablation_cell needs one concrete stage, got {stage!r} "
+            f"(known: {list(DEFAULT_STAGES)} or 'round:K')"
+        )
+    pi = canon_float(pi)
+    shock = canon_float(shock)
+    matrix = ScenarioMatrix(seed=seed)
+    if coalition:
+        adder = _COALITION_ADDERS.get((family, coalition))
+        if adder is None:
+            raise ValueError(
+                f"unknown coalition {coalition!r} for family {family!r}; "
+                f"known: {sorted(ABLATION_COALITIONS.get(family, ()))}"
+            )
+        adder(matrix, (pi,), (shock,), (stage,))
+    else:
+        _FAMILY_ADDERS[family](matrix, (pi,), (shock,), (stage,))
+    matrix.spec = MatrixSpec(
+        factory="ablation_cell",
+        kwargs=(
+            ("coalition", coalition),
+            ("family", family),
+            ("pi", pi),
+            ("seed", seed),
+            ("shock", shock),
+            ("stage", stage),
         ),
     )
     return matrix

@@ -1,0 +1,425 @@
+"""Frontier refinement: bisect the deterrence threshold between lattice points.
+
+The lattice frontier (:func:`~repro.campaign.ablation.frontier.reduce_frontier`)
+measures π* only on the swept premium fractions, so the reported threshold
+is a *staircase*: the true boundary lies somewhere between the last
+premium that still walked and the first that deterred.
+:func:`refine_frontier` closes that gap by adaptive bisection:
+
+- per frontier row (single-pivot and coalition alike) it takes the
+  measured bracket ``[last walking π, first deterring π]`` from the
+  lattice cells,
+- repeatedly probes the midpoint by running a two-scenario
+  :func:`~repro.campaign.ablation.grid.ablation_cell` matrix — through the
+  serial backend or a persistent :class:`~repro.campaign.pool.WorkerPool`
+  (each probe cell is a registered pool factory, digest-audited
+  worker-side like any campaign),
+- narrows until ``hi − lo ≤ tol`` (default :data:`DEFAULT_TOL`, 1/64 of
+  the premium fraction) and reports ``pi_star`` as the bracket midpoint.
+
+The refined π* therefore sits within ``tol/2`` of the *measured* walk
+boundary, which itself sits within half a premium quantization unit
+(``0.5 / premium_base``) of the §5.2 closed form
+(:func:`~repro.campaign.ablation.grid.closed_form_pi_star`) — so with the
+default tolerance the refined threshold brackets the closed form for all
+four families.
+
+Rows with no lattice bracket refine too, where possible: when the
+*smallest* swept premium already deters, the engine opens the bracket at
+π = 0 with one extra probe; when no swept premium deters (e.g. every
+``pre-stake`` row, or a coalition rent the premiums cannot hedge) the row
+is carried through unrefined with ``pi_hi = None`` — undeterred is a
+result, not an error.
+
+**Digest rules.**  The refined digest hashes the input frontier digest
+(which already binds matrix identity, run digest, and coverage), the
+tolerance, and — per row — the bracket endpoints plus every probe cell's
+outcome *and* the probe campaign's own run digest.  Bisection is
+deterministic (same bracket → same midpoints → same probe matrices), and
+probe run digests are backend-independent, so a refined frontier is
+byte-identical whether the lattice came from a serial, pooled, or
+sharded-then-merged run and whether the probes ran serially or pooled.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from hashlib import sha256
+
+from repro.campaign.canon import canon_float, canon_opt, fmt_fraction
+from repro.campaign.ablation.frontier import (
+    CoalitionFrontierRow,
+    FrontierCell,
+    FrontierReport,
+    FrontierRow,
+    reduce_frontier,
+)
+from repro.campaign.ablation.grid import ablation_cell
+
+#: default bisection tolerance on the premium fraction: 1/64.
+DEFAULT_TOL = 0.015625
+
+#: hard cap on probes per row (the default tol needs at most a handful).
+MAX_ITERATIONS = 32
+
+
+@dataclass(frozen=True)
+class ProbeCell:
+    """One bisection probe: a measured cell plus its provenance."""
+
+    cell: FrontierCell
+    run_digest: str
+
+    def describe(self) -> str:
+        return f"probe|{self.cell.describe()}|run={self.run_digest}"
+
+
+@dataclass(frozen=True)
+class RefinedRow:
+    """One frontier row after bisection.
+
+    ``pi_lo`` is the largest premium fraction measured to walk, ``pi_hi``
+    the smallest measured to deter (``None`` when nothing swept or probed
+    deters), and ``pi_star`` the midpoint of the final bracket — the
+    refined deterrence threshold.  ``lattice_lo``/``lattice_hi`` record
+    the bracket the lattice supplied, so the report shows how much the
+    staircase overstated the threshold.
+    """
+
+    family: str
+    stage: str
+    shock: float
+    coalition: str
+    lattice_lo: float | None
+    lattice_hi: float | None
+    pi_lo: float | None
+    pi_hi: float | None
+    pi_star: float | None
+    iterations: int
+    converged: bool
+    probes: tuple[ProbeCell, ...]
+
+    @property
+    def deterred(self) -> bool:
+        return self.pi_hi is not None
+
+    @property
+    def bracket_width(self) -> float | None:
+        if self.pi_lo is None or self.pi_hi is None:
+            return None
+        return self.pi_hi - self.pi_lo
+
+
+@dataclass(frozen=True)
+class RefinedFrontierReport:
+    """The bisected frontier plus its reproducibility digest."""
+
+    base_digest: str
+    tol: float
+    rows: tuple[RefinedRow, ...]
+    digest: str = ""
+
+    def row(
+        self, family: str, stage: str, shock: float, coalition: str = ""
+    ) -> RefinedRow:
+        for candidate in self.rows:
+            key = (candidate.family, candidate.stage, candidate.shock,
+                   candidate.coalition)
+            if key == (family, stage, shock, coalition):
+                return candidate
+        raise KeyError(
+            f"no refined row ({family}, {stage}, {shock}, {coalition!r})"
+        )
+
+    @property
+    def probes(self) -> int:
+        return sum(len(row.probes) for row in self.rows)
+
+    def summary(self) -> str:
+        refined = sum(1 for row in self.rows if row.converged)
+        deterred = sum(1 for row in self.rows if row.deterred)
+        return (
+            f"refined frontier: {len(self.rows)} rows, {refined} converged to "
+            f"tol={fmt_fraction(self.tol)} via {self.probes} bisection probes, "
+            f"{deterred} deterred"
+        )
+
+    def table(self) -> str:
+        lines = [
+            f"{'family':<12} {'pivot':<14} {'stage':<10} {'shock':>7}  "
+            f"{'lattice pi*':>11}  {'refined pi*':>11}  {'bracket':>19}  probes"
+        ]
+        for row in self.rows:
+            bracket = (
+                f"[{fmt_fraction(row.pi_lo)}, {fmt_fraction(row.pi_hi)}]"
+                if row.pi_lo is not None and row.pi_hi is not None
+                else "-"
+            )
+            lines.append(
+                f"{row.family:<12} {row.coalition or 'pivot':<14} "
+                f"{row.stage:<10} {row.shock:>7g}  "
+                f"{'-' if row.lattice_hi is None else format(row.lattice_hi, 'g'):>11}  "
+                f"{'-' if row.pi_star is None else fmt_fraction(row.pi_star):>11}  "
+                f"{bracket:>19}  {len(row.probes)}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "base_digest": self.base_digest,
+                "tol": canon_float(self.tol),
+                "rows": [
+                    {
+                        "family": row.family,
+                        "stage": row.stage,
+                        "shock": canon_float(row.shock),
+                        "coalition": row.coalition,
+                        "lattice_lo": canon_opt(row.lattice_lo),
+                        "lattice_hi": canon_opt(row.lattice_hi),
+                        "pi_lo": canon_opt(row.pi_lo),
+                        "pi_hi": canon_opt(row.pi_hi),
+                        "pi_star": canon_opt(row.pi_star),
+                        "iterations": row.iterations,
+                        "converged": row.converged,
+                        "probes": [
+                            {
+                                "pi": canon_float(probe.cell.pi),
+                                "walked": probe.cell.walked,
+                                "rational_utility": canon_float(
+                                    probe.cell.rational_utility
+                                ),
+                                "comply_utility": canon_float(
+                                    probe.cell.comply_utility
+                                ),
+                                "victim_net": probe.cell.victim_net,
+                                "run_digest": probe.run_digest,
+                            }
+                            for probe in row.probes
+                        ],
+                    }
+                    for row in self.rows
+                ],
+                "digest": self.digest,
+            },
+            indent=None,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RefinedFrontierReport":
+        data = json.loads(text)
+        rows = tuple(
+            RefinedRow(
+                family=row["family"],
+                stage=row["stage"],
+                shock=canon_float(row["shock"]),
+                coalition=row["coalition"],
+                lattice_lo=canon_opt(row["lattice_lo"]),
+                lattice_hi=canon_opt(row["lattice_hi"]),
+                pi_lo=canon_opt(row["pi_lo"]),
+                pi_hi=canon_opt(row["pi_hi"]),
+                pi_star=canon_opt(row["pi_star"]),
+                iterations=int(row["iterations"]),
+                converged=bool(row["converged"]),
+                probes=tuple(
+                    ProbeCell(
+                        cell=FrontierCell(
+                            family=row["family"],
+                            stage=row["stage"],
+                            shock=canon_float(row["shock"]),
+                            pi=canon_float(probe["pi"]),
+                            walked=bool(probe["walked"]),
+                            rational_utility=canon_float(
+                                probe["rational_utility"]
+                            ),
+                            comply_utility=canon_float(probe["comply_utility"]),
+                            victim_net=int(probe["victim_net"]),
+                            coalition=row["coalition"],
+                        ),
+                        run_digest=probe["run_digest"],
+                    )
+                    for probe in row["probes"]
+                ),
+            )
+            for row in data["rows"]
+        )
+        report = cls(
+            base_digest=data["base_digest"],
+            tol=canon_float(data["tol"]),
+            rows=rows,
+        )
+        report = _with_digest(report)
+        if report.digest != data["digest"]:
+            raise ValueError(
+                "refined-frontier digest mismatch after deserialization: "
+                f"{report.digest[:16]} != {data['digest'][:16]}"
+            )
+        return report
+
+
+def _with_digest(report: RefinedFrontierReport) -> RefinedFrontierReport:
+    digest = sha256(
+        f"refined-frontier|base={report.base_digest}"
+        f"|tol={fmt_fraction(report.tol)}".encode()
+    )
+    for row in report.rows:
+        digest.update(b"\n")
+        digest.update(
+            f"row|{row.family}|{row.coalition}|{row.stage}"
+            f"|{canon_float(row.shock)!r}"
+            f"|lattice=[{canon_opt(row.lattice_lo)!r},{canon_opt(row.lattice_hi)!r}]"
+            f"|bracket=[{canon_opt(row.pi_lo)!r},{canon_opt(row.pi_hi)!r}]"
+            f"|pi_star={canon_opt(row.pi_star)!r}"
+            f"|iterations={row.iterations}|converged={row.converged}".encode()
+        )
+        for probe in row.probes:
+            digest.update(b"\n")
+            digest.update(probe.describe().encode())
+    return replace(report, digest=digest.hexdigest())
+
+
+class _CellProber:
+    """Runs single ablation cells through the configured backend."""
+
+    def __init__(self, backend: str = "serial", pool=None, seed: int = 0) -> None:
+        from repro.campaign.runner import CampaignRunner
+
+        if pool is not None:
+            backend = "process"
+        self._runner_cls = CampaignRunner
+        self.backend = backend
+        self.pool = pool
+        self.seed = seed
+
+    def probe(
+        self, family: str, pi: float, shock: float, stage: str, coalition: str
+    ) -> ProbeCell:
+        matrix = ablation_cell(
+            family, pi, shock, stage, coalition=coalition, seed=self.seed
+        )
+        report = self._runner_cls(
+            matrix, backend=self.backend, pool=self.pool
+        ).run()
+        if not report.ok:
+            raise RuntimeError(
+                f"bisection probe ({family}, {pi}, {shock}, {stage}) violated "
+                f"properties: {[v.message for v in report.violations]}"
+            )
+        frontier = reduce_frontier(report)
+        rows = frontier.coalition_rows if coalition else frontier.rows
+        (row,) = rows
+        (cell,) = row.cells
+        return ProbeCell(cell=cell, run_digest=report.run_digest)
+
+
+def _bracket(row) -> tuple[float | None, float | None]:
+    """The lattice bracket: (largest walking π, smallest deterring π)."""
+    walked = [cell.pi for cell in row.cells if cell.walked]
+    deterring = [cell.pi for cell in row.cells if not cell.walked]
+    lo = max(walked) if walked else None
+    hi = min(deterring) if deterring else None
+    return lo, hi
+
+
+def refine_row(
+    row: FrontierRow | CoalitionFrontierRow,
+    prober: _CellProber,
+    tol: float,
+    max_iterations: int = MAX_ITERATIONS,
+) -> RefinedRow:
+    """Bisect one frontier row's walk/deter boundary down to ``tol``."""
+    coalition = getattr(row, "coalition", "")
+    lattice_lo, lattice_hi = _bracket(row)
+    lo, hi = lattice_lo, lattice_hi
+    probes: list[ProbeCell] = []
+    iterations = 0
+
+    def run_probe(pi: float) -> bool:
+        nonlocal iterations
+        iterations += 1
+        probe = prober.probe(row.family, pi, row.shock, row.stage, coalition)
+        probes.append(probe)
+        return probe.cell.walked
+
+    if hi is not None and lo is None and hi > 0.0:
+        # The smallest swept premium already deters: open the bracket at
+        # the unhedged baseline with one probe.
+        if run_probe(0.0):
+            lo = 0.0
+        else:
+            hi = 0.0  # even π = 0 deters this shock at this stage
+    if lo is not None and hi is not None:
+        while hi - lo > tol and iterations < max_iterations:
+            mid = canon_float((lo + hi) / 2)
+            if mid <= lo or mid >= hi:  # float exhaustion: bracket is exact
+                break
+            if run_probe(mid):
+                lo = mid
+            else:
+                hi = mid
+
+    if hi is None:
+        pi_star = None  # undeterred at (and below) every measured premium
+        converged = False
+    elif hi == 0.0 or lo is None:
+        pi_star = 0.0
+        converged = True
+    else:
+        pi_star = canon_float((lo + hi) / 2)
+        converged = hi - lo <= tol
+    return RefinedRow(
+        family=row.family,
+        stage=row.stage,
+        shock=canon_float(row.shock),
+        coalition=coalition,
+        lattice_lo=canon_opt(lattice_lo),
+        lattice_hi=canon_opt(lattice_hi),
+        pi_lo=canon_opt(lo),
+        pi_hi=canon_opt(hi),
+        pi_star=pi_star,
+        iterations=iterations,
+        converged=converged,
+        probes=tuple(probes),
+    )
+
+
+def refine_frontier(
+    frontier: FrontierReport,
+    tol: float = DEFAULT_TOL,
+    backend: str = "serial",
+    pool=None,
+    seed: int = 0,
+    max_iterations: int = MAX_ITERATIONS,
+) -> RefinedFrontierReport:
+    """Refine every row of a lattice frontier by adaptive bisection.
+
+    ``frontier`` may come from any backend or from merged shards — its
+    digest (hashed into the refined digest) pins the lattice provenance.
+    ``pool`` dispatches the probe cells through a persistent
+    :class:`~repro.campaign.pool.WorkerPool`; the refined digest is
+    backend-invariant either way.
+    """
+    if tol <= 0:
+        raise ValueError(f"tol must be positive, got {tol}")
+    if not frontier.complete:
+        raise ValueError(
+            "refinement needs a full-coverage frontier: merge all shards "
+            f"first (got {frontier.scenarios}/{frontier.total_scenarios})"
+        )
+    prober = _CellProber(backend=backend, pool=pool, seed=seed)
+    rows = [
+        refine_row(row, prober, canon_float(tol), max_iterations)
+        for row in (*frontier.rows, *frontier.coalition_rows)
+    ]
+    return _with_digest(
+        RefinedFrontierReport(
+            base_digest=frontier.digest,
+            tol=canon_float(tol),
+            rows=tuple(rows),
+        )
+    )

@@ -1,0 +1,57 @@
+"""Canonical float handling for digests and cross-host transport.
+
+Premium fractions and shock sizes are float-valued axes: they are rendered
+into scenario schedule labels, hashed into matrix/run/frontier digests, and
+round-tripped through JSON between shard hosts.  Refined (bisected)
+premium values make this delicate — ``(lo + hi) / 2`` produces floats whose
+textual form must not depend on how a value was reached, which formatting
+call rendered it, or which platform printed it.  Everything float-facing
+goes through this module so there is exactly one canonicalization point:
+
+- :func:`canon_float` pins the *value*: coerce to an IEEE-754 double and
+  collapse ``-0.0`` to ``0.0`` (the sign bit would otherwise leak into
+  digests through ``repr`` while comparing equal everywhere else),
+- :func:`fmt_fraction` pins the *text*: Python's shortest round-tripping
+  ``repr`` (identical for a given double on every supported platform),
+  with the trailing ``.0`` of whole numbers stripped so axis labels read
+  ``"0"``/``"2"`` rather than ``"0.0"``/``"2.0"``.
+
+The old ablation-axis rendering used ``format(value, "g")``, which is
+*lossy* past six significant digits: two distinct bisected premiums could
+collide onto one axis label (and therefore one digest) while producing
+different runs.  ``repr`` is exact, so distinct doubles always get
+distinct labels.
+"""
+
+from __future__ import annotations
+
+
+def canon_float(value: float | int | str) -> float:
+    """Normalize a number for digest/transport use.
+
+    Coerces to ``float`` and collapses negative zero to positive zero;
+    every other value (including the result of any bisection arithmetic)
+    is already a canonical IEEE-754 double.
+    """
+    value = float(value)
+    if value == 0.0:  # catches -0.0 too: they compare equal
+        return 0.0
+    return value
+
+
+def canon_opt(value: float | int | str | None) -> float | None:
+    """:func:`canon_float` with ``None`` passthrough, for optional fields
+    (e.g. an undeterred row's ``pi_star``) feeding digests or JSON."""
+    return None if value is None else canon_float(value)
+
+
+def fmt_fraction(value: float | int | str) -> str:
+    """Canonical text for a fraction axis: exact, shortest, repr-stable.
+
+    ``0.025`` → ``"0.025"``, ``0.0`` → ``"0"``, ``-0.0`` → ``"0"``,
+    ``0.0328125`` → ``"0.0328125"``; distinct doubles never collide.
+    """
+    text = repr(canon_float(value))
+    if text.endswith(".0"):
+        text = text[:-2]
+    return text

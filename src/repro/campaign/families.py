@@ -86,10 +86,12 @@ def add_two_party(matrix: ScenarioMatrix, max_adversaries: int | None = None) ->
 
 def add_multi_party(matrix: ScenarioMatrix, max_adversaries: int | None = None) -> None:
     """Hedged multi-party swap (§7.1): halts over graph/premium mixes, from
-    the paper's Figure 3 up to 8-party rings and 6-party cliques (the
-    memoized Equation-1 evaluation in ``repro.core.premiums`` is what makes
-    the dense ``complete:6`` sizing affordable; its halt grid is coarsened
-    to every other round to keep the matrix growth proportionate)."""
+    the paper's Figure 3 up to 8-party rings and 8-party cliques (the
+    memoized Equation-1 evaluation in ``repro.core.premiums`` makes dense
+    sizing affordable, and the member-subset worst-case funding enumeration
+    unlocks ``complete:7``/``complete:8``; the densest cliques run on
+    progressively coarsened halt grids to keep matrix growth
+    proportionate)."""
     from repro.checker import properties as props
     from repro.checker.strategies import halt_strategies
     from repro.core.hedged_multi_party import HedgedMultiPartySwap
@@ -104,6 +106,8 @@ def add_multi_party(matrix: ScenarioMatrix, max_adversaries: int | None = None) 
         ("complete4/p1", lambda: complete_graph(4), 1, 1),
         ("complete5/p2", lambda: complete_graph(5), 2, 1),
         ("complete6/p1", lambda: complete_graph(6), 1, 2),
+        ("complete7/p1", lambda: complete_graph(7), 1, 5),
+        ("complete8/p1", lambda: complete_graph(8), 1, 7),
     )
     for name, graph_fn, premium, halt_step in schedules:
         instance = HedgedMultiPartySwap(graph=graph_fn(), premium=premium).build()

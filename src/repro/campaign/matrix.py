@@ -13,16 +13,24 @@ labels, property names), so a campaign report can state exactly *which*
 matrix produced it.
 
 Selection semantics (:meth:`ScenarioMatrix.selection`): ``limit=N``
-deterministically subsamples **exactly** ``min(N, total)`` scenarios by
-spreading picks evenly across the full index range.  Coverage is
-proportional to block size, so a limit smaller than ``total`` divided by
-the smallest family's size can skip that family entirely — a limited run
-is a smoke sample, not a coverage guarantee, and its report says so.
-``shard=(i, n)`` then takes the ``i``-th of ``n`` contiguous index-range
-slices of the (possibly limited) selection; the ``n`` shards partition the
-selection exactly, so per-scenario digests from all shards recombine —
-via :func:`repro.campaign.runner.merge_reports` — into the unsharded run
-digest, byte for byte.
+deterministically subsamples **exactly** ``min(N, total)`` scenarios,
+*stratified by block*: whenever ``N`` is at least the number of blocks,
+every block contributes at least one scenario, with the remaining picks
+apportioned over each block's remaining capacity — proportional to
+``size - 1``, by largest-remainder rounding — and spread evenly inside
+each block.  An even spread over the raw index range
+— the previous policy — could skip an entire small family whenever ``N``
+fell below ``total / family size``; stratification makes a limited run a
+guaranteed cross-family smoke sample.  Below the block count the picks
+spread evenly across *blocks* (one scenario from each of ``N`` evenly
+spaced blocks), which is still the best stratification ``N`` scenarios can
+buy.  ``shard=(i, n)`` then takes the ``i``-th of ``n`` contiguous
+index-range slices of the (possibly limited) selection; the ``n`` shards
+partition the selection exactly, so per-scenario digests from all shards
+recombine — via :func:`repro.campaign.runner.merge_reports` — into the
+unsharded run digest, byte for byte.  The stratified policy is recorded in
+the selection label (``limit=N:stratified``) and hence in the
+selection-honest run-digest preamble.
 """
 
 from __future__ import annotations
@@ -45,17 +53,22 @@ def enumerate_profiles(
     strategies: dict[str, list[LabelledStrategy]],
     max_adversaries: int = 1,
     include_compliant: bool = True,
+    min_adversaries: int = 1,
 ) -> Iterator[dict[str, LabelledStrategy]]:
     """All adversary profiles in deterministic order.
 
     The all-compliant profile (if included) comes first, then subsets by
-    ascending size, parties sorted, strategy assignments in product order —
-    the ordering contract ``ModelChecker.profiles`` has always had.
+    ascending size — from ``min_adversaries`` up to ``max_adversaries`` —
+    parties sorted, strategy assignments in product order — the ordering
+    contract ``ModelChecker.profiles`` has always had.  A block that
+    models only *joint* deviations (e.g. a two-party coalition arm) sets
+    ``min_adversaries == max_adversaries == 2`` so the spurious
+    single-member profiles never expand.
     """
     if include_compliant:
         yield {}
     parties = sorted(strategies)
-    for size in range(1, max_adversaries + 1):
+    for size in range(max(1, min_adversaries), max_adversaries + 1):
         for subset in combinations(parties, size):
             spaces = [strategies[p] for p in subset]
             for combo in product(*spaces):
@@ -109,6 +122,9 @@ class MatrixBlock:
     properties: tuple[Property, ...] = field(repr=False)
     strategies: tuple[tuple[str, tuple[LabelledStrategy, ...]], ...] = field(repr=False)
     max_adversaries: int = 1
+    #: smallest adversary subset expanded; 2 with ``max_adversaries=2``
+    #: models joint-only deviations (coalition arms).
+    min_adversaries: int = 1
     include_compliant: bool = True
     #: builder-level deviants (counted adversarial in every scenario).
     extra_adversaries: tuple[str, ...] = ()
@@ -125,7 +141,7 @@ class MatrixBlock:
         count = 1 if self.include_compliant else 0
         spaces = self.strategy_map()
         parties = sorted(spaces)
-        for size in range(1, self.max_adversaries + 1):
+        for size in range(max(1, self.min_adversaries), self.max_adversaries + 1):
             for subset in combinations(parties, size):
                 block = 1
                 for p in subset:
@@ -142,6 +158,7 @@ class MatrixBlock:
             # closures hash as their defining scope, not their captures.
             getattr(self.builder, "__qualname__", type(self.builder).__name__),
             str(self.max_adversaries),
+            str(self.min_adversaries),
             str(self.include_compliant),
             ",".join(self.extra_adversaries),
             ",".join(getattr(p, "__name__", repr(p)) for p in self.properties),
@@ -178,11 +195,17 @@ class ScenarioMatrix:
         properties: Iterable[Property],
         strategies: dict[str, Iterable[LabelledStrategy]],
         max_adversaries: int = 1,
+        min_adversaries: int = 1,
         include_compliant: bool = True,
         extra_adversaries: Iterable[str] = (),
         extra_axes: Iterable[tuple[str, str]] = (),
         metrics: MetricsFn | None = None,
     ) -> "ScenarioMatrix":
+        if not 1 <= min_adversaries <= max(1, max_adversaries):
+            raise ValueError(
+                f"min_adversaries must be in 1..max_adversaries, got "
+                f"{min_adversaries} (max {max_adversaries})"
+            )
         self.spec = None  # any rebuild recipe no longer describes this matrix
         self.blocks.append(
             MatrixBlock(
@@ -194,6 +217,7 @@ class ScenarioMatrix:
                     (party, tuple(space)) for party, space in sorted(strategies.items())
                 ),
                 max_adversaries=max_adversaries,
+                min_adversaries=min_adversaries,
                 include_compliant=include_compliant,
                 extra_adversaries=tuple(extra_adversaries),
                 extra_axes=tuple(extra_axes),
@@ -241,6 +265,35 @@ class ScenarioMatrix:
     # ------------------------------------------------------------------
     # expansion
     # ------------------------------------------------------------------
+    def _stratified_counts(self, sizes: list[int], count: int) -> list[int]:
+        """Apportion ``count`` picks over blocks: one guaranteed pick per
+        block, the rest spread over each block's *remaining capacity*
+        (``size - 1``, the scenarios above the guaranteed pick) by
+        largest-remainder rounding.
+
+        Requires ``len(sizes) <= count < sum(sizes)``.  Deterministic:
+        remainders tie-break on block index.
+        """
+        blocks = len(sizes)
+        pool = sum(sizes) - blocks  # distributable slack above the floors
+        counts = [1] * blocks
+        remaining = count - blocks
+        if remaining and pool:
+            shares = [remaining * (size - 1) for size in sizes]
+            extras = [share // pool for share in shares]
+            leftover = remaining - sum(extras)
+            order = sorted(range(blocks), key=lambda j: (-(shares[j] % pool), j))
+            while leftover:
+                for j in order:
+                    if not leftover:
+                        break
+                    if counts[j] + extras[j] < sizes[j]:
+                        extras[j] += 1
+                        leftover -= 1
+            counts = [base + extra for base, extra in zip(counts, extras)]
+        assert sum(counts) == count, "stratified apportionment lost picks"
+        return counts
+
     def selection(
         self,
         limit: int | None = None,
@@ -248,13 +301,17 @@ class ScenarioMatrix:
     ) -> list[int]:
         """The global scenario indices a ``(limit, shard)`` run executes.
 
-        ``limit=N`` picks exactly ``min(N, total)`` indices, evenly spread:
-        pick *i* is ``(i * total) // count``, which is strictly increasing
-        whenever ``count <= total`` (consecutive picks differ by at least
-        ``total // count >= 1``), so the selection never collapses below
-        the requested count.  ``shard=(i, n)`` (1-based) then takes the
-        *i*-th of *n* contiguous slices; the slices partition the selection
-        exactly, each within one scenario of ``count / n`` in length.
+        ``limit=N`` picks exactly ``min(N, total)`` indices, stratified by
+        block: with ``N`` at or above the block count every block yields at
+        least one scenario (remaining picks apportioned over the blocks'
+        remaining capacity, spread evenly inside each block); below the
+        block count one scenario is taken from each of ``N`` evenly spaced
+        blocks.  Either
+        way the picks are strictly increasing global indices and the count
+        is exact.  ``shard=(i, n)`` (1-based) then takes the *i*-th of *n*
+        contiguous slices; the slices partition the selection exactly, each
+        within one scenario of ``count / n`` in length (some shards are
+        empty when ``n`` exceeds the selection size).
         """
         if limit is not None and limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
@@ -263,9 +320,29 @@ class ScenarioMatrix:
         if count == total:
             indices = list(range(total))
         else:
-            indices = [(i * total) // count for i in range(count)]
-            # The stride argument above guarantees this; keep it honest.
+            sizes = [block.size() for block in self.blocks]
+            offsets = []
+            offset = 0
+            for size in sizes:
+                offsets.append(offset)
+                offset += size
+            indices = []
+            if count >= len(sizes):
+                per_block = self._stratified_counts(sizes, count)
+                for offset, size, picks in zip(offsets, sizes, per_block):
+                    # (i * size) // picks is strictly increasing for
+                    # picks <= size, so the block contributes exactly
+                    # ``picks`` distinct local indices.
+                    indices.extend(
+                        offset + (i * size) // picks for i in range(picks)
+                    )
+            else:
+                # Fewer picks than blocks: spread over the *blocks*, taking
+                # each chosen block's first scenario.
+                chosen = [(i * len(sizes)) // count for i in range(count)]
+                indices = [offsets[j] for j in chosen]
             assert len(set(indices)) == count, "subsampler collapsed picks"
+            assert indices == sorted(indices), "subsampler disordered picks"
         if shard is not None:
             i, n = validate_shard(shard)
             lo = ((i - 1) * len(indices)) // n
@@ -297,7 +374,10 @@ class ScenarioMatrix:
             base_axes = [("family", block.family), ("schedule", block.schedule)]
             base_axes += list(block.extra_axes)
             for profile in enumerate_profiles(
-                block.strategy_map(), block.max_adversaries, block.include_compliant
+                block.strategy_map(),
+                block.max_adversaries,
+                block.include_compliant,
+                block.min_adversaries,
             ):
                 if selected is not None and index not in selected:
                     index += 1

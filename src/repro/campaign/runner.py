@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from hashlib import sha256
 from typing import Iterable
 
+from repro.campaign.canon import canon_float
 from repro.campaign.matrix import ScenarioMatrix, validate_shard
 from repro.campaign.pool import (
     WorkerPool,
@@ -71,8 +72,16 @@ def _run_at(index: int) -> ScenarioResult:
 
 
 def selection_label(limit: int | None, shard: tuple[int, int] | None) -> str:
-    """Human-readable selection descriptor ("full", "limit=150 shard=1/3")."""
-    parts = [] if limit is None else [f"limit={limit}"]
+    """Human-readable selection descriptor, folded into the run digest.
+
+    ("full", "limit=150:stratified shard=1/3").  The ``:stratified``
+    marker records the block-stratified subsampling policy
+    (:meth:`repro.campaign.matrix.ScenarioMatrix.selection`): the policy
+    determines *which* scenarios a limit picks, so it belongs in the
+    selection-honest preamble — a report produced under a different policy
+    can never silently collide with a stratified one.
+    """
+    parts = [] if limit is None else [f"limit={limit}:stratified"]
     if shard is not None:
         parts.append(f"shard={shard[0]}/{shard[1]}")
     return " ".join(parts) or "full"
@@ -255,7 +264,7 @@ class CampaignReport:
                 elapsed_seconds=r["elapsed_seconds"],
                 digest=r["digest"],
                 metrics=tuple(
-                    (name, float(value)) for name, value in r.get("metrics", [])
+                    (name, canon_float(value)) for name, value in r.get("metrics", [])
                 ),
                 trace=r.get("trace", ""),
             )

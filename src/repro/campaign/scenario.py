@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from hashlib import sha256
 from typing import Callable, Protocol
 
+from repro.campaign.canon import canon_float
 from repro.protocols.instance import ProtocolInstance, execute
 
 Builder = Callable[[], ProtocolInstance]
@@ -124,8 +125,11 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     )
     metrics: tuple[tuple[str, float], ...] = ()
     if scenario.metrics_fn is not None:
+        # canon_float so a metric of -0.0 (e.g. a negated zero utility)
+        # hashes and transports identically to 0.0 on every path.
         metrics = tuple(
-            (name, float(value)) for name, value in scenario.metrics_fn(instance, result)
+            (name, canon_float(value))
+            for name, value in scenario.metrics_fn(instance, result)
         )
     trace = ""
     if violations:

@@ -18,8 +18,9 @@ scenario matrix over every protocol family:
 - ``--backend process`` parallelises it (tiny selections fall back to
   serial; the report records the backend that actually ran),
 - ``--limit N`` smoke-runs a deterministic subsample of exactly
-  ``min(N, total)`` scenarios, evenly spread — note a limit below
-  ``total / smallest-family-size`` can skip the smallest families,
+  ``min(N, total)`` scenarios, stratified by matrix block — every family
+  contributes at least one scenario whenever ``N`` reaches the block
+  count, with the rest apportioned by block size,
 - ``--shard I/N`` runs the I-th of N contiguous slices of the selection;
   every report states its selection and coverage, and folds them into the
   run digest, so a partial run can never pass for full coverage,
@@ -49,7 +50,11 @@ byte-identical across serial, process, pooled, and sharded-then-merged
 runs of the same grid:
 
 - ``--premiums`` / ``--shocks`` take comma-separated fractions,
-  ``--stages`` a subset of ``pre-stake,staked``,
+  ``--stages`` a comma-separated mix of the named stages
+  (``pre-stake,staked``), explicit ``round:K`` heights, or ``all`` — the
+  dense per-round sweep charting how the deterrent decays round by round,
+- ``--coalitions`` adds the named two-party coalition pivots (adjacent
+  ring members, seller+buyer vs the broker) with joint-utility arms,
 - ``--pooled`` runs through a persistent worker pool (the matrix is a
   registered pool factory, so workers rebuild and digest-verify it),
 - ``--shard I/N --out shard.json`` writes a mergeable campaign report;
@@ -61,8 +66,22 @@ runs of the same grid:
     python -m repro.cli ablate
     python -m repro.cli ablate --families two-party --premiums 0,0.02 \
         --shocks 0.015,0.045 --pooled --expect 9c31…
+    python -m repro.cli ablate --stages all --coalitions
     python -m repro.cli ablate --shard 1/2 --out s1.json
     python -m repro.cli ablate-merge s1.json s2.json --frontier-out frontier.json
+
+``ablate-refine`` closes the staircase: it runs (or loads, via ``--from``)
+a lattice frontier, then bisects each row's walk/deter boundary with
+adaptive two-scenario cell probes until the bracket is within ``--tol``
+(default 1/64), reporting a *continuous* π* that brackets the §5.2
+closed-form thresholds.  The refined digest hashes the lattice digest,
+the tolerance, and every probe outcome + probe run digest, so it is
+byte-identical across serial, pooled, and refined-from-merged runs::
+
+    python -m repro.cli ablate-refine --premiums 0,0.02,0.05 --shocks 0.045
+    python -m repro.cli ablate-refine --stages all --coalitions --pooled
+    python -m repro.cli ablate-refine --from frontier.json --tol 0.0078125 \
+        --refined-out refined.json --expect 5c11…
 """
 
 from __future__ import annotations
@@ -79,8 +98,13 @@ from repro.campaign import (
     default_matrix,
     merge_reports,
     reduce_frontier,
+    refine_frontier,
 )
-from repro.campaign.ablation import ABLATION_FAMILIES, FrontierReport
+from repro.campaign.ablation import (
+    ABLATION_FAMILIES,
+    DEFAULT_TOL,
+    FrontierReport,
+)
 from repro.checker import ModelChecker, full_strategy_space, halt_strategies, properties as props
 from repro.core.bootstrap import BootstrapSpec, BootstrappedSwap, extract_bootstrap_outcome
 from repro.core.hedged_auction import (
@@ -372,7 +396,7 @@ def _finish_frontier(frontier: FrontierReport, args) -> None:
         )
 
 
-def cmd_ablate(args) -> None:
+def _build_ablation_matrix(args):
     families = None
     if args.families and args.families != "all":
         families = tuple(f.strip() for f in args.families.split(",") if f.strip())
@@ -384,6 +408,7 @@ def cmd_ablate(args) -> None:
             stages=tuple(s.strip() for s in args.stages.split(",") if s.strip())
             if args.stages
             else None,
+            coalitions=args.coalitions,
             seed=args.seed,
         )
     except ValueError as err:
@@ -395,6 +420,11 @@ def cmd_ablate(args) -> None:
     )
     for family, size in matrix.block_sizes().items():
         print(f"  {family:<14} {size:>6}")
+    return matrix
+
+
+def cmd_ablate(args) -> None:
+    matrix = _build_ablation_matrix(args)
     if args.list:
         return
     pool = WorkerPool(workers=args.workers) if args.pooled else None
@@ -434,6 +464,81 @@ def cmd_ablate(args) -> None:
         )
     if not report.ok:
         raise SystemExit(1)
+
+
+def cmd_ablate_refine(args) -> None:
+    pool = WorkerPool(workers=args.workers) if args.pooled else None
+    try:
+        if args.from_report:
+            # The loaded frontier fixes the grid; grid flags would silently
+            # not apply, so reject them rather than mislead.
+            overridden = [
+                flag
+                for flag, given in (
+                    ("--families", args.families != "all"),
+                    ("--premiums", args.premiums is not None),
+                    ("--shocks", args.shocks is not None),
+                    ("--stages", args.stages is not None),
+                    ("--coalitions", args.coalitions),
+                    ("--seed", args.seed != 0),
+                )
+                if given
+            ]
+            if overridden:
+                raise SystemExit(
+                    f"error: {', '.join(overridden)} cannot be combined with "
+                    "--from — the loaded frontier already fixes the grid"
+                )
+            try:
+                with open(args.from_report, "r", encoding="utf-8") as handle:
+                    frontier = FrontierReport.from_json(handle.read())
+            except (OSError, ValueError, KeyError, TypeError) as err:
+                raise SystemExit(f"error reading {args.from_report}: {err}")
+            print(f"lattice frontier loaded from {args.from_report}")
+        else:
+            matrix = _build_ablation_matrix(args)
+            try:
+                runner = CampaignRunner(
+                    matrix,
+                    backend="process" if args.pooled else args.backend,
+                    workers=None if args.pooled else args.workers,
+                    pool=pool,
+                )
+                report = runner.run()
+            except ValueError as err:
+                raise SystemExit(f"error: {err}")
+            print()
+            print(report.summary())
+            if not report.ok:
+                _print_violations(report)
+                raise SystemExit(1)
+            frontier = reduce_frontier(report)
+        print(frontier.summary())
+        try:
+            refined = refine_frontier(
+                frontier,
+                tol=args.tol,
+                backend="process" if args.pooled else "serial",
+                pool=pool,
+            )
+        except (ValueError, RuntimeError) as err:
+            # RuntimeError: a bisection probe violated a protocol property
+            raise SystemExit(f"error: {err}")
+    finally:
+        if pool is not None:
+            pool.close()
+    print()
+    print(refined.summary())
+    print(refined.table())
+    print(f"refined digest: {refined.digest}")
+    if args.refined_out:
+        with open(args.refined_out, "w", encoding="utf-8") as handle:
+            handle.write(refined.to_json())
+        print(f"refined frontier written to {args.refined_out}")
+    if args.expect and refined.digest != args.expect:
+        raise SystemExit(
+            f"digest mismatch: refined {refined.digest} != expected {args.expect}"
+        )
 
 
 def cmd_ablate_merge(args) -> None:
@@ -528,8 +633,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=["serial", "process"], default="serial")
     p.add_argument("--workers", type=int, default=None, help="process-pool size")
     p.add_argument("--limit", type=int, default=None,
-                   help="run exactly min(N, total) scenarios, spread evenly "
-                        "across the matrix (small families may be skipped)")
+                   help="run exactly min(N, total) scenarios, stratified by "
+                        "block (every family covered when N >= block count)")
     p.add_argument("--shard", default=None, metavar="I/N",
                    help="run the I-th of N contiguous slices of the selection")
     p.add_argument("--out", default=None, metavar="PATH",
@@ -541,25 +646,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the matrix breakdown and exit")
     p.set_defaults(func=cmd_campaign)
 
+    def ablation_grid_flags(p):
+        p.add_argument(
+            "--families",
+            default="all",
+            help="comma-separated subset of " + ",".join(ABLATION_FAMILIES),
+        )
+        p.add_argument("--premiums", default=None, metavar="F1,F2,...",
+                       help="premium fractions pi to sweep (default grid)")
+        p.add_argument("--shocks", default=None, metavar="F1,F2,...",
+                       help="relative price drops s to sweep (default grid)")
+        p.add_argument("--stages", default=None, metavar="S1,S2",
+                       help="shock stages: named (pre-stake,staked), round:K, "
+                            "or 'all' for the dense per-round sweep")
+        p.add_argument("--coalitions", action="store_true",
+                       help="add the named two-party coalition pivots "
+                            "(joint-utility arms)")
+        p.add_argument("--backend", choices=["serial", "process"],
+                       default="serial")
+        p.add_argument("--pooled", action="store_true",
+                       help="run through a persistent WorkerPool "
+                            "(implies process)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="process-pool size")
+        p.add_argument("--seed", type=int, default=0,
+                       help="matrix identity seed")
+
     p = sub.add_parser(
         "ablate",
         help="map the rational-adversary deviation-profitability frontier",
     )
-    p.add_argument(
-        "--families",
-        default="all",
-        help="comma-separated subset of " + ",".join(ABLATION_FAMILIES),
-    )
-    p.add_argument("--premiums", default=None, metavar="F1,F2,...",
-                   help="premium fractions pi to sweep (default grid)")
-    p.add_argument("--shocks", default=None, metavar="F1,F2,...",
-                   help="relative price drops s to sweep (default grid)")
-    p.add_argument("--stages", default=None, metavar="S1,S2",
-                   help="shock stages (subset of pre-stake,staked)")
-    p.add_argument("--backend", choices=["serial", "process"], default="serial")
-    p.add_argument("--pooled", action="store_true",
-                   help="run through a persistent WorkerPool (implies process)")
-    p.add_argument("--workers", type=int, default=None, help="process-pool size")
+    ablation_grid_flags(p)
     p.add_argument("--shard", default=None, metavar="I/N",
                    help="run the I-th of N contiguous slices of the grid")
     p.add_argument("--out", default=None, metavar="PATH",
@@ -568,10 +685,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the reduced frontier as JSON")
     p.add_argument("--expect", default=None, metavar="DIGEST",
                    help="exit non-zero unless the frontier digest matches")
-    p.add_argument("--seed", type=int, default=0, help="matrix identity seed")
     p.add_argument("--list", action="store_true",
                    help="print the grid breakdown and exit")
     p.set_defaults(func=cmd_ablate)
+
+    p = sub.add_parser(
+        "ablate-refine",
+        help="bisect the frontier between lattice points to a continuous pi*",
+    )
+    ablation_grid_flags(p)
+    p.add_argument("--tol", type=float, default=DEFAULT_TOL,
+                   help="bisection tolerance on the premium fraction "
+                        f"(default {DEFAULT_TOL} = 1/64)")
+    p.add_argument("--from", dest="from_report", default=None,
+                   metavar="FRONTIER.json",
+                   help="refine an existing frontier (written by ablate "
+                        "--frontier-out or ablate-merge) instead of running "
+                        "the lattice grid")
+    p.add_argument("--refined-out", default=None, metavar="PATH",
+                   help="write the refined frontier as JSON")
+    p.add_argument("--expect", default=None, metavar="DIGEST",
+                   help="exit non-zero unless the refined digest matches")
+    p.set_defaults(func=cmd_ablate_refine)
 
     p = sub.add_parser(
         "ablate-merge",

@@ -29,7 +29,10 @@ from dataclasses import dataclass, field
 
 from repro.chain.block import Transaction
 from repro.contracts.swap_arc import HedgedSwapArc
-from repro.core.premiums import escrow_premium_amounts, redemption_premium_amount
+from repro.core.premiums import (
+    escrow_premium_amounts,
+    worst_case_redemption_amount,
+)
 from repro.crypto.hashing import Secret
 from repro.crypto.hashkeys import SignedPath
 from repro.errors import ProtocolError
@@ -270,11 +273,13 @@ class HedgedMultiPartySwap:
         for arc in graph.arcs:
             u, v = arc
             chain_name = graph.specs[arc].chain
+            # Worst case over the paths v could authenticate to any leader,
+            # maximized over member *subsets* rather than enumerated paths
+            # (a factorial → n·2^n reduction that unlocks complete:7/8).
             worst = max(
                 (
-                    redemption_premium_amount(graph, q, u, p)
+                    worst_case_redemption_amount(graph, v, u, leader, p)
                     for leader in self.leaders
-                    for q in graph.simple_paths(v, leader)
                 ),
                 default=0,
             )

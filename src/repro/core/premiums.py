@@ -85,6 +85,13 @@ def redemption_premium_amount(
         raise GraphError("empty premium path")
     if not graph.is_path(path):
         raise GraphError(f"{path} is not a simple forward path")
+    return _memoized_amount(graph, frozenset(path), beneficiary, p)
+
+
+def _memoized_amount(
+    graph: SwapGraph, members: frozenset[str], beneficiary: str, p: int
+) -> int:
+    """Equation 1 on a path *member set*, through the graph's shared memo."""
     memo = _amount_memo(graph)
 
     def amount(members: frozenset[str], u: str) -> int:
@@ -98,7 +105,69 @@ def redemption_premium_amount(
             memo[key] = cached
         return cached
 
-    return amount(frozenset(path), beneficiary)
+    return amount(members, beneficiary)
+
+
+def path_member_sets(
+    graph: SwapGraph, source: str, target: str
+) -> tuple[frozenset[str], ...]:
+    """The vertex sets of all simple forward paths ``source`` → ``target``.
+
+    Enumerated by a ``(member set, tip)`` state search — at most ``n·2^n``
+    states — rather than by walking the paths themselves, of which a dense
+    graph has factorially many (``complete:8`` holds 1957 simple paths per
+    ordered pair, but only their distinct member sets matter to Equation
+    1).  Results are cached on the graph instance per ``(source, target)``,
+    deterministically ordered.
+    """
+    cache = graph.__dict__.setdefault("_path_member_sets_memo", {})
+    key = (source, target)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    results: set[frozenset[str]] = set()
+    start = (frozenset((source,)), source)
+    seen = {start}
+    stack = [start]
+    while stack:
+        members, tip = stack.pop()
+        if tip == target:
+            results.add(members)
+            continue
+        for w in graph.out_neighbors(tip):
+            if w in members:
+                continue
+            state = (members | {w}, w)
+            if state not in seen:
+                seen.add(state)
+                stack.append(state)
+    ordered = tuple(
+        sorted(results, key=lambda s: (len(s), tuple(sorted(s))))
+    )
+    cache[key] = ordered
+    return ordered
+
+
+def worst_case_redemption_amount(
+    graph: SwapGraph, redeemer: str, beneficiary: str, leader: str, p: int
+) -> int:
+    """The largest Equation-1 deposit ``redeemer`` may owe ``beneficiary``.
+
+    Maximizes :func:`redemption_premium_amount` over every simple path the
+    redeemer could authenticate from itself to the leader — but since the
+    amount depends on the path only through its member set, the maximum is
+    taken over :func:`path_member_sets` instead of the (factorially more
+    numerous) paths.  This is the quantity worst-case native funding needs
+    per arc, and what made ``complete:7``/``complete:8`` builders feasible.
+    Returns 0 when no path exists.
+    """
+    return max(
+        (
+            _memoized_amount(graph, members, beneficiary, p)
+            for members in path_member_sets(graph, redeemer, leader)
+        ),
+        default=0,
+    )
 
 
 def leader_redemption_total(graph: SwapGraph, leader: str, p: int) -> int:

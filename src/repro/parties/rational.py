@@ -34,7 +34,10 @@ instance of the framework: he compares the value of completing the swap
 against the premium he forfeits by walking, under an exogenous price path
 for Alice's asset.  :func:`swap_party_model` generalizes the same calculus
 to any party of any hedged swap/deal protocol (two-party, multi-party,
-broker), and :func:`auction_model` to the §9 auctioneer.
+broker), :func:`auction_model` to the §9 auctioneer, and
+:func:`coalition_model` to *joint* pivots — a colluding pair whose
+internal transfers and member-to-member premium forfeits net to zero, so
+only externally-forfeited premiums deter the collusive walk.
 
 With a zero premium (the base protocols) any price drop makes walking
 optimal; a hedged premium stake of S makes walking irrational for all
@@ -149,7 +152,12 @@ def rational_party(inner: Actor, model: UtilityModel) -> Opportunist:
 # ----------------------------------------------------------------------
 # generic contract-state inspectors
 # ----------------------------------------------------------------------
-def held_premium_stake(party: str, view, contracts: ContractRefs) -> float:
+def held_premium_stake(
+    party: str,
+    view,
+    contracts: ContractRefs,
+    exclude_beneficiaries: frozenset[str] = frozenset(),
+) -> float:
     """Premiums ``party`` currently has at risk across the given contracts.
 
     A held deposit refunds when its depositor completes its role and is
@@ -157,32 +165,62 @@ def held_premium_stake(party: str, view, contracts: ContractRefs) -> float:
     exactly the walk-forfeit the paper's premiums are sized to create.
     Contract kinds are matched structurally, so one inspector covers every
     hedged protocol in the library.
+
+    ``exclude_beneficiaries`` drops deposits whose forfeit would flow to
+    one of the named parties.  A coalition pricing a *joint* walk passes
+    its own member set: a premium forfeited member-to-member stays inside
+    the coalition, so it deters nothing — which is exactly why collusive
+    walks need larger premiums than single-pivot ones.
     """
     total = 0.0
     for chain_name, address in contracts:
         contract = view.chain(chain_name).contract(address)
         kind = getattr(contract, "kind", "")
         if kind == "hedged-escrow":
-            if contract.redeemer == party and contract.premium_state == "held":
+            # The redeemer's premium compensates the principal's owner.
+            if (
+                contract.redeemer == party
+                and contract.premium_state == "held"
+                and contract.principal_owner not in exclude_beneficiaries
+            ):
                 total += contract.premium_amount
         elif kind == "hedged-swap-arc":
-            if contract.u == party and contract.escrow_premium_state == "held":
+            # u's escrow premium compensates v; v's redemption deposits
+            # compensate u for its locked asset.
+            if (
+                contract.u == party
+                and contract.escrow_premium_state == "held"
+                and contract.v not in exclude_beneficiaries
+            ):
                 total += contract.escrow_premium_amount
-            if contract.v == party:
+            if contract.v == party and contract.u not in exclude_beneficiaries:
                 total += sum(
                     deposit.amount
                     for deposit in contract.redemption_deposits.values()
                     if deposit.state == "held"
                 )
         elif kind == "hedged-broker":
-            if contract.owner == party and contract.escrow_premium_state == "held":
+            # An escrower's E deposit reimburses the broker's passthrough;
+            # the broker's T deposit compensates the asset's owner; an
+            # rdeposit on arc (x, y) compensates x for its locked asset.
+            if (
+                contract.owner == party
+                and contract.escrow_premium_state == "held"
+                and contract.broker not in exclude_beneficiaries
+            ):
                 total += contract.escrow_premium_amount
-            if contract.broker == party and contract.trading_premium_state == "held":
+            if (
+                contract.broker == party
+                and contract.trading_premium_state == "held"
+                and contract.owner not in exclude_beneficiaries
+            ):
                 total += contract.trading_premium_amount
             total += sum(
                 deposit.amount
                 for (arc, _), deposit in contract.rdeposits.items()
-                if arc[1] == party and deposit.state == "held"
+                if arc[1] == party
+                and deposit.state == "held"
+                and arc[0] not in exclude_beneficiaries
             )
         elif kind == "auction-coin":
             # The auctioneer's endowment pays each actual bidder p if she
@@ -193,12 +231,20 @@ def held_premium_stake(party: str, view, contracts: ContractRefs) -> float:
                 and contract.endowment
                 and not contract.settled
             ):
-                total += contract.premium * len(contract.bids)
+                total += contract.premium * sum(
+                    1
+                    for bidder in contract.bids
+                    if bidder not in exclude_beneficiaries
+                )
     return total
 
 
 def pending_completion_gain(
-    party: str, view, contracts: ContractRefs, price_of: AssetPriceFn
+    party: str,
+    view,
+    contracts: ContractRefs,
+    price_of: AssetPriceFn,
+    coalition: frozenset[str] = frozenset(),
 ) -> float:
     """The marginal value of completing, from here: pending in minus out.
 
@@ -210,6 +256,16 @@ def pending_completion_gain(
     point: redemption there needs every party's hashkey, so an escrowed
     deal asset stays recoverable (and hence a completion cost) until the
     owner's own key is out.
+
+    ``coalition`` adjusts the sunk-escrow rule for joint valuations: an
+    asset a coalition member escrowed toward *another member* is not sunk
+    for the coalition (a joint walk refunds it inside the member set, a
+    completion merely moves it inside the member set), so the receiving
+    member's pending-in term is dropped — summing members' gains then
+    nets every internal transfer to zero.  Arcs whose escrow is still
+    absent already cancel in the sum (+value for the redeemer, −value for
+    the owner), and broker flows cancel through the owner's recoverable
+    cost term, so this is the only internal case needing a rule.
     """
     total = 0.0
     for chain_name, address in contracts:
@@ -223,7 +279,11 @@ def pending_completion_gain(
                 "absent",
                 "escrowed",
             ):
-                total += value
+                if not (
+                    contract.principal_state == "escrowed"
+                    and contract.principal_owner in coalition
+                ):
+                    total += value
             if (
                 contract.principal_owner == party
                 and contract.principal_state == "absent"
@@ -235,7 +295,11 @@ def pending_completion_gain(
                 "absent",
                 "escrowed",
             ):
-                total += value
+                if not (
+                    contract.principal_state == "escrowed"
+                    and contract.u in coalition
+                ):
+                    total += value
             if contract.u == party and contract.principal_state == "absent":
                 total -= value
         elif kind == "hedged-broker":
@@ -283,6 +347,43 @@ def two_party_model(
 ) -> UtilityModel:
     """Rational Bob for a two-party swap spec (a :func:`swap_party_model`)."""
     return swap_party_model(spec.bob, prices, contracts)
+
+
+def coalition_model(
+    parties: Iterable[str], prices: AssetPriceFn, contracts: ContractRefs
+) -> UtilityModel:
+    """One joint rational calculus for a colluding pivot set.
+
+    The coalition walks (every member halts in the same round) exactly
+    when the *joint* completion gain falls below the joint walk cost —
+    both summed over members with internal flows netted out:
+
+    - transfers between members contribute nothing to the joint gain
+      (see :func:`pending_completion_gain`'s ``coalition`` rule), and
+    - premiums that would forfeit member-to-member deter nothing (see
+      :func:`held_premium_stake`'s ``exclude_beneficiaries``).
+
+    Only externally-forfeited premiums remain as the deterrent, so a
+    coalition's deterrence threshold π* is at least the single-pivot one —
+    the collusive frontier the ablation refine engine prices.  Wrap each
+    member with :func:`rational_party` around the *same* model instance so
+    the decisions stay synchronized.
+    """
+    members = frozenset(parties)
+
+    def gain(view) -> float:
+        return sum(
+            pending_completion_gain(p, view, contracts, prices, coalition=members)
+            for p in sorted(members)
+        )
+
+    def walk_cost(view) -> float:
+        return sum(
+            held_premium_stake(p, view, contracts, exclude_beneficiaries=members)
+            for p in sorted(members)
+        )
+
+    return UtilityModel("+".join(sorted(members)), gain, walk_cost)
 
 
 def auction_model(spec, prices: AssetPriceFn, contracts: ContractRefs) -> UtilityModel:
