@@ -178,8 +178,12 @@ def generate_refined_frontier_table():
         ablation_matrix,
         reduce_frontier,
         refine_frontier,
+        refine_spec,
     )
-    from repro.campaign.ablation import closed_form_pi_star
+    from repro.campaign.ablation import (
+        closed_form_coalition_pi_star,
+        closed_form_pi_star,
+    )
     from repro.campaign.canon import fmt_fraction
 
     matrix = ablation_matrix(
@@ -191,12 +195,20 @@ def generate_refined_frontier_table():
     report = CampaignRunner(matrix).run()
     assert report.ok, [v.message for v in report.violations]
     refined = refine_frontier(reduce_frontier(report))
+    spec = refine_spec(
+        premium_fractions=FRONTIER_PREMIUMS,
+        shock_fractions=(REFINED_SHOCK,),
+        stages=("staked",),
+        coalitions=True,
+    )
     rows = []
     for row in refined.rows:
         closed = (
             closed_form_pi_star(row.family, row.shock)
             if not row.coalition
-            else None
+            else closed_form_coalition_pi_star(
+                row.family, row.coalition, row.shock
+            )
         )
         rows.append(
             (
@@ -209,10 +221,19 @@ def generate_refined_frontier_table():
                 len(row.probes),
             )
         )
+    records = {
+        "spec_digest": spec.digest(),
+        "run_digest": report.run_digest,
+        "refined_digest": refined.digest,
+        "scenarios": report.scenarios,
+        "scenarios_per_second": report.scenarios_per_second,
+        "probes": refined.probes,
+        "rows": len(refined.rows),
+    }
     return (
         "family", "pivot", "price drop s", "lattice pi*", "refined pi*",
         "closed form", "probes",
-    ), rows
+    ), rows, records
 
 
 # ----------------------------------------------------------------------
@@ -274,7 +295,7 @@ def test_refined_frontier_brackets_the_closed_forms(benchmark):
     the single pivot (member-to-member forfeits deter nothing)."""
     from repro.campaign.ablation import DEFAULT_TOL
 
-    header, rows = benchmark.pedantic(
+    header, rows, _ = benchmark.pedantic(
         generate_refined_frontier_table, rounds=1, iterations=1
     )
     singles = {}
@@ -304,7 +325,13 @@ if __name__ == "__main__":
         *generate_frontier_table(),
     ))
     print()
+    ab5_header, ab5_rows, ab5_records = generate_refined_frontier_table()
     print(format_table(
         "EXP-AB5: refined (bisected) frontier vs closed forms + coalitions",
-        *generate_refined_frontier_table(),
+        ab5_header, ab5_rows,
     ))
+    try:
+        from benchmarks.tables import write_bench_json
+    except ImportError:  # running the file directly from within benchmarks/
+        from tables import write_bench_json
+    write_bench_json("ablation", {"experiment": "EXP-AB5", **ab5_records})

@@ -1,4 +1,4 @@
-"""EXP-C1 — campaign engine throughput: backends, pool reuse, sharding.
+"""EXP-C1 — campaign engine throughput: backends, pool reuse, caching.
 
 The campaign engine executes the full six-family adversarial matrix
 (two-party premium-grid/stretched-timeout schedules incl. adversary
@@ -13,18 +13,32 @@ fresh pool per run versus dispatching through one persistent
 :class:`WorkerPool` — and must show reuse winning: the fork/teardown tax
 is paid once instead of per run.
 
-Run directly to print the tables:  python benchmarks/bench_campaign.py
+The cache table (EXP-C3) runs the same spec cold and then warm through
+the incremental result cache: the warm run must report a 100% hit-rate,
+reproduce the cold digest byte-identically, and beat it on wall clock.
+
+Run directly to print the tables; a machine-readable
+``BENCH_campaign.json`` (scenarios/sec, cache hit-rate, spec digest) is
+written alongside:  python benchmarks/bench_campaign.py
 """
 
 import os
+import tempfile
 import time
 
-from repro.campaign import CampaignRunner, WorkerPool, default_matrix
+from repro.campaign import (
+    CampaignRunner,
+    Experiment,
+    ResultCache,
+    WorkerPool,
+    campaign_spec,
+    default_matrix,
+)
 
 try:
-    from benchmarks.tables import format_table
+    from benchmarks.tables import format_table, write_bench_json
 except ImportError:  # running the file directly from within benchmarks/
-    from tables import format_table
+    from tables import format_table, write_bench_json
 
 # Back-to-back pool-reuse comparison: a few medium-sized campaigns where
 # per-run fork cost is a visible fraction of the work.
@@ -39,6 +53,7 @@ def _run(backend: str, workers: int | None = None):
 
 def generate_campaign_table():
     rows = []
+    records = []
     digests = []
     for backend, workers in (("serial", None), ("process", None), ("process", 2)):
         report = _run(backend, workers)
@@ -55,12 +70,21 @@ def generate_campaign_table():
                 report.run_digest[:12],
             )
         )
+        records.append(
+            {
+                "backend": label,
+                "scenarios": report.scenarios,
+                "elapsed_seconds": report.elapsed_seconds,
+                "scenarios_per_second": report.scenarios_per_second,
+                "run_digest": report.run_digest,
+            }
+        )
     assert len(set(digests)) == 1, f"backend digests diverged: {digests}"
     header = (
         "backend", "scenarios", "transactions", "time", "throughput",
         "violations", "digest",
     )
-    return header, rows
+    return header, rows, records
 
 
 def generate_pool_reuse_table():
@@ -108,9 +132,43 @@ def generate_pool_reuse_table():
     return header, rows, fresh_elapsed, pooled_elapsed
 
 
+def generate_cache_table():
+    """EXP-C3: one spec, cold vs warm through the incremental cache."""
+    spec = campaign_spec(families=REUSE_FAMILIES)
+    root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    cold = Experiment(spec, cache=ResultCache(root)).run().campaign
+    warm = Experiment(spec, cache=ResultCache(root)).run().campaign
+    assert warm.run_digest == cold.run_digest, "warm cache changed the digest"
+    rows = []
+    records = {"spec_digest": spec.digest()}
+    for label, report in (("cold", cold), ("warm", warm)):
+        rows.append(
+            (
+                label,
+                report.scenarios,
+                f"{report.cache_hit_rate:.0%}",
+                f"{report.elapsed_seconds:.3f}s",
+                f"{report.scenarios_per_second:.0f}/s",
+                report.run_digest[:12],
+            )
+        )
+        records[label] = {
+            "scenarios": report.scenarios,
+            "cache_hits": report.cache_hits,
+            "cache_hit_rate": report.cache_hit_rate,
+            "elapsed_seconds": report.elapsed_seconds,
+            "scenarios_per_second": report.scenarios_per_second,
+            "run_digest": report.run_digest,
+        }
+    header = ("run", "scenarios", "hit-rate", "time", "throughput", "digest")
+    return header, rows, records
+
+
 # ----------------------------------------------------------------------
 def test_campaign_backends_agree(benchmark):
-    header, rows = benchmark.pedantic(generate_campaign_table, rounds=1, iterations=1)
+    header, rows, _ = benchmark.pedantic(
+        generate_campaign_table, rounds=1, iterations=1
+    )
     assert all(r[5] == 0 for r in rows)
     assert all(r[1] >= 3000 for r in rows)  # the acceptance-scale matrix
     assert len({r[6] for r in rows}) == 1  # identical run digests
@@ -128,12 +186,40 @@ def test_pool_reuse_beats_fresh_pools(benchmark):
     )
 
 
+def test_warm_cache_hits_everything_and_keeps_the_digest(benchmark):
+    _, _, records = benchmark.pedantic(
+        generate_cache_table, rounds=1, iterations=1
+    )
+    assert records["warm"]["cache_hit_rate"] == 1.0
+    assert records["warm"]["run_digest"] == records["cold"]["run_digest"]
+    assert records["cold"]["cache_hit_rate"] == 0.0
+    # a warm run replays stored results: it must beat re-simulation
+    assert records["warm"]["elapsed_seconds"] < records["cold"]["elapsed_seconds"]
+
+
 if __name__ == "__main__":
     print(f"cpus: {os.cpu_count()}")
-    print(format_table("EXP-C1: campaign engine throughput", *generate_campaign_table()))
+    c1_header, c1_rows, c1_records = generate_campaign_table()
+    print(format_table("EXP-C1: campaign engine throughput", c1_header, c1_rows))
     header, rows, fresh_elapsed, pooled_elapsed = generate_pool_reuse_table()
     print(format_table("EXP-C2: worker-pool reuse (back-to-back runs)", header, rows))
     print(
         f"pool reuse saved {fresh_elapsed - pooled_elapsed:.2f}s over "
         f"{REUSE_RUNS} runs ({fresh_elapsed / pooled_elapsed:.2f}x)"
+    )
+    c3_header, c3_rows, c3_records = generate_cache_table()
+    print(format_table("EXP-C3: incremental result cache (cold vs warm)", c3_header, c3_rows))
+    write_bench_json(
+        "campaign",
+        {
+            "experiment": "EXP-C1/C2/C3",
+            "spec_digest": campaign_spec().digest(),
+            "backends": c1_records,
+            "pool_reuse": {
+                "runs": REUSE_RUNS,
+                "fresh_elapsed_seconds": fresh_elapsed,
+                "pooled_elapsed_seconds": pooled_elapsed,
+            },
+            "cache": c3_records,
+        },
     )

@@ -4,11 +4,29 @@ Every experiment module exposes ``generate_*`` functions returning
 ``(header, rows)`` pairs; running a module directly prints the regenerated
 paper artifact, and the pytest-benchmark tests both time the generators and
 assert the paper's qualitative claims on the produced rows.
+
+:func:`write_bench_json` is the machine-readable sibling of the printed
+tables: running a benchmark module directly also drops a ``BENCH_*.json``
+next to the invocation (scenarios/sec, cache hit-rates, spec and run
+digests), so the performance trajectory is trackable across PRs without
+scraping stdout.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 from typing import Iterable, Sequence
+
+
+def write_bench_json(name: str, payload: dict, directory: str | None = None) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` (sorted keys, indented) and return it."""
+    path = pathlib.Path(directory or ".") / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"machine-readable results written to {path}")
+    return path
 
 
 def format_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

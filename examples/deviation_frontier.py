@@ -90,9 +90,15 @@ def main() -> None:
         if row.stage != "staked" or row.pi_star is None:
             continue
         closed = closed_form_pi_star(row.family, row.shock)
+        # An upward-refined row had no deterring lattice point: the engine
+        # doubled past the swept ceiling before bisecting.
+        lattice = (
+            f"{row.lattice_hi:g}" if row.lattice_hi is not None
+            else "above the lattice"
+        )
         print(
             f"  {row.family:<12} drop {row.shock:g}: lattice pi* "
-            f"{row.lattice_hi:g} -> refined {row.pi_star:g} "
+            f"{lattice} -> refined {row.pi_star:g} "
             f"(closed form {closed:g}, {len(row.probes)} probes)"
         )
     print()

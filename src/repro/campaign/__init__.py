@@ -38,6 +38,14 @@ enumeration, execution, and property evaluation all live here.
 
 from repro.campaign.matrix import ScenarioMatrix, enumerate_profiles
 from repro.campaign.pool import MatrixSpec, WorkerPool, register_matrix_factory
+from repro.campaign.cache import ResultCache, code_version
+from repro.campaign.report import (
+    Report,
+    merge_reports_any,
+    register_report,
+    registered_report_kinds,
+    report_from_json,
+)
 from repro.campaign.runner import (
     CampaignReport,
     CampaignRunner,
@@ -45,7 +53,11 @@ from repro.campaign.runner import (
     merge_reports,
 )
 from repro.campaign.scenario import Scenario, ScenarioResult, run_scenario
-from repro.campaign.families import FAMILY_NAMES, default_matrix
+from repro.campaign.families import (
+    FAMILY_NAMES,
+    default_matrix,
+    default_matrix_spec,
+)
 from repro.campaign.ablation import (
     AblationGrid,
     FrontierReport,
@@ -55,27 +67,53 @@ from repro.campaign.ablation import (
     reduce_frontier,
     refine_frontier,
 )
+from repro.campaign.experiment import (
+    EXPERIMENT_KINDS,
+    Experiment,
+    ExperimentError,
+    ExperimentResult,
+    ExperimentSpec,
+    ablate_spec,
+    campaign_spec,
+    refine_spec,
+)
 
 __all__ = [
     "AblationGrid",
     "CampaignReport",
     "CampaignRunner",
+    "EXPERIMENT_KINDS",
+    "Experiment",
+    "ExperimentError",
+    "ExperimentResult",
+    "ExperimentSpec",
     "FAMILY_NAMES",
     "FrontierReport",
     "MatrixSpec",
     "RefinedFrontierReport",
+    "Report",
+    "ResultCache",
     "Scenario",
     "ScenarioMatrix",
     "ScenarioResult",
     "ScenarioViolation",
     "WorkerPool",
+    "ablate_spec",
     "ablation_cell",
     "ablation_matrix",
+    "campaign_spec",
+    "code_version",
     "default_matrix",
+    "default_matrix_spec",
     "enumerate_profiles",
     "merge_reports",
+    "merge_reports_any",
     "reduce_frontier",
     "refine_frontier",
+    "refine_spec",
     "register_matrix_factory",
+    "register_report",
+    "registered_report_kinds",
+    "report_from_json",
     "run_scenario",
 ]

@@ -55,13 +55,17 @@ from repro.campaign.ablation.grid import (
     AblationGrid,
     ablation_cell,
     ablation_matrix,
+    ablation_matrix_spec,
+    closed_form_coalition_pi_star,
     closed_form_pi_star,
+    coalition_deterrence_stake,
     deterrence_stake,
     premium_base,
     shocked_notional,
 )
 from repro.campaign.ablation.refine import (
     DEFAULT_TOL,
+    EXPAND_CEILING,
     RefinedFrontierReport,
     RefinedRow,
     refine_frontier,
@@ -76,6 +80,7 @@ __all__ = [
     "DEFAULT_SHOCK_FRACTIONS",
     "DEFAULT_STAGES",
     "DEFAULT_TOL",
+    "EXPAND_CEILING",
     "FrontierCell",
     "FrontierReport",
     "FrontierRow",
@@ -83,7 +88,10 @@ __all__ = [
     "RefinedRow",
     "ablation_cell",
     "ablation_matrix",
+    "ablation_matrix_spec",
+    "closed_form_coalition_pi_star",
     "closed_form_pi_star",
+    "coalition_deterrence_stake",
     "deterrence_stake",
     "premium_base",
     "reduce_frontier",

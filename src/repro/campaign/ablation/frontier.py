@@ -37,8 +37,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, replace
 from hashlib import sha256
+from typing import Iterable
 
 from repro.campaign.canon import canon_float, canon_opt
+from repro.campaign.report import check_kind, register_report
 from repro.campaign.runner import CampaignReport
 
 
@@ -120,9 +122,16 @@ class CoalitionFrontierRow:
         return self.pi_star is not None
 
 
+@register_report("frontier")
 @dataclass(frozen=True)
 class FrontierReport:
-    """The reduced frontier plus its reproducibility digest."""
+    """The reduced frontier plus its reproducibility digest.
+
+    A registered :class:`~repro.campaign.report.Report` of kind
+    ``"frontier"``.  It is a *reduced* artifact: ``merge`` raises with
+    guidance, because the mergeable unit is the underlying campaign shard
+    report (merge those, then :func:`reduce_frontier` the result).
+    """
 
     matrix_digest: str
     run_digest: str
@@ -226,6 +235,14 @@ class FrontierReport:
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
+    @classmethod
+    def merge(cls, reports: "Iterable[FrontierReport]") -> "FrontierReport":
+        raise ValueError(
+            "frontier reports are reduced artifacts and do not merge: merge "
+            "the underlying campaign shard reports (written by `ablate "
+            "--shard I/N --out`) and reduce the merged report instead"
+        )
+
     def to_json(self) -> str:
         def cell_payload(cell: FrontierCell) -> dict:
             return {
@@ -250,6 +267,7 @@ class FrontierReport:
 
         return json.dumps(
             {
+                "kind": self.kind,
                 "matrix_digest": self.matrix_digest,
                 "run_digest": self.run_digest,
                 "complete": self.complete,
@@ -268,6 +286,7 @@ class FrontierReport:
     @classmethod
     def from_json(cls, text: str) -> "FrontierReport":
         data = json.loads(text)
+        check_kind(cls, data)
 
         def cells_of(row: dict, coalition: str) -> tuple[FrontierCell, ...]:
             return tuple(

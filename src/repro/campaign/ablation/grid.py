@@ -639,6 +639,71 @@ def premium_base(family: str) -> int:
     return PRINCIPAL
 
 
+def coalition_deterrence_stake(family: str, coalition: str, pi: float) -> float | None:
+    """The coalition's *outsider-facing* walk-forfeit at the staked stage.
+
+    Internal deposits (member-to-member forfeits) are excluded — they
+    move value inside the coalition, so they deter nothing.  Returns
+    ``None`` when no finite stake deters the joint walk at any premium
+    (the broker coalition; see :func:`closed_form_coalition_pi_star`).
+    """
+    if (family, coalition) == ("multi-party", "P1+P2"):
+        from repro.core.premiums import (
+            escrow_premium_amounts,
+            redemption_premium_amount,
+        )
+        from repro.graph.digraph import ring_graph
+
+        graph, p = ring_graph(3), scaled_premium(pi)
+        # P1's escrow premium on (P1,P2) forfeits to P2 — internal.  What
+        # faces the outsider P0: P2's escrow premium on (P2,P0), plus P1's
+        # redemption premium for P0's key on (P0,P1).  (P2's redemption
+        # deposits sit on (P1,P2), facing P1 — internal.)
+        return float(
+            escrow_premium_amounts(graph, ("P0",), p)[("P2", "P0")]
+            + redemption_premium_amount(graph, ("P1", "P2", "P0"), "P0", p)
+        )
+    if (family, coalition) == ("broker", "seller+buyer"):
+        # Deal redemption needs every party's hashkey, and the E/T/R
+        # deposits all resolve *before* the payout round — so the seller
+        # and buyer can always wait for the stake-free tail and then
+        # withhold their keys together.  At that point walking forfeits
+        # nothing while completing still costs them the broker's markup:
+        # no finite premium deters the joint walk.
+        return None
+    raise ValueError(
+        f"unknown coalition ({family!r}, {coalition!r}); "
+        f"known: {sorted((f, c) for f, cs in ABLATION_COALITIONS.items() for c in cs)}"
+    )
+
+
+def closed_form_coalition_pi_star(
+    family: str, coalition: str, shock: float
+) -> float | None:
+    """The continuous collusive deterrence threshold, or ``None``.
+
+    Same construction as :func:`closed_form_pi_star`, but over the
+    coalition's outsider-facing stake sum
+    (:func:`coalition_deterrence_stake`): the joint pivot walks iff the
+    shocked value drop on its external flows exceeds the external stake.
+    For the ring-adjacent ``P1+P2`` pair the external stake (``3p``
+    escrow toward P0 plus ``p`` redemption) happens to equal the single
+    pivot's ``4p``, so the collusive threshold coincides with the single
+    one — collusion never pays a discount.  ``None`` means the walk is
+    un-hedgeable rent: the broker's ``seller+buyer`` pair always finds a
+    stake-free round from which withholding keys strands the markup, so
+    the refined frontier must report the row undeterred at every probed
+    premium.
+    """
+    base = premium_base(family)
+    ref_premium = 4  # exactly representable: ref_pi · base == 4 for all bases
+    stake = coalition_deterrence_stake(family, coalition, ref_premium / base)
+    if stake is None:
+        return None
+    slope = stake / ref_premium
+    return shocked_notional(family) * shock / (slope * base)
+
+
 def closed_form_pi_star(family: str, shock: float) -> float:
     """The continuous §5.2-style deterrence threshold for a staked shock.
 
@@ -706,6 +771,46 @@ def _validate_grid(families, stages) -> None:
         )
 
 
+def ablation_matrix_spec(
+    families: tuple[str, ...] | None = None,
+    premium_fractions: tuple[float, ...] | None = None,
+    shock_fractions: tuple[float, ...] | None = None,
+    stages: tuple[str, ...] | None = None,
+    coalitions: bool = False,
+    seed: int = 0,
+) -> MatrixSpec:
+    """The (validated, normalized) rebuild recipe of :func:`ablation_matrix`
+    — computable without expanding a single block, which is what lets
+    experiment specs be emitted cheaply.  :func:`ablation_matrix` builds
+    from this same recipe, so ``ablation_matrix(...).spec`` and
+    ``ablation_matrix_spec(...)`` are always equal.
+    """
+    families = tuple(families) if families is not None else ABLATION_FAMILIES
+    premium_fractions = (
+        tuple(canon_float(p) for p in premium_fractions)
+        if premium_fractions is not None
+        else DEFAULT_PREMIUM_FRACTIONS
+    )
+    shock_fractions = (
+        tuple(canon_float(s) for s in shock_fractions)
+        if shock_fractions is not None
+        else DEFAULT_SHOCK_FRACTIONS
+    )
+    stages = tuple(stages) if stages is not None else DEFAULT_STAGES
+    _validate_grid(families, stages)
+    return MatrixSpec(
+        factory="ablation",
+        kwargs=(
+            ("coalitions", coalitions),
+            ("families", families),
+            ("premium_fractions", premium_fractions),
+            ("seed", seed),
+            ("shock_fractions", shock_fractions),
+            ("stages", stages),
+        ),
+    )
+
+
 @register_matrix_factory("ablation")
 def ablation_matrix(
     families: tuple[str, ...] | None = None,
@@ -723,19 +828,19 @@ def ablation_matrix(
     rebuild it worker-side and verify the structural digest before running
     anything.
     """
-    families = tuple(families) if families is not None else ABLATION_FAMILIES
-    premium_fractions = (
-        tuple(canon_float(p) for p in premium_fractions)
-        if premium_fractions is not None
-        else DEFAULT_PREMIUM_FRACTIONS
+    spec = ablation_matrix_spec(
+        families=families,
+        premium_fractions=premium_fractions,
+        shock_fractions=shock_fractions,
+        stages=stages,
+        coalitions=coalitions,
+        seed=seed,
     )
-    shock_fractions = (
-        tuple(canon_float(s) for s in shock_fractions)
-        if shock_fractions is not None
-        else DEFAULT_SHOCK_FRACTIONS
-    )
-    stages = tuple(stages) if stages is not None else DEFAULT_STAGES
-    _validate_grid(families, stages)
+    kwargs = dict(spec.kwargs)
+    families = kwargs["families"]
+    premium_fractions = kwargs["premium_fractions"]
+    shock_fractions = kwargs["shock_fractions"]
+    stages = kwargs["stages"]
     matrix = ScenarioMatrix(seed=seed)
     for family in families:
         _FAMILY_ADDERS[family](matrix, premium_fractions, shock_fractions, stages)
@@ -744,17 +849,7 @@ def ablation_matrix(
                 _COALITION_ADDERS[(family, coalition)](
                     matrix, premium_fractions, shock_fractions, stages
                 )
-    matrix.spec = MatrixSpec(
-        factory="ablation",
-        kwargs=(
-            ("coalitions", coalitions),
-            ("families", families),
-            ("premium_fractions", premium_fractions),
-            ("seed", seed),
-            ("shock_fractions", shock_fractions),
-            ("stages", stages),
-        ),
-    )
+    matrix.spec = spec
     return matrix
 
 

@@ -26,10 +26,15 @@ four families.
 
 Rows with no lattice bracket refine too, where possible: when the
 *smallest* swept premium already deters, the engine opens the bracket at
-π = 0 with one extra probe; when no swept premium deters (e.g. every
-``pre-stake`` row, or a coalition rent the premiums cannot hedge) the row
-is carried through unrefined with ``pi_hi = None`` — undeterred is a
-result, not an error.
+π = 0 with one extra probe; when the lattice *ceiling* still walks the
+engine extends the bracket **upward by doubling** — probing 2·π, 4·π, …
+up to :data:`EXPAND_CEILING` — and bisects as soon as a probe deters, so
+a boundary that merely sits above the swept grid (e.g. two-party at
+s = 0.105 with premiums ≤ 0.08) refines instead of carrying through
+unrefined.  Only a row no probed premium deters (every ``pre-stake`` row,
+or a coalition rent no premium hedges — see
+:func:`~repro.campaign.ablation.grid.closed_form_coalition_pi_star`)
+reports ``pi_hi = None`` — undeterred is a result, not an error.
 
 **Digest rules.**  The refined digest hashes the input frontier digest
 (which already binds matrix identity, run digest, and coverage), the
@@ -46,8 +51,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, replace
 from hashlib import sha256
+from typing import Iterable
 
 from repro.campaign.canon import canon_float, canon_opt, fmt_fraction
+from repro.campaign.report import check_kind, register_report
 from repro.campaign.ablation.frontier import (
     CoalitionFrontierRow,
     FrontierCell,
@@ -62,6 +69,12 @@ DEFAULT_TOL = 0.015625
 
 #: hard cap on probes per row (the default tol needs at most a handful).
 MAX_ITERATIONS = 32
+
+#: largest premium fraction the upward-doubling expansion will probe: the
+#: full principal.  A row still walking at π = 1 forfeits a premium the
+#: size of the trade itself — undeterrable in any economically meaningful
+#: sense (pre-stake rows, the broker coalition's markup rent).
+EXPAND_CEILING = 1.0
 
 
 @dataclass(frozen=True)
@@ -111,9 +124,15 @@ class RefinedRow:
         return self.pi_hi - self.pi_lo
 
 
+@register_report("refined-frontier")
 @dataclass(frozen=True)
 class RefinedFrontierReport:
-    """The bisected frontier plus its reproducibility digest."""
+    """The bisected frontier plus its reproducibility digest.
+
+    A registered :class:`~repro.campaign.report.Report` of kind
+    ``"refined-frontier"``; like the lattice frontier it is a reduced
+    artifact, so ``merge`` raises with guidance.
+    """
 
     base_digest: str
     tol: float
@@ -165,12 +184,23 @@ class RefinedFrontierReport:
             )
         return "\n".join(lines)
 
+    @classmethod
+    def merge(
+        cls, reports: "Iterable[RefinedFrontierReport]"
+    ) -> "RefinedFrontierReport":
+        raise ValueError(
+            "refined frontiers are reduced artifacts and do not merge: "
+            "merge the underlying campaign shard reports, reduce the "
+            "frontier, and refine the result instead"
+        )
+
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
     def to_json(self) -> str:
         return json.dumps(
             {
+                "kind": self.kind,
                 "base_digest": self.base_digest,
                 "tol": canon_float(self.tol),
                 "rows": [
@@ -213,6 +243,7 @@ class RefinedFrontierReport:
     @classmethod
     def from_json(cls, text: str) -> "RefinedFrontierReport":
         data = json.loads(text)
+        check_kind(cls, data)
         rows = tuple(
             RefinedRow(
                 family=row["family"],
@@ -284,9 +315,17 @@ def _with_digest(report: RefinedFrontierReport) -> RefinedFrontierReport:
 
 
 class _CellProber:
-    """Runs single ablation cells through the configured backend."""
+    """Runs single ablation cells through the configured backend.
 
-    def __init__(self, backend: str = "serial", pool=None, seed: int = 0) -> None:
+    ``cache`` is the incremental result cache: each probe cell is one
+    matrix block, so a warm refinement (or one following a lattice run
+    that already executed the same cells) serves probes straight from the
+    store.  ``cache_hits`` counts the scenarios so served.
+    """
+
+    def __init__(
+        self, backend: str = "serial", pool=None, seed: int = 0, cache=None
+    ) -> None:
         from repro.campaign.runner import CampaignRunner
 
         if pool is not None:
@@ -295,6 +334,8 @@ class _CellProber:
         self.backend = backend
         self.pool = pool
         self.seed = seed
+        self.cache = cache
+        self.cache_hits = 0
 
     def probe(
         self, family: str, pi: float, shock: float, stage: str, coalition: str
@@ -303,8 +344,9 @@ class _CellProber:
             family, pi, shock, stage, coalition=coalition, seed=self.seed
         )
         report = self._runner_cls(
-            matrix, backend=self.backend, pool=self.pool
+            matrix, backend=self.backend, pool=self.pool, cache=self.cache
         ).run()
+        self.cache_hits += report.cache_hits
         if not report.ok:
             raise RuntimeError(
                 f"bisection probe ({family}, {pi}, {shock}, {stage}) violated "
@@ -353,6 +395,24 @@ def refine_row(
             lo = 0.0
         else:
             hi = 0.0  # even π = 0 deters this shock at this stage
+    if hi is None and lo is not None and lo < EXPAND_CEILING:
+        # The lattice ceiling still walks: extend the bracket upward by
+        # doubling before bisecting, so a boundary that merely sits above
+        # the swept grid refines instead of carrying through unrefined.
+        # A row that walks all the way to EXPAND_CEILING is genuinely
+        # undeterred (pre-stake rows, un-hedgeable coalition rent).
+        probe_pi = lo * 2 if lo > 0.0 else tol
+        while hi is None and iterations < max_iterations:
+            pi = canon_float(min(probe_pi, EXPAND_CEILING))
+            if pi <= lo:
+                break
+            if run_probe(pi):
+                lo = pi
+            else:
+                hi = pi
+            if pi >= EXPAND_CEILING:
+                break
+            probe_pi = pi * 2
     if lo is not None and hi is not None:
         while hi - lo > tol and iterations < max_iterations:
             mid = canon_float((lo + hi) / 2)
@@ -395,14 +455,20 @@ def refine_frontier(
     pool=None,
     seed: int = 0,
     max_iterations: int = MAX_ITERATIONS,
+    cache=None,
+    prober: "_CellProber | None" = None,
 ) -> RefinedFrontierReport:
     """Refine every row of a lattice frontier by adaptive bisection.
 
     ``frontier`` may come from any backend or from merged shards — its
     digest (hashed into the refined digest) pins the lattice provenance.
     ``pool`` dispatches the probe cells through a persistent
-    :class:`~repro.campaign.pool.WorkerPool`; the refined digest is
-    backend-invariant either way.
+    :class:`~repro.campaign.pool.WorkerPool`; ``cache`` (a
+    :class:`~repro.campaign.cache.ResultCache`) serves repeat probes from
+    the incremental store.  The refined digest is backend- and
+    cache-invariant either way.  ``prober`` lets a caller supply (and
+    afterwards inspect, e.g. for cache accounting) the cell prober; it
+    overrides the other execution knobs.
     """
     if tol <= 0:
         raise ValueError(f"tol must be positive, got {tol}")
@@ -411,7 +477,8 @@ def refine_frontier(
             "refinement needs a full-coverage frontier: merge all shards "
             f"first (got {frontier.scenarios}/{frontier.total_scenarios})"
         )
-    prober = _CellProber(backend=backend, pool=pool, seed=seed)
+    if prober is None:
+        prober = _CellProber(backend=backend, pool=pool, seed=seed, cache=cache)
     rows = [
         refine_row(row, prober, canon_float(tol), max_iterations)
         for row in (*frontier.rows, *frontier.coalition_rows)

@@ -1,0 +1,138 @@
+"""The incremental result cache: skip scenario blocks already verified.
+
+Scenario digests are stable across backends and process layouts, so a
+block of scenarios that was executed and verified once — at a given code
+version — need not run again: its :class:`~repro.campaign.scenario.
+ScenarioResult` list *is* the outcome, byte for byte.  This is the
+ROADMAP's incremental-campaign-cache item, and what makes 10^5+-scenario
+matrices re-runnable after small grid edits: only the blocks the edit
+touched miss.
+
+**Keying.**  A cache entry is content-addressed by
+
+- the **code version** — a digest over every ``repro`` source file, so any
+  change to the engine or the protocols invalidates the whole cache (a
+  stale hit can never mask a behavior change), and
+- the **block descriptor** — :meth:`MatrixBlock.describe`
+  (family, schedule, builder qualname, strategy labels, axes, property
+  names) plus the block's scenario count.
+
+The descriptor cannot see parameters captured inside builder closures
+(see :meth:`ScenarioMatrix.digest`), so the runner only consults the cache
+for matrices built by a *registered factory* (``matrix.spec`` set): those
+build purely from primitive arguments, every one of which the shipped
+factories render into the schedule label or the extra axes — the same
+audit contract persistent worker pools rely on.  Keying on the block
+rather than the whole spec is deliberate: a refinement probe
+(``ablation_cell``) produces the identical block as the full grid's cell,
+so a lattice run warms the bisection that follows it.
+
+**Storage.**  One JSON file per block under the cache root, written
+atomically (temp file + rename) with *block-local* scenario indices so an
+entry is position-independent; the runner rebases to global indices on
+load.  Only blocks whose every scenario passed its properties are stored
+— the cache holds verified outcomes, a violating block re-runs live each
+time so regressions keep reproducing with fresh traces.  A corrupt or
+mismatched entry reads as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from hashlib import sha256
+from pathlib import Path
+
+from repro.campaign.scenario import (
+    ScenarioResult,
+    result_from_payload,
+    result_payload,
+)
+
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file: the cache's freshness key.
+
+    Computed once per process.  Any edit anywhere in the package — engine,
+    protocols, contracts — changes it, so cached results can never outlive
+    the code that produced them.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        digest = sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+class ResultCache:
+    """A content-addressed store of verified scenario-block results."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def block_key(self, block_describe: str, size: int) -> str:
+        """The content address of one matrix block's result list."""
+        return sha256(
+            f"v={code_version()}|n={size}|{block_describe}".encode()
+        ).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str, size: int) -> list[ScenarioResult] | None:
+        """The cached results (block-local indices), or None on any miss.
+
+        A malformed entry, a size mismatch, or an entry recording a
+        violation all read as misses — the cache only ever short-circuits
+        work it can vouch for.
+        """
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            results = [result_from_payload(r) for r in data["results"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if len(results) != size:
+            return None
+        if any(result.violations for result in results):
+            return None
+        return results
+
+    def put(self, key: str, results: list[ScenarioResult]) -> bool:
+        """Store one fully-verified block; returns False when ineligible.
+
+        Blocks with violations are never stored (see the module doc).  The
+        write is atomic so concurrent campaigns sharing a cache root can
+        only ever observe complete entries.
+        """
+        if any(result.violations for result in results):
+            return False
+        payload = json.dumps(
+            {"key": key, "results": [result_payload(r) for r in results]},
+            indent=None,
+            separators=(",", ":"),
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True

@@ -1,0 +1,460 @@
+"""Declarative experiments: one spec, one entry point, every engine.
+
+PRs 1–4 grew three parallel engines — the adversarial campaign, the
+rational-adversary ablation lattice, and the bisected frontier refinement
+— each wired to its own CLI flags.  The two remaining ROADMAP scale items
+(the incremental result cache, multi-host orchestration) both need the
+same missing object: a *serializable, digest-covered description of an
+entire experiment* that can key a store, ride over ssh, and replay
+byte-identically.  That object is :class:`ExperimentSpec`:
+
+- ``kind`` selects the engine (``campaign`` / ``ablate`` /
+  ``ablate-refine``),
+- ``matrix`` is a :class:`~repro.campaign.pool.MatrixSpec` — a registered
+  factory name plus primitive parameters, the same rebuild recipe worker
+  pools already audit by structural digest; every grid knob (premium and
+  shock fractions, stages, coalitions, seed, families) lives in it,
+- ``limit``/``shard`` carry the selection, ``backend``/``workers`` the
+  execution layout, ``tol`` the refinement tolerance,
+- ``expect`` carries optional ``(report kind → digest)`` assertions, so a
+  spec can state the digests its run must reproduce.
+
+:meth:`ExperimentSpec.digest` hashes only the *result-determining* fields
+(kind, matrix, selection, tolerance) — backend, workers, and expectations
+are excluded because scenario outcomes are backend-invariant (the
+campaign engine's proven contract), so one spec digest names one result
+regardless of where or how parallel it ran.
+
+:class:`Experiment` is the facade: ``run()`` builds the matrix through
+the audited factory registry, dispatches to the right engine, threads a
+persistent :class:`~repro.campaign.pool.WorkerPool` and the incremental
+:class:`~repro.campaign.cache.ResultCache` through every stage (lattice
+and bisection probes alike), verifies ``expect``, and returns an
+:class:`ExperimentResult` holding reports that all conform to the common
+:mod:`~repro.campaign.report` protocol.
+
+The legacy CLI subcommands construct these specs from their flags and run
+through this facade, which is what makes ``spec``-driven and flag-driven
+runs byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import Iterable
+
+from repro.campaign.ablation.refine import DEFAULT_TOL
+from repro.campaign.cache import ResultCache
+from repro.campaign.canon import canon_float
+from repro.campaign.matrix import ScenarioMatrix, validate_shard
+from repro.campaign.pool import MatrixSpec, WorkerPool
+
+EXPERIMENT_KINDS = ("campaign", "ablate", "ablate-refine")
+
+EXPERIMENT_BACKENDS = ("serial", "process", "pooled")
+
+
+class ExperimentError(ValueError):
+    """A spec could not be honored (bad fields, digest expectation miss)."""
+
+
+def _tuplify(value):
+    """Recursively turn JSON lists back into the tuples specs hash/pickle."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def _jsonify(value):
+    """The inverse: tuples to lists for JSON transport."""
+    if isinstance(value, tuple):
+        return [_jsonify(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, serializable description of one experiment."""
+
+    kind: str
+    matrix: MatrixSpec
+    backend: str = "serial"
+    workers: int | None = None
+    limit: int | None = None
+    shard: tuple[int, int] | None = None
+    #: bisection tolerance; only meaningful (and only set) for ablate-refine.
+    tol: float | None = None
+    #: (report kind, digest) assertions the run must reproduce.
+    expect: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in EXPERIMENT_KINDS:
+            raise ExperimentError(
+                f"unknown experiment kind {self.kind!r}; "
+                f"known: {list(EXPERIMENT_KINDS)}"
+            )
+        if self.backend not in EXPERIMENT_BACKENDS:
+            raise ExperimentError(
+                f"unknown backend {self.backend!r}; "
+                f"known: {list(EXPERIMENT_BACKENDS)}"
+            )
+        if not isinstance(self.matrix, MatrixSpec):
+            raise ExperimentError(
+                f"matrix must be a MatrixSpec, got {type(self.matrix).__name__}"
+            )
+        if self.limit is not None and self.limit < 1:
+            raise ExperimentError(f"limit must be >= 1, got {self.limit}")
+        if self.shard is not None:
+            validate_shard(self.shard)
+        if self.tol is not None and self.kind != "ablate-refine":
+            raise ExperimentError("tol applies only to ablate-refine specs")
+        if self.tol is not None and self.tol <= 0:
+            raise ExperimentError(f"tol must be positive, got {self.tol}")
+        if self.kind == "ablate-refine" and (
+            self.limit is not None or self.shard is not None
+        ):
+            raise ExperimentError(
+                "ablate-refine needs full lattice coverage: limit/shard "
+                "selections cannot refine (shard the ablate lattice, merge, "
+                "then refine the merged frontier)"
+            )
+        for pair in self.expect:
+            if not (isinstance(pair, tuple) and len(pair) == 2):
+                raise ExperimentError(
+                    f"expect entries must be (report kind, digest) pairs, "
+                    f"got {pair!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """The spec's identity: a hash of its result-determining fields.
+
+        ``backend``/``workers`` are excluded (results are
+        backend-invariant), and so is ``expect`` (assertions about the
+        result are not part of what runs).  Two specs share a digest iff
+        they describe the same scenarios, selection, and reduction.
+        """
+        payload = {
+            "kind": self.kind,
+            "matrix": {
+                "factory": self.matrix.factory,
+                "args": _jsonify(self.matrix.args),
+                "kwargs": {
+                    name: _jsonify(value) for name, value in self.matrix.kwargs
+                },
+            },
+            "limit": self.limit,
+            "shard": list(self.shard) if self.shard else None,
+            "tol": canon_float(self.tol) if self.tol is not None else None,
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return sha256(f"experiment-spec|{text}".encode()).hexdigest()
+
+    def expected(self, report_kind: str) -> str | None:
+        for kind, digest in self.expect:
+            if kind == report_kind:
+                return digest
+        return None
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "matrix": {
+                    "factory": self.matrix.factory,
+                    "args": _jsonify(self.matrix.args),
+                    "kwargs": {
+                        name: _jsonify(value)
+                        for name, value in self.matrix.kwargs
+                    },
+                },
+                "backend": self.backend,
+                "workers": self.workers,
+                "limit": self.limit,
+                "shard": list(self.shard) if self.shard else None,
+                "tol": canon_float(self.tol) if self.tol is not None else None,
+                "expect": {kind: digest for kind, digest in self.expect},
+                "digest": self.digest(),
+            },
+            indent=2,
+            sort_keys=False,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise ExperimentError(f"not a JSON experiment spec: {err}")
+        try:
+            matrix = MatrixSpec(
+                factory=data["matrix"]["factory"],
+                args=_tuplify(data["matrix"].get("args", [])),
+                kwargs=tuple(
+                    sorted(
+                        (name, _tuplify(value))
+                        for name, value in data["matrix"].get("kwargs", {}).items()
+                    )
+                ),
+            )
+            spec = cls(
+                kind=data["kind"],
+                matrix=matrix,
+                backend=data.get("backend", "serial"),
+                workers=data.get("workers"),
+                limit=data.get("limit"),
+                shard=tuple(data["shard"]) if data.get("shard") else None,
+                tol=data.get("tol"),
+                expect=tuple(sorted(data.get("expect", {}).items())),
+            )
+        except ExperimentError:
+            raise
+        except (KeyError, TypeError, ValueError) as err:
+            # ValueError: field validation (e.g. a bad shard coordinate)
+            raise ExperimentError(f"malformed experiment spec: {err}")
+        stamped = data.get("digest")
+        if stamped is not None and stamped != spec.digest():
+            raise ExperimentError(
+                "spec digest mismatch after deserialization: "
+                f"{spec.digest()[:16]} != {stamped[:16]} — the spec was "
+                "edited without re-stamping (re-emit it with the `spec` "
+                "subcommand)"
+            )
+        return spec
+
+
+# ----------------------------------------------------------------------
+# spec builders (the CLI shims' and `spec` subcommand's constructors)
+# ----------------------------------------------------------------------
+def _exec_fields(backend, workers, limit, shard, expect):
+    return dict(
+        backend=backend,
+        workers=workers,
+        limit=limit,
+        shard=shard,
+        expect=tuple(sorted(expect)) if expect else (),
+    )
+
+
+def campaign_spec(
+    families: Iterable[str] | None = None,
+    seed: int = 0,
+    max_adversaries: int | None = None,
+    backend: str = "serial",
+    workers: int | None = None,
+    limit: int | None = None,
+    shard: tuple[int, int] | None = None,
+    expect: Iterable[tuple[str, str]] = (),
+) -> ExperimentSpec:
+    """A spec for the standard all-families adversarial campaign.
+
+    The ``matrix`` recipe is the factory's own normalized rebuild recipe
+    (:func:`~repro.campaign.families.default_matrix_spec`), computed
+    without expanding any blocks — emitting a spec is cheap no matter how
+    large the matrix it describes.
+    """
+    from repro.campaign.families import default_matrix_spec
+
+    return ExperimentSpec(
+        kind="campaign",
+        matrix=default_matrix_spec(
+            families=families, seed=seed, max_adversaries=max_adversaries
+        ),
+        **_exec_fields(backend, workers, limit, shard, expect),
+    )
+
+
+def _ablation_matrix_spec(
+    families, premium_fractions, shock_fractions, stages, coalitions, seed
+) -> MatrixSpec:
+    from repro.campaign.ablation.grid import ablation_matrix_spec
+
+    return ablation_matrix_spec(
+        families=families,
+        premium_fractions=premium_fractions,
+        shock_fractions=shock_fractions,
+        stages=stages,
+        coalitions=coalitions,
+        seed=seed,
+    )
+
+
+def ablate_spec(
+    families: Iterable[str] | None = None,
+    premium_fractions: Iterable[float] | None = None,
+    shock_fractions: Iterable[float] | None = None,
+    stages: Iterable[str] | None = None,
+    coalitions: bool = False,
+    seed: int = 0,
+    backend: str = "serial",
+    workers: int | None = None,
+    shard: tuple[int, int] | None = None,
+    expect: Iterable[tuple[str, str]] = (),
+) -> ExperimentSpec:
+    """A spec for the rational-adversary ablation lattice."""
+    return ExperimentSpec(
+        kind="ablate",
+        matrix=_ablation_matrix_spec(
+            families, premium_fractions, shock_fractions, stages, coalitions, seed
+        ),
+        **_exec_fields(backend, workers, None, shard, expect),
+    )
+
+
+def refine_spec(
+    families: Iterable[str] | None = None,
+    premium_fractions: Iterable[float] | None = None,
+    shock_fractions: Iterable[float] | None = None,
+    stages: Iterable[str] | None = None,
+    coalitions: bool = False,
+    seed: int = 0,
+    tol: float = DEFAULT_TOL,
+    backend: str = "serial",
+    workers: int | None = None,
+    expect: Iterable[tuple[str, str]] = (),
+) -> ExperimentSpec:
+    """A spec for the bisected (continuous) frontier refinement."""
+    return ExperimentSpec(
+        kind="ablate-refine",
+        matrix=_ablation_matrix_spec(
+            families, premium_fractions, shock_fractions, stages, coalitions, seed
+        ),
+        tol=canon_float(tol),
+        **_exec_fields(backend, workers, None, None, expect),
+    )
+
+
+# ----------------------------------------------------------------------
+# the facade
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentResult:
+    """Every report one experiment produced, primary last-reduced first."""
+
+    spec: ExperimentSpec
+    campaign: "object | None" = None
+    frontier: "object | None" = None
+    refined: "object | None" = None
+    #: scenarios served from the result cache (lattice + bisection probes).
+    cache_hits: int = 0
+
+    @property
+    def primary(self):
+        """The most-reduced report the run produced — what ``--expect``
+        and the CLI's headline digest refer to."""
+        for report in (self.refined, self.frontier, self.campaign):
+            if report is not None:
+                return report
+        raise ExperimentError("experiment produced no report")
+
+    @property
+    def reports(self) -> tuple:
+        return tuple(
+            report
+            for report in (self.campaign, self.frontier, self.refined)
+            if report is not None
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.campaign is None or self.campaign.ok
+
+
+class Experiment:
+    """Run an :class:`ExperimentSpec` through the right engine.
+
+    ``pool`` supplies a caller-owned persistent worker pool (left open);
+    with ``backend="pooled"`` and no pool, the facade creates one for the
+    run and closes it after.  ``cache`` is the incremental result cache,
+    threaded through the campaign run *and* every refinement probe.
+    ``matrix`` short-circuits the factory rebuild when the caller already
+    built it (the CLI prints the breakdown first).
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        pool: WorkerPool | None = None,
+        cache: ResultCache | None = None,
+        matrix: ScenarioMatrix | None = None,
+    ) -> None:
+        self.spec = spec
+        self.pool = pool
+        self.cache = cache
+        self._matrix = matrix
+
+    def matrix(self) -> ScenarioMatrix:
+        """Build (or reuse) the spec's matrix via the audited registry."""
+        if self._matrix is None:
+            self._matrix = self.spec.matrix.build()
+        return self._matrix
+
+    def run(self) -> ExperimentResult:
+        from repro.campaign.ablation.frontier import reduce_frontier
+        from repro.campaign.ablation.refine import _CellProber, refine_frontier
+        from repro.campaign.runner import CampaignRunner
+
+        spec = self.spec
+        matrix = self.matrix()
+        pool = self.pool
+        own_pool: WorkerPool | None = None
+        if spec.backend == "pooled" and pool is None:
+            pool = own_pool = WorkerPool(workers=spec.workers)
+        runner_backend = "process" if spec.backend == "pooled" else spec.backend
+        runner_workers = spec.workers if pool is None else None
+        try:
+            runner = CampaignRunner(
+                matrix,
+                backend=runner_backend,
+                workers=runner_workers,
+                limit=spec.limit,
+                shard=spec.shard,
+                pool=pool,
+                cache=self.cache,
+            )
+            report = runner.run()
+            result = ExperimentResult(
+                spec, campaign=report, cache_hits=report.cache_hits
+            )
+            if spec.kind in ("ablate", "ablate-refine") and report.complete:
+                result.frontier = reduce_frontier(report)
+            if spec.kind == "ablate-refine" and report.ok:
+                prober = _CellProber(
+                    backend="process" if pool is not None else "serial",
+                    pool=pool,
+                    cache=self.cache,
+                )
+                result.refined = refine_frontier(
+                    result.frontier,
+                    tol=spec.tol if spec.tol is not None else DEFAULT_TOL,
+                    prober=prober,
+                )
+                result.cache_hits += prober.cache_hits
+        finally:
+            if own_pool is not None:
+                own_pool.close()
+        self._check_expectations(result)
+        return result
+
+    def _check_expectations(self, result: ExperimentResult) -> None:
+        produced = {type(r).kind: r.digest for r in result.reports}
+        for kind, expected in self.spec.expect:
+            actual = produced.get(kind)
+            if actual is None:
+                raise ExperimentError(
+                    f"spec expects a {kind!r} digest but the run produced "
+                    f"only {sorted(produced)} (partial coverage? merge the "
+                    "shards, then check)"
+                )
+            if actual != expected:
+                raise ExperimentError(
+                    f"digest mismatch for {kind!r}: run produced {actual} "
+                    f"but the spec expects {expected}"
+                )

@@ -234,6 +234,35 @@ _FAMILY_ADDERS = {
 }
 
 
+def default_matrix_spec(
+    families: Iterable[str] | None = None,
+    seed: int = 0,
+    max_adversaries: int | None = None,
+) -> MatrixSpec:
+    """The (validated, normalized) rebuild recipe of :func:`default_matrix`
+    — computable without expanding a single block, which is what lets
+    experiment specs be emitted cheaply.  :func:`default_matrix` builds
+    from this same recipe, so ``default_matrix(...).spec`` and
+    ``default_matrix_spec(...)`` are always equal.
+    """
+    chosen = (
+        tuple(dict.fromkeys(families)) if families is not None else FAMILY_NAMES
+    )
+    unknown = set(chosen) - set(_FAMILY_ADDERS)
+    if unknown:
+        raise ValueError(
+            f"unknown families {sorted(unknown)}; known: {sorted(_FAMILY_ADDERS)}"
+        )
+    return MatrixSpec(
+        factory="default",
+        kwargs=(
+            ("families", chosen),
+            ("max_adversaries", max_adversaries),
+            ("seed", seed),
+        ),
+    )
+
+
 def default_matrix(
     families: Iterable[str] | None = None,
     seed: int = 0,
@@ -244,25 +273,13 @@ def default_matrix(
     The returned matrix carries a ``spec`` (its rebuild recipe), so it can
     be dispatched through a persistent :class:`repro.campaign.pool.WorkerPool`.
     """
-    chosen = (
-        tuple(dict.fromkeys(families)) if families is not None else FAMILY_NAMES
+    spec = default_matrix_spec(
+        families=families, seed=seed, max_adversaries=max_adversaries
     )
-    unknown = set(chosen) - set(_FAMILY_ADDERS)
-    if unknown:
-        raise ValueError(
-            f"unknown families {sorted(unknown)}; known: {sorted(_FAMILY_ADDERS)}"
-        )
     matrix = ScenarioMatrix(seed=seed)
-    for name in chosen:
+    for name in dict(spec.kwargs)["families"]:
         _FAMILY_ADDERS[name](matrix, max_adversaries)
-    matrix.spec = MatrixSpec(
-        factory="default",
-        kwargs=(
-            ("families", chosen),
-            ("max_adversaries", max_adversaries),
-            ("seed", seed),
-        ),
-    )
+    matrix.spec = spec
     return matrix
 
 

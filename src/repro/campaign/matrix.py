@@ -245,6 +245,20 @@ class ScenarioMatrix:
             sizes[block.family] = sizes.get(block.family, 0) + block.size()
         return sizes
 
+    def block_ranges(self) -> list[tuple[int, int, MatrixBlock]]:
+        """``(start index, size, block)`` per block, in expansion order.
+
+        The global-index geometry of the matrix — what the incremental
+        result cache partitions a selection against.
+        """
+        ranges = []
+        start = 0
+        for block in self.blocks:
+            size = block.size()
+            ranges.append((start, size, block))
+            start += size
+        return ranges
+
     def digest(self) -> str:
         """*Structural* identity: seed + every block descriptor.
 
@@ -354,15 +368,25 @@ class ScenarioMatrix:
         self,
         limit: int | None = None,
         shard: tuple[int, int] | None = None,
+        indices: Iterable[int] | None = None,
     ) -> Iterator[Scenario]:
         """Expand the matrix; ``limit``/``shard`` select per :meth:`selection`.
 
-        Every yielded :class:`Scenario` keeps its *global* matrix index, so
-        sharded results interleave back into full-matrix order.
+        ``indices`` names an explicit global-index subset instead (the
+        runner's cache-miss path); it is mutually exclusive with
+        ``limit``/``shard``.  Every yielded :class:`Scenario` keeps its
+        *global* matrix index, so sharded results interleave back into
+        full-matrix order.
         """
         total = len(self)
         selected: set[int] | None = None
-        if limit is not None or shard is not None:
+        if indices is not None:
+            if limit is not None or shard is not None:
+                raise ValueError("indices= is exclusive with limit=/shard=")
+            chosen = set(indices)
+            if len(chosen) != total:
+                selected = chosen
+        elif limit is not None or shard is not None:
             chosen = self.selection(limit=limit, shard=shard)
             if len(chosen) != total:
                 selected = set(chosen)

@@ -40,11 +40,11 @@ import json
 import multiprocessing
 import time
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from hashlib import sha256
 from typing import Iterable
 
-from repro.campaign.canon import canon_float
+from repro.campaign.cache import ResultCache
 from repro.campaign.matrix import ScenarioMatrix, validate_shard
 from repro.campaign.pool import (
     WorkerPool,
@@ -52,7 +52,14 @@ from repro.campaign.pool import (
     dispatch_chunksize,
     fork_available,
 )
-from repro.campaign.scenario import Scenario, ScenarioResult, run_scenario
+from repro.campaign.report import check_kind, register_report
+from repro.campaign.scenario import (
+    Scenario,
+    ScenarioResult,
+    result_from_payload,
+    result_payload,
+    run_scenario,
+)
 
 # Below this many scenarios a requested process backend runs serially:
 # forking a pool costs more than the work itself.
@@ -121,9 +128,15 @@ class AxisStats:
     violations: int = 0
 
 
+@register_report("campaign")
 @dataclass
 class CampaignReport:
-    """Everything a campaign observed, plus its reproducibility digest."""
+    """Everything a campaign observed, plus its reproducibility digest.
+
+    A registered :class:`~repro.campaign.report.Report`: ``kind`` is
+    ``"campaign"`` and ``digest`` aliases ``run_digest`` so provenance
+    tooling can treat every report uniformly.
+    """
 
     backend: str
     workers: int
@@ -142,10 +155,29 @@ class CampaignReport:
     by_axis: dict[str, dict[str, AxisStats]] = field(default_factory=dict)
     premium_net_hist: Counter = field(default_factory=Counter)
     run_digest: str = ""
+    #: scenarios served from the incremental result cache (never digested:
+    #: a warm run must reproduce the cold run's digest byte-identically).
+    cache_hits: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def digest(self) -> str:
+        """Report-protocol alias for :attr:`run_digest`."""
+        return self.run_digest
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if not self.scenarios:
+            return 0.0
+        return self.cache_hits / self.scenarios
+
+    @classmethod
+    def merge(cls, reports: "Iterable[CampaignReport]") -> "CampaignReport":
+        """Report-protocol merge: :func:`merge_reports` on campaign shards."""
+        return merge_reports(reports)
 
     @property
     def selection(self) -> str:
@@ -189,10 +221,15 @@ class CampaignReport:
             "" if self.complete
             else f" [{self.selection}: {self.scenarios}/{self.total_scenarios}]"
         )
+        cached = (
+            f", {self.cache_hits} cached ({self.cache_hit_rate:.0%})"
+            if self.cache_hits
+            else ""
+        )
         return (
             f"{self.scenarios} scenarios, {self.transactions} transactions, "
             f"{self.elapsed_seconds:.2f}s ({self.scenarios_per_second:.0f}/s, "
-            f"backend={self.backend}){coverage}: {status}"
+            f"backend={self.backend}{cached}){coverage}: {status}"
         )
 
     def axis_table(self, axis: str) -> list[tuple[str, int, int]]:
@@ -210,6 +247,7 @@ class CampaignReport:
         """Serialize everything needed to merge or audit this report."""
         return json.dumps(
             {
+                "kind": self.kind,
                 "backend": self.backend,
                 "workers": self.workers,
                 "matrix_digest": self.matrix_digest,
@@ -220,28 +258,14 @@ class CampaignReport:
                 "transactions": self.transactions,
                 "reverted": self.reverted,
                 "elapsed_seconds": self.elapsed_seconds,
+                "cache_hits": self.cache_hits,
                 # Redundant with per-result violations/traces (from_json
                 # rebuilds them via _fold_results), but kept complete for
                 # external consumers reading the report directly.
                 "violations": [
                     [v.scenario, v.message, v.trace] for v in self.violations
                 ],
-                "results": [
-                    {
-                        "index": r.index,
-                        "label": r.label,
-                        "axes": [list(ax) for ax in r.axes],
-                        "violations": list(r.violations),
-                        "transactions": r.transactions,
-                        "reverted": r.reverted,
-                        "premium_net": [list(p) for p in r.premium_net],
-                        "elapsed_seconds": r.elapsed_seconds,
-                        "digest": r.digest,
-                        "metrics": [list(m) for m in r.metrics],
-                        "trace": r.trace,
-                    }
-                    for r in self.results
-                ],
+                "results": [result_payload(r) for r in self.results],
                 "run_digest": self.run_digest,
             },
             indent=None,
@@ -252,24 +276,8 @@ class CampaignReport:
     def from_json(cls, text: str) -> "CampaignReport":
         """Rebuild a report (with per-axis aggregates) from :meth:`to_json`."""
         data = json.loads(text)
-        results = [
-            ScenarioResult(
-                index=r["index"],
-                label=r["label"],
-                axes=tuple((a, v) for a, v in r["axes"]),
-                violations=tuple(r["violations"]),
-                transactions=r["transactions"],
-                reverted=r["reverted"],
-                premium_net=tuple((p, int(n)) for p, n in r["premium_net"]),
-                elapsed_seconds=r["elapsed_seconds"],
-                digest=r["digest"],
-                metrics=tuple(
-                    (name, canon_float(value)) for name, value in r.get("metrics", [])
-                ),
-                trace=r.get("trace", ""),
-            )
-            for r in data["results"]
-        ]
+        check_kind(cls, data)
+        results = [result_from_payload(r) for r in data["results"]]
         shard = tuple(data["shard"]) if data.get("shard") else None
         report = cls(
             backend=data["backend"],
@@ -279,6 +287,7 @@ class CampaignReport:
             limit=data["limit"],
             shard=shard,
             elapsed_seconds=data["elapsed_seconds"],
+            cache_hits=data.get("cache_hits", 0),
         )
         _fold_results(
             report,
@@ -337,6 +346,7 @@ class CampaignRunner:
         limit: int | None = None,
         shard: tuple[int, int] | None = None,
         pool: WorkerPool | None = None,
+        cache: ResultCache | None = None,
     ) -> None:
         if backend not in ("serial", "process"):
             raise ValueError(f"unknown backend {backend!r}: use serial or process")
@@ -359,12 +369,19 @@ class CampaignRunner:
                     "pool reuse needs a rebuildable matrix: use a registered "
                     "factory (e.g. default_matrix) that sets matrix.spec"
                 )
+        if cache is not None and matrix.spec is None:
+            raise ValueError(
+                "a ResultCache needs a rebuildable matrix: only registered "
+                "factories (matrix.spec set) build blocks purely from "
+                "primitive arguments, which is what makes block keys sound"
+            )
         self.matrix = matrix
         self.backend = backend
         self.workers = workers if workers is not None else default_workers()
         self.limit = limit
         self.shard = shard
         self.pool = pool
+        self.cache = cache
 
     # ------------------------------------------------------------------
     # backends
@@ -398,6 +415,50 @@ class CampaignRunner:
             return "serial"  # fork overhead would dominate a one-shot pool
         return "process"
 
+    # ------------------------------------------------------------------
+    # incremental result cache
+    # ------------------------------------------------------------------
+    def _consult_cache(
+        self, indices: list[int]
+    ) -> tuple[dict[int, ScenarioResult], list[tuple[str, int, int]]]:
+        """Partition the selection against the cache.
+
+        Returns ``(hits, pending)``: per-index results served from cache
+        (rebased to global indices) and the ``(key, start, size)`` of every
+        fully-selected-but-missed block to store after the run.  Only
+        fully-selected blocks participate either way — a partial block's
+        results would not verify the whole block.
+        """
+        hits: dict[int, ScenarioResult] = {}
+        pending: list[tuple[str, int, int]] = []
+        index_set = set(indices)
+        for start, size, block in self.matrix.block_ranges():
+            if size == 0 or not all(
+                start + offset in index_set for offset in range(size)
+            ):
+                continue
+            key = self.cache.block_key(block.describe(), size)
+            cached = self.cache.get(key, size)
+            if cached is None:
+                pending.append((key, start, size))
+            else:
+                for local, result in enumerate(cached):
+                    hits[start + local] = replace(result, index=start + local)
+        return hits, pending
+
+    def _store_blocks(
+        self,
+        pending: list[tuple[str, int, int]],
+        ran: dict[int, ScenarioResult],
+    ) -> None:
+        """Store every pending block's freshly-run (verified) results."""
+        for key, start, size in pending:
+            block_results = [
+                replace(ran[start + offset], index=offset)
+                for offset in range(size)
+            ]
+            self.cache.put(key, block_results)
+
     def run(self) -> CampaignReport:
         total = len(self.matrix)
         # Normalize no-op selections so the digest reflects the *effective*
@@ -405,10 +466,15 @@ class CampaignRunner:
         limit = self.limit if self.limit is not None and self.limit < total else None
         shard = self.shard if self.shard is not None and self.shard[1] > 1 else None
         indices = self.matrix.selection(limit=limit, shard=shard)
-        backend = self._resolve_backend(len(indices))
         matrix_digest = self.matrix.digest()
 
         start = time.perf_counter()
+        hits: dict[int, ScenarioResult] = {}
+        pending: list[tuple[str, int, int]] = []
+        if self.cache is not None:
+            hits, pending = self._consult_cache(indices)
+        to_run = [i for i in indices if i not in hits] if hits else indices
+        backend = self._resolve_backend(len(to_run))
         if backend == "process:pooled":
             if self.matrix.spec is None:  # add_block after construction
                 raise ValueError(
@@ -419,15 +485,28 @@ class CampaignRunner:
             # Before the pool's first fork, hand it the parent-side
             # expansion so workers inherit the table instead of rebuilding.
             seed = None if self.pool.started else list(self.matrix.scenarios())
-            results = self.pool.run_indices(
-                self.matrix.spec, matrix_digest, indices, scenarios=seed
+            fresh = self.pool.run_indices(
+                self.matrix.spec, matrix_digest, to_run, scenarios=seed
             )
         else:
-            scenarios = list(self.matrix.scenarios(limit=limit, shard=shard))
-            if backend == "process":
-                results = self._run_process(scenarios)
+            if self.cache is None:
+                scenarios = list(self.matrix.scenarios(limit=limit, shard=shard))
             else:
-                results = self._run_serial(scenarios)
+                scenarios = list(self.matrix.scenarios(indices=to_run))
+            if backend == "process":
+                fresh = self._run_process(scenarios)
+            else:
+                fresh = self._run_serial(scenarios)
+        ran = {result.index: result for result in fresh}
+        if pending:
+            self._store_blocks(pending, ran)
+        if hits:
+            results = [
+                hits[index] if index in hits else ran[index]
+                for index in indices
+            ]
+        else:
+            results = fresh
         elapsed = time.perf_counter() - start
 
         if backend == "process:pooled":
@@ -444,6 +523,7 @@ class CampaignRunner:
             limit=limit,
             shard=shard,
             elapsed_seconds=elapsed,
+            cache_hits=len(hits),
         )
         preamble = _digest_preamble(
             report.matrix_digest, total, len(results), limit, shard

@@ -12,8 +12,36 @@ Examples::
 
 ``--deviate NAME@ROUND`` wraps the named party in a sore-loser halt; it can
 be repeated.  ``check`` runs the exhaustive model checker for a protocol
-family and prints the report.  ``campaign`` runs the batched adversarial
-scenario matrix over every protocol family:
+family and prints the report.
+
+**The declarative spec workflow** is the front door to every engine: one
+JSON :class:`~repro.campaign.experiment.ExperimentSpec` names the matrix
+factory and its parameters, the selection, the backend, the refinement
+tolerance, and (optionally) the digests the run must reproduce.
+
+- ``spec campaign|ablate|ablate-refine [flags] --out SPEC.json`` emits a
+  spec from the same flags the legacy subcommands take,
+- ``run SPEC.json`` executes it — add ``--cache DIR`` for the incremental
+  result cache (verified scenario blocks keyed on block descriptor + code
+  version are served from the store; the hit-rate is reported next to the
+  digest, which a warm run reproduces byte-identically),
+- ``merge R1.json R2.json ...`` is kind-aware: campaign shard reports (of
+  either matrix shape) recombine into the unsharded run digest, and
+  ablation-shaped merges reduce the frontier too,
+- the legacy ``campaign``/``ablate``/``ablate-refine`` subcommands are
+  thin shims that construct the same spec from their flags and run it
+  through the same facade — flag-driven and spec-driven runs are
+  byte-identical by construction.
+
+::
+
+    python -m repro.cli spec ablate --premiums 0,0.02,0.05 --shocks 0.045 \
+        --stages staked --out spec.json
+    python -m repro.cli run spec.json --cache .repro-cache
+    python -m repro.cli run spec.json --cache .repro-cache --expect 9c31…
+
+``campaign`` runs the batched adversarial scenario matrix over every
+protocol family:
 
 - ``--backend process`` parallelises it (tiny selections fall back to
   serial; the report records the backend that actually ran),
@@ -91,14 +119,19 @@ import sys
 
 from repro.campaign import (
     CampaignReport,
-    CampaignRunner,
+    Experiment,
+    ExperimentError,
+    ExperimentSpec,
     FAMILY_NAMES,
+    ResultCache,
     WorkerPool,
-    ablation_matrix,
-    default_matrix,
-    merge_reports,
+    ablate_spec,
+    campaign_spec,
+    merge_reports_any,
     reduce_frontier,
     refine_frontier,
+    refine_spec,
+    report_from_json,
 )
 from repro.campaign.ablation import (
     ABLATION_FAMILIES,
@@ -277,6 +310,105 @@ def _parse_shard(text: str | None) -> tuple[int, int] | None:
         raise SystemExit(f"--shard expects I/N (e.g. 2/3), got {text!r}")
 
 
+#: the report kind a given experiment kind's --expect digest refers to.
+PRIMARY_KINDS = {
+    "campaign": "campaign",
+    "ablate": "frontier",
+    "ablate-refine": "refined-frontier",
+}
+
+
+def _parse_fractions(text: str | None, flag: str) -> tuple[float, ...] | None:
+    if text is None:
+        return None
+    try:
+        return tuple(float(f.strip()) for f in text.split(",") if f.strip())
+    except ValueError:
+        raise SystemExit(f"{flag} expects comma-separated fractions, got {text!r}")
+
+
+def _parse_families(text: str | None) -> tuple[str, ...] | None:
+    if text and text != "all":
+        return tuple(f.strip() for f in text.split(",") if f.strip())
+    return None
+
+
+def _write_json(path: str, text: str, label: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"{label} written to {path}")
+
+
+def _open_cache(args) -> ResultCache | None:
+    path = getattr(args, "cache", None)
+    if not path:
+        return None
+    try:
+        return ResultCache(path)
+    except OSError as err:
+        raise SystemExit(f"error opening cache {path}: {err}")
+
+
+def _spec_from_args(kind: str, args) -> ExperimentSpec:
+    """One spec constructor behind both `spec` and the legacy shims."""
+    backend = "pooled" if getattr(args, "pooled", False) else args.backend
+    try:
+        if kind == "campaign":
+            return campaign_spec(
+                families=_parse_families(args.families),
+                seed=args.seed,
+                max_adversaries=args.adversaries,
+                backend=backend,
+                workers=args.workers,
+                limit=args.limit,
+                shard=_parse_shard(args.shard),
+            )
+        grid = dict(
+            families=_parse_families(args.families),
+            premium_fractions=_parse_fractions(args.premiums, "--premiums"),
+            shock_fractions=_parse_fractions(args.shocks, "--shocks"),
+            stages=tuple(s.strip() for s in args.stages.split(",") if s.strip())
+            if args.stages
+            else None,
+            coalitions=args.coalitions,
+            seed=args.seed,
+            backend=backend,
+            workers=args.workers,
+        )
+        if kind == "ablate":
+            return ablate_spec(shard=_parse_shard(args.shard), **grid)
+        return refine_spec(tol=args.tol, **grid)
+    except (ValueError, ExperimentError) as err:
+        raise SystemExit(f"error: {err}")
+
+
+def _print_matrix_breakdown(matrix, label: str) -> None:
+    sizes = matrix.block_sizes()
+    print(
+        f"{label}: {len(matrix)} scenarios over {len(sizes)} families "
+        f"(seed={matrix.seed}, digest={matrix.digest()[:16]})"
+    )
+    for family, size in sizes.items():
+        print(f"  {family:<14} {size:>6}")
+
+
+def _print_violations(report: CampaignReport, traces: int = 1) -> None:
+    for index, violation in enumerate(report.violations[:20]):
+        print(f"  {violation.scenario}: {violation.message}")
+        if violation.trace and index < traces:
+            print("    " + violation.trace.replace("\n", "\n    "))
+
+
+def _cache_note(report: CampaignReport) -> str:
+    """The hit-rate note printed beside a digest (never hashed into it)."""
+    if not report.cache_hits:
+        return ""
+    return (
+        f" (cache hit-rate {report.cache_hit_rate:.0%}, "
+        f"{report.cache_hits}/{report.scenarios})"
+    )
+
+
 def _print_campaign_report(report: CampaignReport) -> None:
     print(report.summary())
     for axis in ("family", "strategy"):
@@ -293,88 +425,8 @@ def _print_campaign_report(report: CampaignReport) -> None:
     )
     print(f"selection: {report.selection} "
           f"({report.scenarios}/{report.total_scenarios} scenarios)")
-    print(f"run digest: {report.run_digest}")
+    print(f"run digest: {report.run_digest}{_cache_note(report)}")
     _print_violations(report)
-
-
-def cmd_campaign(args) -> None:
-    families = None
-    if args.families and args.families != "all":
-        families = [f.strip() for f in args.families.split(",") if f.strip()]
-    try:
-        matrix = default_matrix(
-            families=families, seed=args.seed, max_adversaries=args.adversaries
-        )
-    except ValueError as err:
-        raise SystemExit(f"error: {err}")
-    sizes = matrix.block_sizes()
-    total = len(matrix)
-    print(f"matrix: {total} scenarios over {len(sizes)} families "
-          f"(seed={matrix.seed}, digest={matrix.digest()[:16]})")
-    for family, size in sizes.items():
-        print(f"  {family:<14} {size:>6}")
-    if args.list:
-        return
-    try:
-        runner = CampaignRunner(
-            matrix,
-            backend=args.backend,
-            workers=args.workers,
-            limit=args.limit,
-            shard=_parse_shard(args.shard),
-        )
-    except ValueError as err:
-        raise SystemExit(f"error: {err}")
-    report = runner.run()
-    print()
-    _print_campaign_report(report)
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(report.to_json())
-        print(f"report written to {args.out}")
-    if not report.ok:
-        raise SystemExit(1)
-
-
-def cmd_campaign_merge(args) -> None:
-    reports = []
-    for path in args.reports:
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                reports.append(CampaignReport.from_json(handle.read()))
-        except (OSError, ValueError, KeyError, TypeError) as err:
-            raise SystemExit(f"error reading {path}: {err}")
-    try:
-        merged = merge_reports(reports)
-    except ValueError as err:
-        raise SystemExit(f"error: {err}")
-    _print_campaign_report(merged)
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(merged.to_json())
-        print(f"merged report written to {args.out}")
-    if args.expect and merged.run_digest != args.expect:
-        raise SystemExit(
-            f"digest mismatch: merged {merged.run_digest} != expected {args.expect}"
-        )
-    if not merged.ok:
-        raise SystemExit(1)
-
-
-def _parse_fractions(text: str | None, flag: str) -> tuple[float, ...] | None:
-    if text is None:
-        return None
-    try:
-        return tuple(float(f.strip()) for f in text.split(",") if f.strip())
-    except ValueError:
-        raise SystemExit(f"{flag} expects comma-separated fractions, got {text!r}")
-
-
-def _print_violations(report: CampaignReport, traces: int = 1) -> None:
-    for index, violation in enumerate(report.violations[:20]):
-        print(f"  {violation.scenario}: {violation.message}")
-        if violation.trace and index < traces:
-            print("    " + violation.trace.replace("\n", "\n    "))
 
 
 def _print_frontier(frontier: FrontierReport) -> None:
@@ -384,185 +436,270 @@ def _print_frontier(frontier: FrontierReport) -> None:
     print(f"frontier digest: {frontier.digest}")
 
 
-def _finish_frontier(frontier: FrontierReport, args) -> None:
-    _print_frontier(frontier)
-    if args.frontier_out:
-        with open(args.frontier_out, "w", encoding="utf-8") as handle:
-            handle.write(frontier.to_json())
-        print(f"frontier written to {args.frontier_out}")
-    if args.expect and frontier.digest != args.expect:
-        raise SystemExit(
-            f"digest mismatch: frontier {frontier.digest} != expected {args.expect}"
-        )
-
-
-def _build_ablation_matrix(args):
-    families = None
-    if args.families and args.families != "all":
-        families = tuple(f.strip() for f in args.families.split(",") if f.strip())
-    try:
-        matrix = ablation_matrix(
-            families=families,
-            premium_fractions=_parse_fractions(args.premiums, "--premiums"),
-            shock_fractions=_parse_fractions(args.shocks, "--shocks"),
-            stages=tuple(s.strip() for s in args.stages.split(",") if s.strip())
-            if args.stages
-            else None,
-            coalitions=args.coalitions,
-            seed=args.seed,
-        )
-    except ValueError as err:
-        raise SystemExit(f"error: {err}")
-    print(
-        f"ablation grid: {len(matrix)} scenarios over "
-        f"{len(matrix.families())} families "
-        f"(seed={matrix.seed}, digest={matrix.digest()[:16]})"
-    )
-    for family, size in matrix.block_sizes().items():
-        print(f"  {family:<14} {size:>6}")
-    return matrix
-
-
-def cmd_ablate(args) -> None:
-    matrix = _build_ablation_matrix(args)
-    if args.list:
-        return
-    pool = WorkerPool(workers=args.workers) if args.pooled else None
-    try:
-        runner = CampaignRunner(
-            matrix,
-            backend="process" if args.pooled else args.backend,
-            workers=None if args.pooled else args.workers,
-            shard=_parse_shard(args.shard),
-            pool=pool,
-        )
-        report = runner.run()
-    except ValueError as err:
-        raise SystemExit(f"error: {err}")
-    finally:
-        if pool is not None:
-            pool.close()
-    print()
-    print(report.summary())
-    _print_violations(report)
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(report.to_json())
-        print(f"report written to {args.out}")
-    if report.complete:
-        _finish_frontier(reduce_frontier(report), args)
-    else:
-        if args.expect or args.frontier_out:
-            raise SystemExit(
-                f"error: selection {report.selection} cannot honor "
-                "--expect/--frontier-out — frontier reduction needs full "
-                "coverage; merge all shards with ablate-merge"
-            )
-        print(
-            f"selection {report.selection}: frontier reduction needs full "
-            "coverage — merge all shards with ablate-merge"
-        )
-    if not report.ok:
-        raise SystemExit(1)
-
-
-def cmd_ablate_refine(args) -> None:
-    pool = WorkerPool(workers=args.workers) if args.pooled else None
-    try:
-        if args.from_report:
-            # The loaded frontier fixes the grid; grid flags would silently
-            # not apply, so reject them rather than mislead.
-            overridden = [
-                flag
-                for flag, given in (
-                    ("--families", args.families != "all"),
-                    ("--premiums", args.premiums is not None),
-                    ("--shocks", args.shocks is not None),
-                    ("--stages", args.stages is not None),
-                    ("--coalitions", args.coalitions),
-                    ("--seed", args.seed != 0),
-                )
-                if given
-            ]
-            if overridden:
-                raise SystemExit(
-                    f"error: {', '.join(overridden)} cannot be combined with "
-                    "--from — the loaded frontier already fixes the grid"
-                )
-            try:
-                with open(args.from_report, "r", encoding="utf-8") as handle:
-                    frontier = FrontierReport.from_json(handle.read())
-            except (OSError, ValueError, KeyError, TypeError) as err:
-                raise SystemExit(f"error reading {args.from_report}: {err}")
-            print(f"lattice frontier loaded from {args.from_report}")
-        else:
-            matrix = _build_ablation_matrix(args)
-            try:
-                runner = CampaignRunner(
-                    matrix,
-                    backend="process" if args.pooled else args.backend,
-                    workers=None if args.pooled else args.workers,
-                    pool=pool,
-                )
-                report = runner.run()
-            except ValueError as err:
-                raise SystemExit(f"error: {err}")
-            print()
-            print(report.summary())
-            if not report.ok:
-                _print_violations(report)
-                raise SystemExit(1)
-            frontier = reduce_frontier(report)
-        print(frontier.summary())
-        try:
-            refined = refine_frontier(
-                frontier,
-                tol=args.tol,
-                backend="process" if args.pooled else "serial",
-                pool=pool,
-            )
-        except (ValueError, RuntimeError) as err:
-            # RuntimeError: a bisection probe violated a protocol property
-            raise SystemExit(f"error: {err}")
-    finally:
-        if pool is not None:
-            pool.close()
+def _print_refined(refined) -> None:
     print()
     print(refined.summary())
     print(refined.table())
     print(f"refined digest: {refined.digest}")
-    if args.refined_out:
-        with open(args.refined_out, "w", encoding="utf-8") as handle:
-            handle.write(refined.to_json())
-        print(f"refined frontier written to {args.refined_out}")
-    if args.expect and refined.digest != args.expect:
+
+
+def _run_experiment(spec: ExperimentSpec, args, list_only: bool = False):
+    """Execute a spec and print its reports (the shared engine behind
+    ``run`` and the legacy shims).  Returns the :class:`ExperimentResult`,
+    or None for ``--list``."""
+    cache = _open_cache(args)
+    try:
+        matrix = spec.matrix.build()
+    except (KeyError, ValueError) as err:
+        raise SystemExit(f"error: {err}")
+    label = "matrix" if spec.kind == "campaign" else "ablation grid"
+    _print_matrix_breakdown(matrix, label)
+    if list_only:
+        return None
+    try:
+        result = Experiment(spec, cache=cache, matrix=matrix).run()
+    except ExperimentError as err:
+        raise SystemExit(f"error: {err}")
+    except (ValueError, RuntimeError) as err:
+        # RuntimeError: a bisection probe violated a protocol property
+        raise SystemExit(f"error: {err}")
+    report = result.campaign
+    print()
+    if spec.kind == "campaign":
+        _print_campaign_report(report)
+    else:
+        print(report.summary())
+        print(f"run digest: {report.run_digest}{_cache_note(report)}")
+        _print_violations(report)
+    if getattr(args, "out", None):
+        _write_json(args.out, report.to_json(), "report")
+    if result.frontier is not None:
+        _print_frontier(result.frontier)
+        if getattr(args, "frontier_out", None):
+            _write_json(args.frontier_out, result.frontier.to_json(), "frontier")
+    if result.refined is not None:
+        _print_refined(result.refined)
+        if getattr(args, "refined_out", None):
+            _write_json(
+                args.refined_out, result.refined.to_json(), "refined frontier"
+            )
+    return result
+
+
+def _check_expect(args, kind: str, result) -> None:
+    """Honor a shim/run --expect flag against the primary report digest."""
+    if not getattr(args, "expect", None):
+        return
+    primary_kind = PRIMARY_KINDS[kind]
+    produced = {type(r).kind: r.digest for r in result.reports}
+    actual = produced.get(primary_kind)
+    if actual is None:
         raise SystemExit(
-            f"digest mismatch: refined {refined.digest} != expected {args.expect}"
+            f"error: selection {result.campaign.selection} cannot honor "
+            f"--expect — {primary_kind} reduction needs full coverage; "
+            "merge all shards with the merge subcommand"
+        )
+    if actual != args.expect:
+        raise SystemExit(
+            f"digest mismatch: {primary_kind} {actual} != expected {args.expect}"
         )
 
 
-def cmd_ablate_merge(args) -> None:
+# ----------------------------------------------------------------------
+# spec workflow subcommands
+# ----------------------------------------------------------------------
+def cmd_spec(args) -> None:
+    spec = _spec_from_args(args.spec_kind, args)
+    if args.expect:
+        from dataclasses import replace
+
+        spec = replace(
+            spec, expect=((PRIMARY_KINDS[args.spec_kind], args.expect),)
+        )
+    text = spec.to_json()
+    if args.out:
+        _write_json(args.out, text, "spec")
+        print(f"spec digest: {spec.digest()}")
+    else:
+        print(text)
+
+
+def cmd_run(args) -> None:
+    try:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = ExperimentSpec.from_json(handle.read())
+    except (OSError, ExperimentError) as err:
+        raise SystemExit(f"error reading {args.spec}: {err}")
+    print(f"spec: kind={spec.kind} digest={spec.digest()[:16]} "
+          f"backend={spec.backend}")
+    result = _run_experiment(spec, args, list_only=args.list)
+    if result is None:
+        return
+    _check_expect(args, spec.kind, result)
+    if not result.ok:
+        raise SystemExit(1)
+    if spec.kind == "ablate" and result.frontier is None and not args.expect:
+        print(
+            f"selection {result.campaign.selection}: frontier reduction "
+            "needs full coverage — merge all shards with the merge "
+            "subcommand"
+        )
+
+
+def cmd_merge(args) -> None:
     reports = []
     for path in args.reports:
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                reports.append(CampaignReport.from_json(handle.read()))
+                reports.append(report_from_json(handle.read()))
         except (OSError, ValueError, KeyError, TypeError) as err:
             raise SystemExit(f"error reading {path}: {err}")
     try:
-        merged = merge_reports(reports)
-        frontier = reduce_frontier(merged)
+        merged = merge_reports_any(reports)
     except ValueError as err:
         raise SystemExit(f"error: {err}")
-    print(merged.summary())
-    _print_violations(merged)
+    ablation_shaped = _is_ablation_report(merged)
+    frontier = None
+    if ablation_shaped and merged.complete:
+        try:
+            frontier = reduce_frontier(merged)
+        except ValueError as err:
+            raise SystemExit(f"error: {err}")
+    _print_campaign_report(merged)
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(merged.to_json())
-        print(f"merged report written to {args.out}")
-    _finish_frontier(frontier, args)
+        _write_json(args.out, merged.to_json(), "merged report")
+    if frontier is not None:
+        _print_frontier(frontier)
+        if getattr(args, "frontier_out", None):
+            _write_json(args.frontier_out, frontier.to_json(), "frontier")
+    elif ablation_shaped:
+        # A partial merge still writes/prints the recombined report above;
+        # only the frontier reduction needs every shard.
+        if getattr(args, "frontier_out", None):
+            raise SystemExit(
+                f"error: selection {merged.selection} cannot honor "
+                "--frontier-out — frontier reduction needs full coverage; "
+                "merge the remaining shards first"
+            )
+        print(
+            f"selection {merged.selection}: frontier reduction needs full "
+            "coverage — merge the remaining shards first"
+        )
+    primary = frontier if frontier is not None else merged
+    if args.expect and primary.digest != args.expect:
+        raise SystemExit(
+            f"digest mismatch: merged {primary.digest} != expected {args.expect}"
+        )
     if not merged.ok:
         raise SystemExit(1)
+
+
+def _is_ablation_report(report: CampaignReport) -> bool:
+    """True iff the report came from an ablation-shaped matrix (every
+    result carries the grid axes the frontier reducer needs)."""
+    if not report.results:
+        return False
+    axes = dict(report.results[0].axes)
+    return all(axis in axes for axis in ("pi", "shock", "stage"))
+
+
+# ----------------------------------------------------------------------
+# legacy shims (flag-driven spec construction, same facade)
+# ----------------------------------------------------------------------
+def cmd_campaign(args) -> None:
+    spec = _spec_from_args("campaign", args)
+    result = _run_experiment(spec, args, list_only=args.list)
+    if result is None:
+        return
+    if not result.ok:
+        raise SystemExit(1)
+
+
+def cmd_ablate(args) -> None:
+    spec = _spec_from_args("ablate", args)
+    result = _run_experiment(spec, args, list_only=args.list)
+    if result is None:
+        return
+    if result.frontier is None:
+        if args.expect or args.frontier_out:
+            raise SystemExit(
+                f"error: selection {result.campaign.selection} cannot honor "
+                "--expect/--frontier-out — frontier reduction needs full "
+                "coverage; merge all shards with ablate-merge"
+            )
+        print(
+            f"selection {result.campaign.selection}: frontier reduction "
+            "needs full coverage — merge all shards with ablate-merge"
+        )
+    else:
+        _check_expect(args, "ablate", result)
+    if not result.ok:
+        raise SystemExit(1)
+
+
+def cmd_ablate_refine(args) -> None:
+    if args.from_report:
+        _refine_from_file(args)
+        return
+    spec = _spec_from_args("ablate-refine", args)
+    result = _run_experiment(spec, args, list_only=getattr(args, "list", False))
+    if result is None:
+        return
+    if not result.ok:
+        raise SystemExit(1)
+    _check_expect(args, "ablate-refine", result)
+
+
+def _refine_from_file(args) -> None:
+    """The ``ablate-refine --from FRONTIER.json`` path: refine a loaded
+    lattice instead of running the grid (no spec involved — the loaded
+    frontier fixes the grid)."""
+    overridden = [
+        flag
+        for flag, given in (
+            ("--families", args.families != "all"),
+            ("--premiums", args.premiums is not None),
+            ("--shocks", args.shocks is not None),
+            ("--stages", args.stages is not None),
+            ("--coalitions", args.coalitions),
+            ("--seed", args.seed != 0),
+        )
+        if given
+    ]
+    if overridden:
+        raise SystemExit(
+            f"error: {', '.join(overridden)} cannot be combined with "
+            "--from — the loaded frontier already fixes the grid"
+        )
+    try:
+        with open(args.from_report, "r", encoding="utf-8") as handle:
+            frontier = FrontierReport.from_json(handle.read())
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        raise SystemExit(f"error reading {args.from_report}: {err}")
+    print(f"lattice frontier loaded from {args.from_report}")
+    print(frontier.summary())
+    pool = WorkerPool(workers=args.workers) if args.pooled else None
+    try:
+        refined = refine_frontier(
+            frontier,
+            tol=args.tol,
+            backend="process" if args.pooled else "serial",
+            pool=pool,
+            cache=_open_cache(args),
+        )
+    except (ValueError, RuntimeError) as err:
+        # RuntimeError: a bisection probe violated a protocol property
+        raise SystemExit(f"error: {err}")
+    finally:
+        if pool is not None:
+            pool.close()
+    _print_refined(refined)
+    if args.refined_out:
+        _write_json(args.refined_out, refined.to_json(), "refined frontier")
+    if args.expect and refined.digest != args.expect:
+        raise SystemExit(
+            f"digest mismatch: refined {refined.digest} != expected {args.expect}"
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -624,29 +761,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--adversaries", type=int, default=1)
     p.set_defaults(func=cmd_check)
 
-    p = sub.add_parser("campaign", help="batched adversarial scenario matrix")
-    p.add_argument(
-        "--families",
-        default="all",
-        help="comma-separated subset of " + ",".join(FAMILY_NAMES),
-    )
-    p.add_argument("--backend", choices=["serial", "process"], default="serial")
-    p.add_argument("--workers", type=int, default=None, help="process-pool size")
-    p.add_argument("--limit", type=int, default=None,
-                   help="run exactly min(N, total) scenarios, stratified by "
-                        "block (every family covered when N >= block count)")
-    p.add_argument("--shard", default=None, metavar="I/N",
-                   help="run the I-th of N contiguous slices of the selection")
-    p.add_argument("--out", default=None, metavar="PATH",
-                   help="write the report as JSON (for campaign-merge)")
-    p.add_argument("--seed", type=int, default=0, help="matrix identity seed")
-    p.add_argument("--adversaries", type=int, default=None,
-                   help="override max simultaneous adversaries per family")
-    p.add_argument("--list", action="store_true",
-                   help="print the matrix breakdown and exit")
-    p.set_defaults(func=cmd_campaign)
+    def exec_flags(p):
+        """--backend/--pooled/--workers/--cache: execution layout, shared
+        by every engine subcommand (spec and shim alike)."""
+        p.add_argument("--backend", choices=["serial", "process"],
+                       default="serial")
+        p.add_argument("--pooled", action="store_true",
+                       help="run through a persistent WorkerPool "
+                            "(implies process)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="process-pool size")
+        p.add_argument("--cache", default=None, metavar="DIR",
+                       help="incremental result cache: serve already-"
+                            "verified scenario blocks from this store")
 
-    def ablation_grid_flags(p):
+    def campaign_flags(p):
+        """The campaign matrix/selection flags (spec and shim alike)."""
+        p.add_argument(
+            "--families",
+            default="all",
+            help="comma-separated subset of " + ",".join(FAMILY_NAMES),
+        )
+        p.add_argument("--limit", type=int, default=None,
+                       help="run exactly min(N, total) scenarios, stratified "
+                            "by block (every family covered when N >= block "
+                            "count)")
+        p.add_argument("--shard", default=None, metavar="I/N",
+                       help="run the I-th of N contiguous slices of the "
+                            "selection")
+        p.add_argument("--seed", type=int, default=0,
+                       help="matrix identity seed")
+        p.add_argument("--adversaries", type=int, default=None,
+                       help="override max simultaneous adversaries per family")
+        exec_flags(p)
+
+    def ablation_grid_flags(p, shard=True):
+        """The shared ablation grid wiring: --premiums/--shocks/--stages/
+        --coalitions plus the execution flags — one builder behind
+        ``ablate``, ``ablate-refine``, and their ``spec`` counterparts."""
         p.add_argument(
             "--families",
             default="all",
@@ -662,29 +814,103 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--coalitions", action="store_true",
                        help="add the named two-party coalition pivots "
                             "(joint-utility arms)")
-        p.add_argument("--backend", choices=["serial", "process"],
-                       default="serial")
-        p.add_argument("--pooled", action="store_true",
-                       help="run through a persistent WorkerPool "
-                            "(implies process)")
-        p.add_argument("--workers", type=int, default=None,
-                       help="process-pool size")
         p.add_argument("--seed", type=int, default=0,
                        help="matrix identity seed")
+        if shard:
+            p.add_argument("--shard", default=None, metavar="I/N",
+                           help="run the I-th of N contiguous slices of the "
+                                "grid")
+        exec_flags(p)
+
+    def refine_flags(p):
+        p.add_argument("--tol", type=float, default=DEFAULT_TOL,
+                       help="bisection tolerance on the premium fraction "
+                            f"(default {DEFAULT_TOL} = 1/64)")
+
+    def expect_flag(p, what: str):
+        p.add_argument("--expect", default=None, metavar="DIGEST",
+                       help=f"exit non-zero unless the {what} digest matches")
+
+    def merge_flags(p):
+        p.add_argument("reports", nargs="+", metavar="REPORT.json",
+                       help="shard reports written with --out")
+        p.add_argument("--out", default=None, metavar="PATH",
+                       help="write the merged campaign report as JSON")
+        p.add_argument("--frontier-out", default=None, metavar="PATH",
+                       help="write the reduced frontier as JSON "
+                            "(ablation-shaped merges only)")
+        expect_flag(p, "merged primary (run or frontier)")
+        p.set_defaults(func=cmd_merge)
+
+    # ------------------------------------------------------------------
+    # spec workflow: spec / run / merge
+    # ------------------------------------------------------------------
+    p = sub.add_parser(
+        "spec",
+        help="emit a declarative ExperimentSpec JSON from engine flags",
+    )
+    spec_sub = p.add_subparsers(dest="spec_kind", required=True)
+    sp = spec_sub.add_parser("campaign", help="spec for the adversarial campaign")
+    campaign_flags(sp)
+    sp = spec_sub.add_parser("ablate", help="spec for the ablation lattice")
+    ablation_grid_flags(sp)
+    sp = spec_sub.add_parser(
+        "ablate-refine", help="spec for the bisected frontier"
+    )
+    ablation_grid_flags(sp, shard=False)
+    refine_flags(sp)
+    for kind, sp in spec_sub.choices.items():
+        sp.add_argument("--out", default=None, metavar="SPEC.json",
+                        help="write the spec here (default: stdout)")
+        expect_flag(sp, "primary report")
+        sp.set_defaults(func=cmd_spec, spec_kind=kind)
+
+    p = sub.add_parser(
+        "run",
+        help="run an ExperimentSpec (any engine, one entry point)",
+    )
+    p.add_argument("spec", metavar="SPEC.json",
+                   help="an experiment spec written by the spec subcommand")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="incremental result cache directory")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the campaign report as JSON (for merge)")
+    p.add_argument("--frontier-out", default=None, metavar="PATH",
+                   help="write the reduced frontier as JSON")
+    p.add_argument("--refined-out", default=None, metavar="PATH",
+                   help="write the refined frontier as JSON")
+    p.add_argument("--list", action="store_true",
+                   help="print the matrix breakdown and exit")
+    expect_flag(p, "primary report")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "merge",
+        help="kind-aware merge of shard reports (campaign or ablation)",
+    )
+    merge_flags(p)
+
+    # ------------------------------------------------------------------
+    # legacy shims: flag-driven specs through the same facade
+    # ------------------------------------------------------------------
+    p = sub.add_parser("campaign", help="batched adversarial scenario matrix")
+    campaign_flags(p)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the report as JSON (for merge)")
+    p.add_argument("--list", action="store_true",
+                   help="print the matrix breakdown and exit")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
         "ablate",
         help="map the rational-adversary deviation-profitability frontier",
     )
     ablation_grid_flags(p)
-    p.add_argument("--shard", default=None, metavar="I/N",
-                   help="run the I-th of N contiguous slices of the grid")
     p.add_argument("--out", default=None, metavar="PATH",
-                   help="write the campaign report as JSON (for ablate-merge)")
+                   help="write the campaign report as JSON (for merge)")
     p.add_argument("--frontier-out", default=None, metavar="PATH",
                    help="write the reduced frontier as JSON")
-    p.add_argument("--expect", default=None, metavar="DIGEST",
-                   help="exit non-zero unless the frontier digest matches")
+    expect_flag(p, "frontier")
     p.add_argument("--list", action="store_true",
                    help="print the grid breakdown and exit")
     p.set_defaults(func=cmd_ablate)
@@ -693,46 +919,31 @@ def build_parser() -> argparse.ArgumentParser:
         "ablate-refine",
         help="bisect the frontier between lattice points to a continuous pi*",
     )
-    ablation_grid_flags(p)
-    p.add_argument("--tol", type=float, default=DEFAULT_TOL,
-                   help="bisection tolerance on the premium fraction "
-                        f"(default {DEFAULT_TOL} = 1/64)")
+    ablation_grid_flags(p, shard=False)
+    refine_flags(p)
     p.add_argument("--from", dest="from_report", default=None,
                    metavar="FRONTIER.json",
                    help="refine an existing frontier (written by ablate "
-                        "--frontier-out or ablate-merge) instead of running "
-                        "the lattice grid")
+                        "--frontier-out or merge) instead of running the "
+                        "lattice grid")
     p.add_argument("--refined-out", default=None, metavar="PATH",
                    help="write the refined frontier as JSON")
-    p.add_argument("--expect", default=None, metavar="DIGEST",
-                   help="exit non-zero unless the refined digest matches")
+    expect_flag(p, "refined")
     p.set_defaults(func=cmd_ablate_refine)
 
     p = sub.add_parser(
         "ablate-merge",
-        help="merge sharded ablation reports and reduce the frontier",
+        help="merge sharded ablation reports and reduce the frontier "
+             "(alias of merge)",
     )
-    p.add_argument("reports", nargs="+", metavar="REPORT.json",
-                   help="shard reports written by ablate --out")
-    p.add_argument("--out", default=None, metavar="PATH",
-                   help="write the merged campaign report as JSON")
-    p.add_argument("--frontier-out", default=None, metavar="PATH",
-                   help="write the reduced frontier as JSON")
-    p.add_argument("--expect", default=None, metavar="DIGEST",
-                   help="exit non-zero unless the frontier digest matches")
-    p.set_defaults(func=cmd_ablate_merge)
+    merge_flags(p)
 
     p = sub.add_parser(
         "campaign-merge",
-        help="merge sharded campaign reports into one run digest",
+        help="merge sharded campaign reports into one run digest "
+             "(alias of merge)",
     )
-    p.add_argument("reports", nargs="+", metavar="REPORT.json",
-                   help="shard reports written by campaign --out")
-    p.add_argument("--out", default=None, metavar="PATH",
-                   help="write the merged report as JSON")
-    p.add_argument("--expect", default=None, metavar="DIGEST",
-                   help="exit non-zero unless the merged run digest matches")
-    p.set_defaults(func=cmd_campaign_merge)
+    merge_flags(p)
     return parser
 
 

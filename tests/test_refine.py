@@ -90,19 +90,43 @@ def test_tighter_tolerance_takes_more_probes_and_narrows_the_bracket():
 
 
 def test_undeterred_and_trivially_deterred_rows_carry_through():
-    # pre-stake: walking is free, nothing refines — undeterred is a result
+    # pre-stake: walking is free, so the upward expansion probes to the
+    # ceiling and *confirms* undeterred instead of assuming it
+    from repro.campaign.ablation import EXPAND_CEILING
+
     refined = refine_frontier(
         lattice_frontier(("two-party",), stages=("pre-stake",))
     )
     row = refined.rows[0]
     assert not row.deterred and row.pi_star is None
-    assert row.iterations == 0 and not row.probes
+    assert row.probes and all(probe.cell.walked for probe in row.probes)
+    assert row.pi_lo == EXPAND_CEILING  # walked all the way up
+    assert row.probes[-1].cell.pi == EXPAND_CEILING
     # a late-round shock deters even the unhedged run: π* = 0, no probes
     late = refine_frontier(
         lattice_frontier(("two-party",), stages=("round:6",))
     )
     assert late.rows[0].pi_star == 0.0
     assert late.rows[0].converged and not late.rows[0].probes
+
+
+def test_refine_extends_the_bracket_upward_when_the_lattice_ceiling_walks():
+    # ROADMAP satellite: two-party at s = 0.105 with premiums <= 0.08 walks
+    # at every lattice point; the engine doubles past the ceiling, finds a
+    # deterring probe, and bisects to the closed form instead of carrying
+    # the row through unrefined.
+    shock = 0.105
+    frontier = lattice_frontier(("two-party",), shocks=(shock,))
+    assert frontier.rows[0].pi_star is None  # lattice ceiling still walks
+    refined = refine_frontier(frontier)
+    row = refined.rows[0]
+    assert row.lattice_hi is None and row.deterred and row.converged
+    closed = closed_form_pi_star("two-party", shock)
+    assert abs(row.pi_star - closed) <= DEFAULT_TOL + 0.5 / premium_base(
+        "two-party"
+    )
+    # the first expansion probe doubles the lattice ceiling
+    assert row.probes[0].cell.pi == 2 * max(LATTICE)
 
 
 def test_refine_opens_the_bracket_at_zero_when_the_lattice_floor_deters():
@@ -266,6 +290,38 @@ def test_refined_coalition_rows_price_the_collusive_walk():
     # squeezing the broker out of its markup is not hedged by any swept
     # premium: the collusive row stays undeterred
     assert not broker.deterred
+
+
+def test_refined_coalition_frontier_brackets_the_closed_forms():
+    # satellite: the outsider-facing stake sums give closed-form collusive
+    # thresholds the refined coalition rows must bracket
+    from repro.campaign.ablation import (
+        closed_form_coalition_pi_star,
+        coalition_deterrence_stake,
+    )
+
+    refined = refine_frontier(
+        lattice_frontier(("multi-party", "broker"), coalitions=True)
+    )
+    # ring P1+P2: external stake = 3p escrow toward P0 + p redemption = 4p,
+    # coincidentally the single pivot's stake — collusion buys no discount
+    assert coalition_deterrence_stake("multi-party", "P1+P2", 0.05) == 4 * 5
+    closed = closed_form_coalition_pi_star("multi-party", "P1+P2", SHOCK)
+    assert closed == closed_form_pi_star("multi-party", SHOCK)
+    ring = refined.row("multi-party", "staked", SHOCK, coalition="P1+P2")
+    quantum = 0.5 / premium_base("multi-party")
+    assert ring.converged
+    assert ring.pi_lo - quantum <= closed <= ring.pi_hi + quantum, (ring, closed)
+    # broker seller+buyer: the markup is un-hedgeable rent — the closed
+    # form is None, and the refined row stays undeterred even though the
+    # upward expansion probed all the way to the ceiling
+    assert closed_form_coalition_pi_star("broker", "seller+buyer", SHOCK) is None
+    assert coalition_deterrence_stake("broker", "seller+buyer", 0.05) is None
+    broker = refined.row("broker", "staked", SHOCK, coalition="seller+buyer")
+    assert not broker.deterred and broker.probes
+    assert all(probe.cell.walked for probe in broker.probes)
+    with pytest.raises(ValueError, match="unknown coalition"):
+        coalition_deterrence_stake("multi-party", "nope", 0.05)
 
 
 def test_coalition_walks_are_jointly_rational():
