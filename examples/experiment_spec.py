@@ -13,6 +13,10 @@ example shows the full loop:
 - run it warm: every already-verified scenario block is served from the
   store — the hit-rate is 100% and the digests are byte-identical, which
   is what makes 10^5+-scenario matrices re-runnable after small edits,
+- swap the ``engine``: ablation specs default to the vectorized payoff
+  kernels (``engine="kernel"``); ``engine="simulator"`` replays the same
+  scenarios through the full simulator — the audit path CI holds the
+  kernels to — and reproduces every digest byte-identically,
 - pin the digests into the spec's ``expect`` block, turning the spec into
   a self-verifying, shippable artifact (this is what a multi-host driver
   would send to each worker).
@@ -66,6 +70,15 @@ def main() -> None:
     print(f"hit-rate {warm.campaign.cache_hit_rate:.0%} "
           f"({warm.campaign.cache_hits}/{warm.campaign.scenarios}), "
           "digests byte-identical")
+    print()
+
+    print("=== the kernel engine vs the simulator audit path ===")
+    assert spec.engine == "kernel"  # ablation specs default to the kernels
+    audit = Experiment(replace(spec, engine="simulator")).run()
+    assert audit.campaign.run_digest == cold.campaign.run_digest
+    assert audit.frontier.digest == cold.frontier.digest
+    print("the full simulator reproduced the kernel engine's digests")
+    print("byte-identically — the parity CI enforces this on every push.")
     print()
 
     print("=== the common Report protocol ===")

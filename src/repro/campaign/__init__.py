@@ -61,6 +61,8 @@ from repro.campaign.families import (
 from repro.campaign.ablation import (
     AblationGrid,
     FrontierReport,
+    KernelEngine,
+    KernelUnsupported,
     RefinedFrontierReport,
     ablation_cell,
     ablation_matrix,
@@ -89,6 +91,8 @@ __all__ = [
     "ExperimentSpec",
     "FAMILY_NAMES",
     "FrontierReport",
+    "KernelEngine",
+    "KernelUnsupported",
     "MatrixSpec",
     "RefinedFrontierReport",
     "Report",

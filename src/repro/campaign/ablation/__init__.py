@@ -63,6 +63,11 @@ from repro.campaign.ablation.grid import (
     premium_base,
     shocked_notional,
 )
+from repro.campaign.ablation.kernels import (
+    KERNEL_FACTORIES,
+    KernelEngine,
+    KernelUnsupported,
+)
 from repro.campaign.ablation.refine import (
     DEFAULT_TOL,
     EXPAND_CEILING,
@@ -84,6 +89,9 @@ __all__ = [
     "FrontierCell",
     "FrontierReport",
     "FrontierRow",
+    "KERNEL_FACTORIES",
+    "KernelEngine",
+    "KernelUnsupported",
     "RefinedFrontierReport",
     "RefinedRow",
     "ablation_cell",

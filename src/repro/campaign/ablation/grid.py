@@ -206,49 +206,87 @@ def _axes(
 # ----------------------------------------------------------------------
 # family cells
 # ----------------------------------------------------------------------
-def _add_two_party(matrix, premium_fractions, shock_fractions, stages) -> None:
+@dataclass
+class FamilyCell:
+    """One family's fully-wired cell context at one integer premium.
+
+    Everything a ``(family, coalition, premium)`` point of the grid needs
+    — builder, contract directory, pivot set, price-path ingredients,
+    stage schedule, properties, metrics parties, the utility model, and
+    the symbolic per-round gain terms — in one object shared by the matrix
+    adders (which expand it into comply/rational blocks per shock × stage)
+    and the vectorized kernel engine (which calibrates payoff templates
+    from it).  Building both from the same context is what makes the two
+    engines agree cell-by-cell: same closures, same float op order, same
+    block descriptors.
+    """
+
+    family: str
+    coalition: str  #: "" for the family's single pivot
+    premium: int  #: the effective integer premium π bought after rounding
+    pivots: tuple[str, ...]  #: parties the rational arm wraps
+    metrics_parties: tuple[str, ...]  #: utility-metric party set, in order
+    builder: object
+    contracts: tuple[tuple[str, str], ...]
+    base_values: tuple[tuple[str, float], ...]  #: TokenPrices ``base``
+    shocked: str  #: the token symbol the shock applies to
+    named: dict  #: named stage → shock height
+    horizon: int
+    properties: tuple
+    completed: object  #: instance -> bool, the cell's completion predicate
+    schedule_prefix: str  #: e.g. "" / "ring3/" / "ring3/P1+P2/"
+    model_factory: object  #: prices -> UtilityModel (the rational arm)
+    gain_terms: object  #: view -> list of per-member (sign, amount, asset) folds
+    #: how the folds combine into the model's completion gain:
+    #: "single" (one fold, as-is), "sum" (0 + fold_1 + ...), or "diff"
+    #: (fold_1 − fold_2, single-term folds — the auction's two legs).
+    gain_shape: str
+
+
+def _two_party_cell(premium: int) -> FamilyCell:
     """§5.2 swap: rational Bob, shock on Alice's (incoming) token."""
     from repro.checker import properties as props
     from repro.core.hedged_two_party import HedgedTwoPartySpec, HedgedTwoPartySwap
-    from repro.parties.rational import TokenPrices, rational_party, two_party_model
+    from repro.parties.rational import completion_gain_terms, two_party_model
 
-    for pi in premium_fractions:
-        spec = HedgedTwoPartySpec(premium_a=2, premium_b=scaled_premium(pi))
-        builder = lambda spec=spec: HedgedTwoPartySwap(spec).build()
-        probe = builder()
-        contracts = tuple(probe.contracts.values())
+    spec = HedgedTwoPartySpec(premium_a=2, premium_b=premium)
+    builder = lambda spec=spec: HedgedTwoPartySwap(spec).build()
+    probe = builder()
+    contracts = tuple(probe.contracts.values())
+
+    def completed(instance) -> bool:
+        return (
+            instance.contract("apricot_escrow").principal_state == "redeemed"
+            and instance.contract("banana_escrow").principal_state == "redeemed"
+        )
+
+    def model_factory(prices):
+        return two_party_model(spec, prices, contracts)
+
+    def gain_terms(view):
+        return [list(completion_gain_terms(spec.bob, view, contracts))]
+
+    return FamilyCell(
+        family="two-party",
+        coalition="",
+        premium=premium,
+        pivots=(spec.bob,),
+        metrics_parties=(spec.bob,),
+        builder=builder,
+        contracts=contracts,
+        base_values=(),
+        shocked=spec.token_a,
         # Bob's premium lands at height 2; Alice escrows at height 3 and
         # Bob's own escrow would land at height 4.
-        named = {"pre-stake": 1, "staked": 3}
-
-        def completed(instance) -> bool:
-            return (
-                instance.contract("apricot_escrow").principal_state == "redeemed"
-                and instance.contract("banana_escrow").principal_state == "redeemed"
-            )
-
-        for shock in shock_fractions:
-            for stage, height in stage_heights(stages, named, probe.horizon):
-                prices = TokenPrices(
-                    shocked=spec.token_a, fraction=shock, at_height=height
-                )
-
-                def transform(actor, spec=spec, prices=prices, contracts=contracts):
-                    return rational_party(
-                        actor, two_party_model(spec, prices, contracts)
-                    )
-
-                matrix.add_block(
-                    family="two-party",
-                    schedule=f"pi{fmt_fraction(pi)}/s{fmt_fraction(shock)}@{stage}",
-                    builder=builder,
-                    properties=(props.no_stuck_escrow, props.two_party_hedged),
-                    strategies=_make_strategies(spec.bob, transform),
-                    max_adversaries=1,
-                    include_compliant=False,
-                    extra_axes=_axes(pi, spec.premium_b, shock, stage, height),
-                    metrics=_make_metrics(spec.bob, prices, completed),
-                )
+        named={"pre-stake": 1, "staked": 3},
+        horizon=probe.horizon,
+        properties=(props.no_stuck_escrow, props.two_party_hedged),
+        completed=completed,
+        schedule_prefix="",
+        model_factory=model_factory,
+        gain_terms=gain_terms,
+        gain_shape="single",
+    )
 
 
 def _multi_party_probe(premium: int):
@@ -274,50 +312,47 @@ def _multi_party_completed(probe):
     return completed
 
 
-def _add_multi_party(matrix, premium_fractions, shock_fractions, stages) -> None:
+def _multi_party_cell(premium: int) -> FamilyCell:
     """§7.1 ring:3 swap: rational P1, shock on the leader's token."""
     from repro.checker import properties as props
-    from repro.parties.rational import TokenPrices, rational_party, swap_party_model
+    from repro.parties.rational import completion_gain_terms, swap_party_model
 
     party = "P1"
-    for pi in premium_fractions:
-        premium = scaled_premium(pi)
-        builder, probe = _multi_party_probe(premium)
-        contracts = tuple(probe.contracts.values())
-        schedule = probe.meta["schedule"]
+    builder, probe = _multi_party_probe(premium)
+    contracts = tuple(probe.contracts.values())
+    schedule = probe.meta["schedule"]
+
+    def model_factory(prices):
+        return swap_party_model(party, prices, contracts)
+
+    def gain_terms(view):
+        return [list(completion_gain_terms(party, view, contracts))]
+
+    return FamilyCell(
+        family="multi-party",
+        coalition="",
+        premium=premium,
+        pivots=(party,),
+        metrics_parties=(party,),
+        builder=builder,
+        contracts=contracts,
+        base_values=(),
+        shocked="p0-token",
         # By phase 3 the pivot's escrow premium and its redemption premium
         # for the leader's key are both held; its principal is not yet
         # escrowed (followers escrow one round after the leaders).
-        named = {"pre-stake": 0, "staked": schedule.p3_start}
-        completed = _multi_party_completed(probe)
-
-        for shock in shock_fractions:
-            for stage, height in stage_heights(stages, named, schedule.horizon):
-                prices = TokenPrices(
-                    shocked="p0-token", fraction=shock, at_height=height
-                )
-
-                def transform(actor, prices=prices, contracts=contracts):
-                    return rational_party(
-                        actor, swap_party_model(party, prices, contracts)
-                    )
-
-                matrix.add_block(
-                    family="multi-party",
-                    schedule=f"ring3/pi{fmt_fraction(pi)}/s{fmt_fraction(shock)}@{stage}",
-                    builder=builder,
-                    properties=(props.no_stuck_escrow, props.multi_party_lemmas),
-                    strategies=_make_strategies(party, transform),
-                    max_adversaries=1,
-                    include_compliant=False,
-                    extra_axes=_axes(pi, premium, shock, stage, height),
-                    metrics=_make_metrics(party, prices, completed),
-                )
+        named={"pre-stake": 0, "staked": schedule.p3_start},
+        horizon=schedule.horizon,
+        properties=(props.no_stuck_escrow, props.multi_party_lemmas),
+        completed=_multi_party_completed(probe),
+        schedule_prefix="ring3/",
+        model_factory=model_factory,
+        gain_terms=gain_terms,
+        gain_shape="single",
+    )
 
 
-def _add_multi_party_coalition(
-    matrix, premium_fractions, shock_fractions, stages
-) -> None:
+def _multi_party_coalition_cell(premium: int) -> FamilyCell:
     """Adjacent ring members P1+P2 walking together (coalition ``P1+P2``).
 
     The members' shared arc (P1, P2) is internal: its escrow premium and
@@ -326,46 +361,47 @@ def _add_multi_party_coalition(
     than either single pivot's, which is what prices the collusive π*.
     """
     from repro.checker import properties as props
-    from repro.parties.rational import TokenPrices, coalition_model, rational_party
+    from repro.parties.rational import coalition_model, completion_gain_terms
 
     members = ("P1", "P2")
     coalition = "P1+P2"
-    for pi in premium_fractions:
-        premium = scaled_premium(pi)
-        builder, probe = _multi_party_probe(premium)
-        contracts = tuple(probe.contracts.values())
-        schedule = probe.meta["schedule"]
-        named = {"pre-stake": 0, "staked": schedule.p3_start}
-        completed = _multi_party_completed(probe)
+    builder, probe = _multi_party_probe(premium)
+    contracts = tuple(probe.contracts.values())
+    schedule = probe.meta["schedule"]
+    member_set = frozenset(members)
 
-        for shock in shock_fractions:
-            for stage, height in stage_heights(stages, named, schedule.horizon):
-                prices = TokenPrices(
-                    shocked="p0-token", fraction=shock, at_height=height
-                )
+    def model_factory(prices):
+        return coalition_model(members, prices, contracts)
 
-                def transform(actor, prices=prices, contracts=contracts):
-                    return rational_party(
-                        actor, coalition_model(members, prices, contracts)
-                    )
+    def gain_terms(view):
+        # Mirrors coalition_model's joint gain: one fold per member in
+        # sorted order, each with the member set's internal-flow rule.
+        return [
+            list(
+                completion_gain_terms(p, view, contracts, coalition=member_set)
+            )
+            for p in sorted(member_set)
+        ]
 
-                matrix.add_block(
-                    family="multi-party",
-                    schedule=(
-                        f"ring3/{coalition}/pi{fmt_fraction(pi)}"
-                        f"/s{fmt_fraction(shock)}@{stage}"
-                    ),
-                    builder=builder,
-                    properties=(props.no_stuck_escrow, props.multi_party_lemmas),
-                    strategies=_make_coalition_strategies(
-                        {member: transform for member in members}
-                    ),
-                    max_adversaries=2,
-                    min_adversaries=2,
-                    include_compliant=True,
-                    extra_axes=_axes(pi, premium, shock, stage, height, coalition),
-                    metrics=_make_metrics(members, prices, completed),
-                )
+    return FamilyCell(
+        family="multi-party",
+        coalition=coalition,
+        premium=premium,
+        pivots=members,
+        metrics_parties=members,
+        builder=builder,
+        contracts=contracts,
+        base_values=(),
+        shocked="p0-token",
+        named={"pre-stake": 0, "staked": schedule.p3_start},
+        horizon=schedule.horizon,
+        properties=(props.no_stuck_escrow, props.multi_party_lemmas),
+        completed=_multi_party_completed(probe),
+        schedule_prefix=f"ring3/{coalition}/",
+        model_factory=model_factory,
+        gain_terms=gain_terms,
+        gain_shape="sum",
+    )
 
 
 def _broker_prices_base(spec):
@@ -383,57 +419,49 @@ def _broker_completed(instance) -> bool:
     )
 
 
-def _add_broker(matrix, premium_fractions, shock_fractions, stages) -> None:
+def _broker_cell(premium: int) -> FamilyCell:
     """§8.2 deal: rational seller Bob, shock on the coin he is paid in."""
     from repro.checker import properties as props
     from repro.core.hedged_broker import HedgedBrokerDeal
-    from repro.parties.rational import TokenPrices, rational_party, swap_party_model
+    from repro.parties.rational import completion_gain_terms, swap_party_model
     from repro.protocols.base_broker import BrokerSpec
 
     spec = BrokerSpec()
-    base_values = _broker_prices_base(spec)
-    for pi in premium_fractions:
-        premium = scaled_premium(pi)
-        builder = lambda p=premium: HedgedBrokerDeal(premium=p).build()
-        probe = builder()
-        contracts = tuple(probe.contracts.values())
-        deadlines = probe.meta["deadlines"]
+    builder = lambda p=premium: HedgedBrokerDeal(premium=p).build()
+    probe = builder()
+    contracts = tuple(probe.contracts.values())
+    deadlines = probe.meta["deadlines"]
+
+    def model_factory(prices):
+        return swap_party_model(spec.seller, prices, contracts)
+
+    def gain_terms(view):
+        return [list(completion_gain_terms(spec.seller, view, contracts))]
+
+    return FamilyCell(
+        family="broker",
+        coalition="",
+        premium=premium,
+        pivots=(spec.seller,),
+        metrics_parties=(spec.seller,),
+        builder=builder,
+        contracts=contracts,
+        base_values=_broker_prices_base(spec),
+        shocked=spec.coin_token,
         # Activation height: all E/T/R premiums held, asset escrows still
         # one round out.
-        named = {"pre-stake": 0, "staked": deadlines.activation}
-
-        for shock in shock_fractions:
-            for stage, height in stage_heights(stages, named, deadlines.horizon):
-                prices = TokenPrices(
-                    base=base_values,
-                    shocked=spec.coin_token,
-                    fraction=shock,
-                    at_height=height,
-                )
-
-                def transform(
-                    actor, spec=spec, prices=prices, contracts=contracts
-                ):
-                    return rational_party(
-                        actor, swap_party_model(spec.seller, prices, contracts)
-                    )
-
-                matrix.add_block(
-                    family="broker",
-                    schedule=f"pi{fmt_fraction(pi)}/s{fmt_fraction(shock)}@{stage}",
-                    builder=builder,
-                    properties=(props.no_stuck_escrow, props.broker_bounds),
-                    strategies=_make_strategies(spec.seller, transform),
-                    max_adversaries=1,
-                    include_compliant=False,
-                    extra_axes=_axes(pi, premium, shock, stage, height),
-                    metrics=_make_metrics(spec.seller, prices, _broker_completed),
-                )
+        named={"pre-stake": 0, "staked": deadlines.activation},
+        horizon=deadlines.horizon,
+        properties=(props.no_stuck_escrow, props.broker_bounds),
+        completed=_broker_completed,
+        schedule_prefix="",
+        model_factory=model_factory,
+        gain_terms=gain_terms,
+        gain_shape="single",
+    )
 
 
-def _add_broker_coalition(
-    matrix, premium_fractions, shock_fractions, stages
-) -> None:
+def _broker_coalition_cell(premium: int) -> FamilyCell:
     """Seller + buyer squeezing the broker (coalition ``seller+buyer``).
 
     Bob and Carol trade with each other *through* Alice; colluding, the
@@ -443,119 +471,196 @@ def _add_broker_coalition(
     """
     from repro.checker import properties as props
     from repro.core.hedged_broker import HedgedBrokerDeal
-    from repro.parties.rational import TokenPrices, coalition_model, rational_party
+    from repro.parties.rational import coalition_model, completion_gain_terms
     from repro.protocols.base_broker import BrokerSpec
 
     spec = BrokerSpec()
     members = (spec.seller, spec.buyer)
     coalition = "seller+buyer"
-    base_values = _broker_prices_base(spec)
-    for pi in premium_fractions:
-        premium = scaled_premium(pi)
-        builder = lambda p=premium: HedgedBrokerDeal(premium=p).build()
-        probe = builder()
-        contracts = tuple(probe.contracts.values())
-        deadlines = probe.meta["deadlines"]
-        named = {"pre-stake": 0, "staked": deadlines.activation}
+    builder = lambda p=premium: HedgedBrokerDeal(premium=p).build()
+    probe = builder()
+    contracts = tuple(probe.contracts.values())
+    deadlines = probe.meta["deadlines"]
+    member_set = frozenset(members)
 
-        for shock in shock_fractions:
-            for stage, height in stage_heights(stages, named, deadlines.horizon):
-                prices = TokenPrices(
-                    base=base_values,
-                    shocked=spec.coin_token,
-                    fraction=shock,
-                    at_height=height,
-                )
+    def model_factory(prices):
+        return coalition_model(members, prices, contracts)
 
-                def transform(actor, prices=prices, contracts=contracts):
-                    return rational_party(
-                        actor, coalition_model(members, prices, contracts)
-                    )
+    def gain_terms(view):
+        return [
+            list(
+                completion_gain_terms(p, view, contracts, coalition=member_set)
+            )
+            for p in sorted(member_set)
+        ]
 
-                matrix.add_block(
-                    family="broker",
-                    schedule=(
-                        f"{coalition}/pi{fmt_fraction(pi)}"
-                        f"/s{fmt_fraction(shock)}@{stage}"
-                    ),
-                    builder=builder,
-                    properties=(props.no_stuck_escrow, props.broker_bounds),
-                    strategies=_make_coalition_strategies(
-                        {member: transform for member in members}
-                    ),
-                    max_adversaries=2,
-                    min_adversaries=2,
-                    include_compliant=True,
-                    extra_axes=_axes(pi, premium, shock, stage, height, coalition),
-                    metrics=_make_metrics(members, prices, _broker_completed),
-                )
+    return FamilyCell(
+        family="broker",
+        coalition=coalition,
+        premium=premium,
+        pivots=members,
+        metrics_parties=members,
+        builder=builder,
+        contracts=contracts,
+        base_values=_broker_prices_base(spec),
+        shocked=spec.coin_token,
+        named={"pre-stake": 0, "staked": deadlines.activation},
+        horizon=deadlines.horizon,
+        properties=(props.no_stuck_escrow, props.broker_bounds),
+        completed=_broker_completed,
+        schedule_prefix=f"{coalition}/",
+        model_factory=model_factory,
+        gain_terms=gain_terms,
+        gain_shape="sum",
+    )
 
 
-def _add_auction(matrix, premium_fractions, shock_fractions, stages) -> None:
-    """§9 auction: rational auctioneer, shock on the bid coin."""
+def _auction_cell(premium: int) -> FamilyCell:
+    """§9 auction: rational auctioneer, shock on the bid coin.
+
+    Her walk-forfeit is p per bid placed, so π prices n·p against the
+    best bid: threshold s* = n·p / best_bid ≈ π (the caller quantizes π
+    with :func:`premium_base`).
+    """
     from repro.checker import properties as props
     from repro.core.hedged_auction import AuctionSpec, HedgedAuction
-    from repro.parties.rational import TokenPrices, auction_model, rational_party
+    from repro.parties.rational import auction_model
 
-    probe_spec = AuctionSpec()
-    best_bid = max(probe_spec.bids.values())
-    bidders = len(probe_spec.bidders)
+    spec = AuctionSpec(premium=premium)
+    best_bid = max(spec.bids.values(), default=0)
     base_values = (
         # Tickets are worth what the best bidder will pay for them.
-        (probe_spec.ticket_token, float(best_bid) / probe_spec.tickets),
-        (probe_spec.coin_token, 1.0),
+        (spec.ticket_token, float(best_bid) / spec.tickets),
+        (spec.coin_token, 1.0),
     )
-    for pi in premium_fractions:
-        # Her walk-forfeit is p per bid placed, so π prices n·p against the
-        # best bid: threshold s* = n·p / best_bid ≈ π.
-        premium = scaled_premium(pi, best_bid // bidders)
-        spec = AuctionSpec(premium=premium)
-        builder = lambda spec=spec: HedgedAuction(spec=spec).build()
-        probe = builder()
-        contracts = tuple(probe.contracts.values())
+    builder = lambda spec=spec: HedgedAuction(spec=spec).build()
+    probe = builder()
+    contracts = tuple(probe.contracts.values())
+
+    def completed(instance) -> bool:
+        return instance.contract("coin").outcome == "completed"
+
+    def model_factory(prices):
+        return auction_model(spec, prices, contracts)
+
+    def gain_terms(view):
+        # The model's two legs — best_bid · price(coin) − tickets ·
+        # price(ticket) — as one single-term fold per leg ("diff" shape).
+        coin = view.chain(spec.coin_chain).asset(spec.coin_token)
+        ticket = view.chain(spec.ticket_chain).asset(spec.ticket_token)
+        return [[(1, best_bid, coin)], [(1, spec.tickets, ticket)]]
+
+    return FamilyCell(
+        family="auction",
+        coalition="",
+        premium=premium,
+        pivots=(spec.auctioneer,),
+        metrics_parties=(spec.auctioneer,),
+        builder=builder,
+        contracts=contracts,
+        base_values=base_values,
+        shocked=spec.coin_token,
         # Bids land at height 2; the declaration round is round 2.
-        named = {"pre-stake": 0, "staked": 2}
-
-        def completed(instance) -> bool:
-            return instance.contract("coin").outcome == "completed"
-
-        for shock in shock_fractions:
-            for stage, height in stage_heights(stages, named, probe.horizon):
-                prices = TokenPrices(
-                    base=base_values,
-                    shocked=spec.coin_token,
-                    fraction=shock,
-                    at_height=height,
-                )
-
-                def transform(actor, spec=spec, prices=prices, contracts=contracts):
-                    return rational_party(
-                        actor, auction_model(spec, prices, contracts)
-                    )
-
-                matrix.add_block(
-                    family="auction",
-                    schedule=f"pi{fmt_fraction(pi)}/s{fmt_fraction(shock)}@{stage}",
-                    builder=builder,
-                    properties=(props.no_stuck_escrow, props.auction_lemmas),
-                    strategies=_make_strategies(spec.auctioneer, transform),
-                    max_adversaries=1,
-                    include_compliant=False,
-                    extra_axes=_axes(pi, premium, shock, stage, height),
-                    metrics=_make_metrics(spec.auctioneer, prices, completed),
-                )
+        named={"pre-stake": 0, "staked": 2},
+        horizon=probe.horizon,
+        properties=(props.no_stuck_escrow, props.auction_lemmas),
+        completed=completed,
+        schedule_prefix="",
+        model_factory=model_factory,
+        gain_terms=gain_terms,
+        gain_shape="diff",
+    )
 
 
-_FAMILY_ADDERS = {
-    "two-party": _add_two_party,
-    "multi-party": _add_multi_party,
-    "broker": _add_broker,
-    "auction": _add_auction,
+_CELL_BUILDERS = {
+    ("two-party", ""): _two_party_cell,
+    ("multi-party", ""): _multi_party_cell,
+    ("multi-party", "P1+P2"): _multi_party_coalition_cell,
+    ("broker", ""): _broker_cell,
+    ("broker", "seller+buyer"): _broker_coalition_cell,
+    ("auction", ""): _auction_cell,
 }
 
+
+def family_cell(family: str, coalition: str, premium: int) -> FamilyCell:
+    """Build the shared cell context for ``(family, coalition, premium)``.
+
+    ``premium`` is the *effective integer* premium (what
+    :func:`scaled_premium` quantizes a fraction π into against the
+    family's :func:`premium_base`) — the same quantization the recorded
+    ``premium`` axis carries, so the kernel engine can rebuild a cell's
+    context from a scenario's axes alone.
+    """
+    builder = _CELL_BUILDERS.get((family, coalition))
+    if builder is None:
+        raise ValueError(
+            f"unknown ablation cell ({family!r}, {coalition!r}); "
+            f"known: {sorted(_CELL_BUILDERS)}"
+        )
+    return builder(premium)
+
+
+def _add_cell_blocks(matrix, cell: FamilyCell, pi, shock_fractions, stages) -> None:
+    """Expand one cell context into its comply/rational blocks."""
+    from repro.parties.rational import TokenPrices, rational_party
+
+    for shock in shock_fractions:
+        for stage, height in stage_heights(stages, cell.named, cell.horizon):
+            prices = TokenPrices(
+                base=cell.base_values,
+                shocked=cell.shocked,
+                fraction=shock,
+                at_height=height,
+            )
+
+            def transform(actor, cell=cell, prices=prices):
+                return rational_party(actor, cell.model_factory(prices))
+
+            if cell.coalition:
+                strategies = _make_coalition_strategies(
+                    {member: transform for member in cell.pivots}
+                )
+                expansion = dict(
+                    max_adversaries=2, min_adversaries=2, include_compliant=True
+                )
+            else:
+                strategies = _make_strategies(cell.pivots[0], transform)
+                expansion = dict(max_adversaries=1, include_compliant=False)
+            matrix.add_block(
+                family=cell.family,
+                schedule=(
+                    f"{cell.schedule_prefix}pi{fmt_fraction(pi)}"
+                    f"/s{fmt_fraction(shock)}@{stage}"
+                ),
+                builder=cell.builder,
+                properties=cell.properties,
+                strategies=strategies,
+                extra_axes=_axes(
+                    pi, cell.premium, shock, stage, height, cell.coalition
+                ),
+                metrics=_make_metrics(cell.metrics_parties, prices, cell.completed),
+                **expansion,
+            )
+
+
+def _make_adder(family: str, coalition: str = ""):
+    """An adder over π for one (family, coalition) pair of cell contexts."""
+
+    def add(matrix, premium_fractions, shock_fractions, stages) -> None:
+        base = premium_base(family)
+        for pi in premium_fractions:
+            cell = family_cell(family, coalition, scaled_premium(pi, base))
+            _add_cell_blocks(matrix, cell, pi, shock_fractions, stages)
+
+    return add
+
+
+_FAMILY_ADDERS = {family: _make_adder(family) for family in ABLATION_FAMILIES}
+
 _COALITION_ADDERS = {
-    ("multi-party", "P1+P2"): _add_multi_party_coalition,
-    ("broker", "seller+buyer"): _add_broker_coalition,
+    (family, coalition): _make_adder(family, coalition)
+    for family, coalitions in ABLATION_COALITIONS.items()
+    for coalition in coalitions
 }
 
 

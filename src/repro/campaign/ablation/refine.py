@@ -321,20 +321,38 @@ class _CellProber:
     matrix block, so a warm refinement (or one following a lattice run
     that already executed the same cells) serves probes straight from the
     store.  ``cache_hits`` counts the scenarios so served.
+
+    With ``backend="kernel"`` (or a caller-supplied ``kernel`` engine)
+    probes run through the vectorized payoff kernels; one engine is
+    shared across every probe, so the cell-template calibration cost is
+    paid once per ``(family, coalition, premium)`` even though bisection
+    probes arrive one premium at a time.
     """
 
     def __init__(
-        self, backend: str = "serial", pool=None, seed: int = 0, cache=None
+        self,
+        backend: str = "serial",
+        pool=None,
+        seed: int = 0,
+        cache=None,
+        kernel=None,
     ) -> None:
         from repro.campaign.runner import CampaignRunner
 
         if pool is not None:
             backend = "process"
+        if kernel is not None:
+            backend = "kernel"
+        elif backend == "kernel":
+            from repro.campaign.ablation.kernels import KernelEngine
+
+            kernel = KernelEngine()
         self._runner_cls = CampaignRunner
         self.backend = backend
         self.pool = pool
         self.seed = seed
         self.cache = cache
+        self.kernel = kernel
         self.cache_hits = 0
 
     def probe(
@@ -344,7 +362,11 @@ class _CellProber:
             family, pi, shock, stage, coalition=coalition, seed=self.seed
         )
         report = self._runner_cls(
-            matrix, backend=self.backend, pool=self.pool, cache=self.cache
+            matrix,
+            backend=self.backend,
+            pool=self.pool,
+            cache=self.cache,
+            kernel=self.kernel,
         ).run()
         self.cache_hits += report.cache_hits
         if not report.ok:

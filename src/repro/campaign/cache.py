@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from hashlib import sha256
 from pathlib import Path
 
@@ -52,15 +53,24 @@ from repro.campaign.scenario import (
 
 _CODE_VERSION: str | None = None
 
+#: orphaned ``.tmp-*`` writer files older than this are swept on cache open.
+TEMP_SWEEP_AGE_SECONDS = 3600.0
 
-def code_version() -> str:
+
+def code_version(refresh: bool = False) -> str:
     """Digest of every ``repro`` source file: the cache's freshness key.
 
-    Computed once per process.  Any edit anywhere in the package — engine,
+    Memoized per process — the hot path (one key per block) must not
+    re-hash the tree.  Any edit anywhere in the package — engine,
     protocols, contracts — changes it, so cached results can never outlive
-    the code that produced them.
+    the code that produced them.  The memo itself can outlive an edit in a
+    long-lived process (a persistent pool, a future campaign service):
+    pass ``refresh=True`` — or call :func:`invalidate_code_version` —
+    to force a re-hash of the current on-disk sources.
     """
     global _CODE_VERSION
+    if refresh:
+        _CODE_VERSION = None
     if _CODE_VERSION is None:
         root = Path(__file__).resolve().parent.parent  # src/repro
         digest = sha256()
@@ -73,12 +83,50 @@ def code_version() -> str:
     return _CODE_VERSION
 
 
+def invalidate_code_version() -> None:
+    """Drop the process-wide :func:`code_version` memo.
+
+    The next :func:`code_version` call re-hashes the on-disk sources —
+    what a long-lived process must do after the tree changes underneath
+    it, so a stale freshness key never vouches for new code.
+    """
+    global _CODE_VERSION
+    _CODE_VERSION = None
+
+
 class ResultCache:
     """A content-addressed store of verified scenario-block results."""
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.sweep_temps()
+
+    def sweep_temps(
+        self, max_age_seconds: float = TEMP_SWEEP_AGE_SECONDS
+    ) -> int:
+        """Remove orphaned ``.tmp-*`` files left by crashed writers.
+
+        Only temps older than ``max_age_seconds`` go — a younger temp may
+        belong to a concurrent campaign mid-write (the atomic-rename
+        protocol makes in-flight temps short-lived, so an hour-old one is
+        certainly dead).  Returns the number removed; every error is a
+        skip, never a failure — sweeping is opportunistic hygiene.
+        """
+        now = time.time()
+        removed = 0
+        try:
+            candidates = list(self.root.glob(".tmp-*"))
+        except OSError:
+            return 0
+        for path in candidates:
+            try:
+                if now - path.stat().st_mtime >= max_age_seconds:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
     def block_key(self, block_describe: str, size: int) -> str:
         """The content address of one matrix block's result list."""
@@ -92,13 +140,17 @@ class ResultCache:
     def get(self, key: str, size: int) -> list[ScenarioResult] | None:
         """The cached results (block-local indices), or None on any miss.
 
-        A malformed entry, a size mismatch, or an entry recording a
-        violation all read as misses — the cache only ever short-circuits
-        work it can vouch for.
+        A malformed entry, a key mismatch, a size mismatch, or an entry
+        recording a violation all read as misses — the cache only ever
+        short-circuits work it can vouch for.  The stored ``"key"`` field
+        must equal the requested key: a copied or renamed entry file would
+        otherwise be served under an address its contents never earned.
         """
         try:
             with open(self._path(key), "r", encoding="utf-8") as handle:
                 data = json.load(handle)
+            if data.get("key") != key:
+                return None
             results = [result_from_payload(r) for r in data["results"]]
         except (OSError, ValueError, KeyError, TypeError):
             return None

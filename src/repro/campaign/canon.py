@@ -25,15 +25,26 @@ distinct labels.
 
 from __future__ import annotations
 
+import math
+
 
 def canon_float(value: float | int | str) -> float:
     """Normalize a number for digest/transport use.
 
     Coerces to ``float`` and collapses negative zero to positive zero;
-    every other value (including the result of any bisection arithmetic)
-    is already a canonical IEEE-754 double.
+    every other finite value (including the result of any bisection
+    arithmetic) is already a canonical IEEE-754 double.  Non-finite values
+    are rejected: ``json.dumps`` would emit the non-standard ``NaN`` /
+    ``Infinity`` tokens, which strict parsers on other hosts refuse — a
+    NaN axis or metric must fail at the source, not poison a report
+    round-trip later.
     """
     value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(
+            f"non-finite value {value!r} has no canonical form: digests "
+            "and JSON transport require finite floats"
+        )
     if value == 0.0:  # catches -0.0 too: they compare equal
         return 0.0
     return value
@@ -50,8 +61,41 @@ def fmt_fraction(value: float | int | str) -> str:
 
     ``0.025`` → ``"0.025"``, ``0.0`` → ``"0"``, ``-0.0`` → ``"0"``,
     ``0.0328125`` → ``"0.0328125"``; distinct doubles never collide.
+
+    ``repr`` switches to scientific notation below 1e-4 (``repr(1e-05)``
+    is ``"1e-05"``), which deeply-bisected premiums reach; those are
+    re-rendered in fixed point (``"0.00001"``) so axis labels never mix
+    decimal and exponent forms across a grid.  The rewrite shifts the
+    exact repr digits, so it is value-preserving and injective: the label
+    still parses back (``float``) to the identical double.
     """
     text = repr(canon_float(value))
+    if "e" in text:
+        return _fixed_point(text)
     if text.endswith(".0"):
         text = text[:-2]
     return text
+
+
+def _fixed_point(text: str) -> str:
+    """Rewrite a ``repr`` scientific-notation float in fixed point.
+
+    The mantissa digits are repr's shortest round-tripping digits; moving
+    the decimal point by the exponent re-renders the same decimal value,
+    so distinct doubles keep distinct labels (no digits are dropped).
+    """
+    mantissa, _, exp = text.partition("e")
+    exponent = int(exp)
+    sign = ""
+    if mantissa.startswith("-"):
+        sign, mantissa = "-", mantissa[1:]
+    whole, _, frac = mantissa.partition(".")
+    digits = whole + frac
+    point = len(whole) + exponent
+    if point <= 0:
+        out = "0." + "0" * (-point) + digits
+    elif point >= len(digits):
+        out = digits + "0" * (point - len(digits))
+    else:
+        out = digits[:point] + "." + digits[point:]
+    return sign + out

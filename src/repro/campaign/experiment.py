@@ -55,6 +55,15 @@ EXPERIMENT_KINDS = ("campaign", "ablate", "ablate-refine")
 
 EXPERIMENT_BACKENDS = ("serial", "process", "pooled")
 
+#: ``simulator`` replays every scenario through the full protocol engine;
+#: ``kernel`` routes ablation scenarios through the vectorized payoff
+#: kernels (:mod:`repro.campaign.ablation.kernels`), which produce
+#: byte-identical results and digests.  The engine is recorded in the spec
+#: digest (only when non-default, so pre-engine stamped specs still
+#: verify); ``backend``/``workers`` are ignored under ``kernel`` — the
+#: kernel engine is single-process by design.
+EXPERIMENT_ENGINES = ("simulator", "kernel")
+
 
 class ExperimentError(ValueError):
     """A spec could not be honored (bad fields, digest expectation miss)."""
@@ -86,6 +95,8 @@ class ExperimentSpec:
     shard: tuple[int, int] | None = None
     #: bisection tolerance; only meaningful (and only set) for ablate-refine.
     tol: float | None = None
+    #: scenario engine: ``simulator`` or ``kernel`` (ablation kinds only).
+    engine: str = "simulator"
     #: (report kind, digest) assertions the run must reproduce.
     expect: tuple[tuple[str, str], ...] = ()
 
@@ -99,6 +110,16 @@ class ExperimentSpec:
             raise ExperimentError(
                 f"unknown backend {self.backend!r}; "
                 f"known: {list(EXPERIMENT_BACKENDS)}"
+            )
+        if self.engine not in EXPERIMENT_ENGINES:
+            raise ExperimentError(
+                f"unknown engine {self.engine!r}; "
+                f"known: {list(EXPERIMENT_ENGINES)}"
+            )
+        if self.engine == "kernel" and self.kind == "campaign":
+            raise ExperimentError(
+                "the kernel engine covers only the ablation kinds "
+                "(ablate, ablate-refine); campaign specs run the simulator"
             )
         if not isinstance(self.matrix, MatrixSpec):
             raise ExperimentError(
@@ -151,6 +172,13 @@ class ExperimentSpec:
             "shard": list(self.shard) if self.shard else None,
             "tol": canon_float(self.tol) if self.tol is not None else None,
         }
+        if self.engine != "simulator":
+            # Included only when non-default so specs stamped before the
+            # engine field existed keep verifying their recorded digest.
+            # The engine is nonetheless result-determining *in principle*
+            # (it selects the execution path the digests must survive), so
+            # a non-default choice is part of the spec's identity.
+            payload["engine"] = self.engine
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return sha256(f"experiment-spec|{text}".encode()).hexdigest()
 
@@ -180,6 +208,7 @@ class ExperimentSpec:
                 "limit": self.limit,
                 "shard": list(self.shard) if self.shard else None,
                 "tol": canon_float(self.tol) if self.tol is not None else None,
+                "engine": self.engine,
                 "expect": {kind: digest for kind, digest in self.expect},
                 "digest": self.digest(),
             },
@@ -212,6 +241,7 @@ class ExperimentSpec:
                 limit=data.get("limit"),
                 shard=tuple(data["shard"]) if data.get("shard") else None,
                 tol=data.get("tol"),
+                engine=data.get("engine", "simulator"),
                 expect=tuple(sorted(data.get("expect", {}).items())),
             )
         except ExperimentError:
@@ -296,14 +326,22 @@ def ablate_spec(
     backend: str = "serial",
     workers: int | None = None,
     shard: tuple[int, int] | None = None,
+    engine: str = "kernel",
     expect: Iterable[tuple[str, str]] = (),
 ) -> ExperimentSpec:
-    """A spec for the rational-adversary ablation lattice."""
+    """A spec for the rational-adversary ablation lattice.
+
+    ``engine`` defaults to the vectorized payoff kernels — the results
+    and digests are byte-identical to the simulator's (a contract CI's
+    parity audit enforces on every default-grid cell), so the fast path
+    is the default; pass ``engine="simulator"`` for the audit path.
+    """
     return ExperimentSpec(
         kind="ablate",
         matrix=_ablation_matrix_spec(
             families, premium_fractions, shock_fractions, stages, coalitions, seed
         ),
+        engine=engine,
         **_exec_fields(backend, workers, None, shard, expect),
     )
 
@@ -318,15 +356,23 @@ def refine_spec(
     tol: float = DEFAULT_TOL,
     backend: str = "serial",
     workers: int | None = None,
+    engine: str = "kernel",
     expect: Iterable[tuple[str, str]] = (),
 ) -> ExperimentSpec:
-    """A spec for the bisected (continuous) frontier refinement."""
+    """A spec for the bisected (continuous) frontier refinement.
+
+    ``engine`` defaults to the kernels (see :func:`ablate_spec`): both
+    the lattice and every bisection probe run through one shared
+    :class:`~repro.campaign.ablation.kernels.KernelEngine`, so probe
+    cells reuse the lattice's calibrated templates.
+    """
     return ExperimentSpec(
         kind="ablate-refine",
         matrix=_ablation_matrix_spec(
             families, premium_fractions, shock_fractions, stages, coalitions, seed
         ),
         tol=canon_float(tol),
+        engine=engine,
         **_exec_fields(backend, workers, None, None, expect),
     )
 
@@ -405,10 +451,28 @@ class Experiment:
         matrix = self.matrix()
         pool = self.pool
         own_pool: WorkerPool | None = None
-        if spec.backend == "pooled" and pool is None:
-            pool = own_pool = WorkerPool(workers=spec.workers)
-        runner_backend = "process" if spec.backend == "pooled" else spec.backend
-        runner_workers = spec.workers if pool is None else None
+        kernel = None
+        if spec.engine == "kernel":
+            # The kernel engine is single-process by design: ``backend``
+            # and ``workers`` describe simulator process layout and are
+            # ignored (results are engine-invariant, so the digests the
+            # run must reproduce do not change).  One engine is shared by
+            # the lattice run and every bisection probe, so probes reuse
+            # the lattice's calibrated cell templates.
+            from repro.campaign.ablation.kernels import KernelEngine
+
+            kernel = KernelEngine()
+            runner_backend = "kernel"
+        else:
+            if spec.backend == "pooled" and pool is None:
+                pool = own_pool = WorkerPool(workers=spec.workers)
+            runner_backend = (
+                "process" if spec.backend == "pooled" else spec.backend
+            )
+        runner_pool = pool if kernel is None else None
+        runner_workers = (
+            spec.workers if kernel is None and runner_pool is None else None
+        )
         try:
             runner = CampaignRunner(
                 matrix,
@@ -416,8 +480,9 @@ class Experiment:
                 workers=runner_workers,
                 limit=spec.limit,
                 shard=spec.shard,
-                pool=pool,
+                pool=runner_pool,
                 cache=self.cache,
+                kernel=kernel,
             )
             report = runner.run()
             result = ExperimentResult(
@@ -427,9 +492,10 @@ class Experiment:
                 result.frontier = reduce_frontier(report)
             if spec.kind == "ablate-refine" and report.ok:
                 prober = _CellProber(
-                    backend="process" if pool is not None else "serial",
-                    pool=pool,
+                    backend="process" if runner_pool is not None else "serial",
+                    pool=runner_pool,
                     cache=self.cache,
+                    kernel=kernel,
                 )
                 result.refined = refine_frontier(
                     result.frontier,

@@ -1,9 +1,13 @@
 """Campaign execution: pluggable backends, sharding, and aggregation.
 
 ``CampaignRunner`` expands a :class:`repro.campaign.matrix.ScenarioMatrix`
-and executes the selected scenarios through one of two backends:
+and executes the selected scenarios through one of three backends:
 
 - ``serial`` — a plain loop in this process,
+- ``kernel`` — the vectorized payoff kernels
+  (:class:`repro.campaign.ablation.kernels.KernelEngine`), available only
+  for matrices built by the ablation factories; produces byte-identical
+  results and digests to the simulator backends at a fraction of the cost,
 - ``process`` — a ``multiprocessing`` pool using the ``fork`` start method.
   Scenarios are dispatched *by index*: workers inherit the expanded
   scenario list through fork, so builders and strategy transforms never
@@ -347,9 +351,25 @@ class CampaignRunner:
         shard: tuple[int, int] | None = None,
         pool: WorkerPool | None = None,
         cache: ResultCache | None = None,
+        kernel: object | None = None,
     ) -> None:
-        if backend not in ("serial", "process"):
-            raise ValueError(f"unknown backend {backend!r}: use serial or process")
+        if backend not in ("serial", "process", "kernel"):
+            raise ValueError(
+                f"unknown backend {backend!r}: use serial, process, or kernel"
+            )
+        if kernel is not None and backend != "kernel":
+            raise ValueError("a KernelEngine requires backend='kernel'")
+        if backend == "kernel":
+            from repro.campaign.ablation.kernels import KERNEL_FACTORIES
+
+            factory = matrix.spec.factory if matrix.spec is not None else None
+            if factory not in KERNEL_FACTORIES:
+                raise ValueError(
+                    "backend='kernel' understands only ablation matrices "
+                    f"(factories {KERNEL_FACTORIES}), got "
+                    f"{factory or 'an unregistered matrix'}; use the "
+                    "simulator backends for everything else"
+                )
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if limit is not None and limit < 1:
@@ -382,12 +402,23 @@ class CampaignRunner:
         self.shard = shard
         self.pool = pool
         self.cache = cache
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
     # backends
     # ------------------------------------------------------------------
     def _run_serial(self, scenarios: list[Scenario]) -> list[ScenarioResult]:
         return [run_scenario(s) for s in scenarios]
+
+    def _run_kernel(self, scenarios: list[Scenario]) -> list[ScenarioResult]:
+        if self.kernel is None:
+            from repro.campaign.ablation.kernels import KernelEngine
+
+            # Kept on the runner so re-runs (e.g. warm-cache sweeps) reuse
+            # the calibrated cell templates; callers with longer lifetimes
+            # (the refine prober) pass their own shared engine instead.
+            self.kernel = KernelEngine()
+        return self.kernel.run(scenarios)
 
     def _run_process(self, scenarios: list[Scenario]) -> list[ScenarioResult]:
         ctx = multiprocessing.get_context("fork")
@@ -402,6 +433,8 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     def _resolve_backend(self, selected: int) -> str:
         """The backend that will actually run ``selected`` scenarios."""
+        if self.backend == "kernel":
+            return "kernel"
         if self.backend != "process":
             return "serial"
         if not fork_available():  # pragma: no cover - platform dependent
@@ -495,6 +528,8 @@ class CampaignRunner:
                 scenarios = list(self.matrix.scenarios(indices=to_run))
             if backend == "process":
                 fresh = self._run_process(scenarios)
+            elif backend == "kernel":
+                fresh = self._run_kernel(scenarios)
             else:
                 fresh = self._run_serial(scenarios)
         ran = {result.index: result for result in fresh}

@@ -143,14 +143,19 @@ def _ledger_fingerprint(instance: ProtocolInstance) -> str:
     return ";".join(lines)
 
 
-def run_scenario(scenario: Scenario) -> ScenarioResult:
-    """Execute one scenario and condense the run."""
-    start = time.perf_counter()
-    instance = scenario.builder()
-    deviations = {party: strategy.transform for party, strategy in scenario.profile}
-    result = execute(instance, deviations)
-    adversaries = frozenset(scenario.adversaries)
+def condense_run(
+    scenario: Scenario, instance: ProtocolInstance, result, elapsed: float
+) -> ScenarioResult:
+    """Condense a finished run into the scenario's :class:`ScenarioResult`.
 
+    Shared by :func:`run_scenario` and the vectorized ablation kernel's
+    audit path (`repro.campaign.ablation.kernels`): every digest-covered
+    field — violations, counts, premium flows, metrics, the ledger
+    fingerprint and the summary line hashed into ``digest`` — is produced
+    here and only here, so the two engines cannot drift in how an outcome
+    is rendered.
+    """
+    adversaries = frozenset(scenario.adversaries)
     violations: list[str] = []
     for prop in scenario.properties:
         violations.extend(prop(instance, result, adversaries))
@@ -174,7 +179,6 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         from repro.sim.trace import render_lanes
 
         trace = render_lanes(result)
-    elapsed = time.perf_counter() - start
 
     summary = "|".join(
         (
@@ -198,4 +202,15 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         digest=sha256(summary.encode()).hexdigest(),
         metrics=metrics,
         trace=trace,
+    )
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute one scenario and condense the run."""
+    start = time.perf_counter()
+    instance = scenario.builder()
+    deviations = {party: strategy.transform for party, strategy in scenario.profile}
+    result = execute(instance, deviations)
+    return condense_run(
+        scenario, instance, result, time.perf_counter() - start
     )

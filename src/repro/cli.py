@@ -374,6 +374,7 @@ def _spec_from_args(kind: str, args) -> ExperimentSpec:
             seed=args.seed,
             backend=backend,
             workers=args.workers,
+            engine=getattr(args, "engine", "kernel"),
         )
         if kind == "ablate":
             return ablate_spec(shard=_parse_shard(args.shard), **grid)
@@ -814,6 +815,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--coalitions", action="store_true",
                        help="add the named two-party coalition pivots "
                             "(joint-utility arms)")
+        p.add_argument("--engine", choices=["kernel", "simulator"],
+                       default="kernel",
+                       help="scenario engine: the vectorized payoff kernels "
+                            "(default; byte-identical digests) or the full "
+                            "simulator audit path")
         p.add_argument("--seed", type=int, default=0,
                        help="matrix identity seed")
         if shard:

@@ -239,6 +239,69 @@ def held_premium_stake(
     return total
 
 
+def completion_gain_terms(
+    party: str,
+    view,
+    contracts: ContractRefs,
+    coalition: frozenset[str] = frozenset(),
+):
+    """The pending completion flows as ``(sign, amount, asset)`` terms.
+
+    This is the symbolic form of :func:`pending_completion_gain`: each
+    yielded term contributes ``sign · amount · price_of(asset, height)``
+    to the marginal completion gain, in contract-directory order.  Keeping
+    the term enumeration separate from the price fold gives the vectorized
+    ablation kernel (`repro.campaign.ablation.kernels`) the *same* flow
+    list the live simulator folds — one source of truth, so replaying the
+    fold under a grid of price paths is bit-identical by construction.
+    """
+    for chain_name, address in contracts:
+        contract = view.chain(chain_name).contract(address)
+        kind = getattr(contract, "kind", "")
+        if kind == "hedged-escrow":
+            if contract.redeemer == party and contract.principal_state in (
+                "absent",
+                "escrowed",
+            ):
+                if not (
+                    contract.principal_state == "escrowed"
+                    and contract.principal_owner in coalition
+                ):
+                    yield (
+                        1,
+                        contract.principal_amount,
+                        contract.principal_asset,
+                    )
+            if (
+                contract.principal_owner == party
+                and contract.principal_state == "absent"
+            ):
+                yield (-1, contract.principal_amount, contract.principal_asset)
+        elif kind == "hedged-swap-arc":
+            if contract.v == party and contract.principal_state in (
+                "absent",
+                "escrowed",
+            ):
+                if not (
+                    contract.principal_state == "escrowed"
+                    and contract.u in coalition
+                ):
+                    yield (1, contract.amount, contract.asset)
+            if contract.u == party and contract.principal_state == "absent":
+                yield (-1, contract.amount, contract.asset)
+        elif kind == "hedged-broker":
+            if contract.escrow_state in ("absent", "escrowed"):
+                for recipient, amount in contract.payouts:
+                    if recipient == party:
+                        yield (1, amount, contract.asset)
+            if (
+                contract.owner == party
+                and contract.escrow_state in ("absent", "escrowed")
+                and party not in contract.accepted
+            ):
+                yield (-1, contract.amount, contract.asset)
+
+
 def pending_completion_gain(
     party: str,
     view,
@@ -266,54 +329,19 @@ def pending_completion_gain(
     absent already cancel in the sum (+value for the redeemer, −value for
     the owner), and broker flows cancel through the owner's recoverable
     cost term, so this is the only internal case needing a rule.
+
+    The flow enumeration lives in :func:`completion_gain_terms`; this is
+    the price fold over it, term order preserved.
     """
     total = 0.0
-    for chain_name, address in contracts:
-        contract = view.chain(chain_name).contract(address)
-        kind = getattr(contract, "kind", "")
-        if kind == "hedged-escrow":
-            value = contract.principal_amount * price_of(
-                contract.principal_asset, view.height
-            )
-            if contract.redeemer == party and contract.principal_state in (
-                "absent",
-                "escrowed",
-            ):
-                if not (
-                    contract.principal_state == "escrowed"
-                    and contract.principal_owner in coalition
-                ):
-                    total += value
-            if (
-                contract.principal_owner == party
-                and contract.principal_state == "absent"
-            ):
-                total -= value
-        elif kind == "hedged-swap-arc":
-            value = contract.amount * price_of(contract.asset, view.height)
-            if contract.v == party and contract.principal_state in (
-                "absent",
-                "escrowed",
-            ):
-                if not (
-                    contract.principal_state == "escrowed"
-                    and contract.u in coalition
-                ):
-                    total += value
-            if contract.u == party and contract.principal_state == "absent":
-                total -= value
-        elif kind == "hedged-broker":
-            value_per_unit = price_of(contract.asset, view.height)
-            if contract.escrow_state in ("absent", "escrowed"):
-                for recipient, amount in contract.payouts:
-                    if recipient == party:
-                        total += amount * value_per_unit
-            if (
-                contract.owner == party
-                and contract.escrow_state in ("absent", "escrowed")
-                and party not in contract.accepted
-            ):
-                total -= contract.amount * value_per_unit
+    for sign, amount, asset in completion_gain_terms(
+        party, view, contracts, coalition
+    ):
+        value = amount * price_of(asset, view.height)
+        if sign > 0:
+            total += value
+        else:
+            total -= value
     return total
 
 

@@ -1,0 +1,250 @@
+"""Vectorized payoff kernels vs the simulator (ISSUE 6 tentpole).
+
+The kernel engine replays calibrated trajectory templates under vectorized
+price arithmetic; the simulator stays authoritative as the audit path.
+These tests pin the parity contract at every integration level:
+
+- **scenario-level parity**: for each family (and the named coalitions),
+  `CampaignRunner(backend="kernel")` reproduces the serial simulator's
+  per-scenario results — digest, metrics, violations, premium net,
+  transaction counts — byte-for-byte, hence an identical ``run_digest``,
+- **randomized off-grid parity** (satellite): seeded random (π, shock,
+  stage) probes far off the default lattice agree engine-vs-engine, so
+  parity is a property of the kernels, not a coincidence of grid points,
+- **spec plumbing**: ``ExperimentSpec.engine`` validates, round-trips
+  through JSON, keeps legacy (engine-less, simulator) spec digests
+  byte-stable, and refuses meaningless combinations (kernel campaigns,
+  kernel backends on non-ablation matrices),
+- **experiment-level parity**: a kernel-engine experiment reproduces the
+  simulator experiment's campaign digest and frontier digest.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    Experiment,
+    ExperimentError,
+    ExperimentSpec,
+    KernelEngine,
+    KernelUnsupported,
+    ablate_spec,
+    ablation_cell,
+    ablation_matrix,
+    campaign_spec,
+    default_matrix,
+    reduce_frontier,
+    refine_spec,
+)
+from repro.campaign.experiment import EXPERIMENT_ENGINES
+from repro.campaign.scenario import Scenario
+
+
+def _assert_results_identical(serial, kernel):
+    assert len(serial.results) == len(kernel.results)
+    for want, got in zip(serial.results, kernel.results):
+        assert got.digest == want.digest, (want.label, want, got)
+        assert got.label == want.label
+        assert got.axes == want.axes
+        assert got.violations == want.violations
+        assert got.metrics == want.metrics
+        assert got.transactions == want.transactions
+        assert got.reverted == want.reverted
+        assert got.premium_net == want.premium_net
+        assert got.trace == want.trace
+    assert kernel.run_digest == serial.run_digest
+
+
+# ---------------------------------------------------------------------------
+# scenario-level parity, per family
+
+
+@pytest.mark.parametrize(
+    "family", ["two-party", "multi-party", "broker", "auction"]
+)
+def test_kernel_matches_simulator_per_family(family):
+    matrix = ablation_matrix(
+        families=(family,),
+        premium_fractions=(0.0, 0.03),
+        shock_fractions=(0.015, 0.105),
+        stages=("pre-stake", "staked"),
+    )
+    serial = CampaignRunner(matrix, backend="serial").run()
+    kernel = CampaignRunner(matrix, backend="kernel").run()
+    _assert_results_identical(serial, kernel)
+
+
+def test_kernel_matches_simulator_with_coalitions():
+    matrix = ablation_matrix(
+        families=("multi-party", "broker"),
+        premium_fractions=(0.01, 0.05),
+        shock_fractions=(0.045,),
+        stages=("staked",),
+        coalitions=True,
+    )
+    serial = CampaignRunner(matrix, backend="serial").run()
+    kernel = CampaignRunner(matrix, backend="kernel").run()
+    _assert_results_identical(serial, kernel)
+
+
+def test_kernel_matches_simulator_round_stages():
+    matrix = ablation_matrix(
+        families=("two-party",),
+        premium_fractions=(0.02,),
+        shock_fractions=(0.025, 0.065),
+        stages=("all",),
+    )
+    serial = CampaignRunner(matrix, backend="serial").run()
+    kernel = CampaignRunner(matrix, backend="kernel").run()
+    _assert_results_identical(serial, kernel)
+
+
+def test_kernel_frontier_matches_simulator_frontier():
+    matrix = ablation_matrix(
+        families=("two-party", "auction"),
+        premium_fractions=(0.0, 0.01, 0.03),
+        shock_fractions=(0.015, 0.045),
+        stages=("staked",),
+    )
+    serial = reduce_frontier(CampaignRunner(matrix, backend="serial").run())
+    kernel = reduce_frontier(CampaignRunner(matrix, backend="kernel").run())
+    assert kernel.digest == serial.digest
+
+
+# ---------------------------------------------------------------------------
+# randomized off-grid probes (satellite): parity is not a lattice artifact
+
+
+def _random_cells(seed, count):
+    rng = random.Random(seed)
+    cells = []
+    for _ in range(count):
+        family = rng.choice(
+            ["two-party", "multi-party", "broker", "auction"]
+        )
+        coalition = ""
+        if rng.random() < 0.3:
+            if family == "multi-party":
+                coalition = "P1+P2"
+            elif family == "broker":
+                coalition = "seller+buyer"
+        pi = rng.uniform(0.0, 0.1)
+        shock = rng.uniform(0.001, 0.12)
+        stage = rng.choice(["pre-stake", "staked", "round:1", "round:2"])
+        cells.append((family, pi, shock, stage, coalition))
+    return cells
+
+
+@pytest.mark.parametrize("seed", [7, 23, 91])
+def test_kernel_matches_simulator_off_grid(seed):
+    for family, pi, shock, stage, coalition in _random_cells(seed, 6):
+        matrix = ablation_cell(family, pi, shock, stage, coalition=coalition)
+        serial = CampaignRunner(matrix, backend="serial").run()
+        kernel = CampaignRunner(matrix, backend="kernel").run()
+        _assert_results_identical(serial, kernel)
+
+
+def test_shared_engine_reuses_templates_across_probes():
+    engine = KernelEngine()
+    digests = []
+    for pi in (0.0125, 0.01875):
+        matrix = ablation_cell("two-party", pi, 0.015, "staked")
+        report = CampaignRunner(
+            matrix, backend="kernel", kernel=engine
+        ).run()
+        digests.append(report.run_digest)
+        serial = CampaignRunner(matrix, backend="serial").run()
+        assert report.run_digest == serial.run_digest
+    assert digests[0] != digests[1]  # distinct premiums, distinct runs
+
+
+# ---------------------------------------------------------------------------
+# guard rails
+
+
+def test_kernel_backend_rejects_non_ablation_matrix():
+    matrix = default_matrix()
+    with pytest.raises(ValueError, match="ablation"):
+        CampaignRunner(matrix, backend="kernel")
+
+
+def test_kernel_argument_requires_kernel_backend():
+    matrix = ablation_cell("two-party", 0.01, 0.015, "staked")
+    with pytest.raises(ValueError, match="backend='kernel'"):
+        CampaignRunner(matrix, backend="serial", kernel=KernelEngine())
+
+
+def test_kernel_engine_rejects_foreign_scenarios():
+    engine = KernelEngine()
+    scenario = next(iter(default_matrix().scenarios()))
+    assert isinstance(scenario, Scenario)
+    with pytest.raises(KernelUnsupported):
+        engine.run([scenario])
+
+
+# ---------------------------------------------------------------------------
+# ExperimentSpec.engine plumbing
+
+
+def test_engine_field_validates():
+    assert set(EXPERIMENT_ENGINES) == {"simulator", "kernel"}
+    spec = ablate_spec(families=("two-party",))
+    assert spec.engine == "kernel"  # vectorized engine is the default
+    assert ablate_spec(families=("two-party",), engine="simulator").engine == (
+        "simulator"
+    )
+    with pytest.raises(ExperimentError):
+        ablate_spec(families=("two-party",), engine="warp")
+
+
+def test_engine_kernel_refused_for_campaign_kind():
+    with pytest.raises(ExperimentError, match="kernel"):
+        ExperimentSpec(
+            kind="campaign", matrix=campaign_spec().matrix, engine="kernel"
+        )
+
+
+def test_engine_is_part_of_spec_identity():
+    """Engine choice selects an execution path the digests must survive,
+    so a non-default engine is part of the spec's identity."""
+    sim = ablate_spec(families=("two-party",), engine="simulator")
+    ker = ablate_spec(families=("two-party",))
+    assert sim.digest() != ker.digest()
+
+
+def test_engine_round_trips_through_json():
+    for engine in EXPERIMENT_ENGINES:
+        spec = refine_spec(families=("two-party",), engine=engine)
+        back = ExperimentSpec.from_json(spec.to_json())
+        assert back.engine == engine
+        assert back.digest() == spec.digest()
+
+
+def test_engineless_json_defaults_to_simulator():
+    spec = ablate_spec(families=("two-party",), engine="simulator")
+    data = json.loads(spec.to_json())
+    del data["engine"]
+    back = ExperimentSpec.from_json(json.dumps(data))
+    assert back.engine == "simulator"
+    assert back.digest() == spec.digest()
+
+
+# ---------------------------------------------------------------------------
+# experiment-level parity
+
+
+def test_experiment_kernel_engine_matches_simulator():
+    grid = dict(
+        families=("two-party", "broker"),
+        premium_fractions=(0.0, 0.02, 0.05),
+        shock_fractions=(0.015, 0.045),
+        stages=("staked",),
+    )
+    sim = Experiment(ablate_spec(engine="simulator", **grid)).run()
+    ker = Experiment(ablate_spec(engine="kernel", **grid)).run()
+    assert ker.campaign.run_digest == sim.campaign.run_digest
+    assert ker.frontier.digest == sim.frontier.digest
+    assert ker.campaign.workers == 1
