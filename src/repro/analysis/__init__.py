@@ -13,6 +13,12 @@ observation that an unhedged swap hands both parties a free American option
   incentives versus volatility, base versus hedged,
 - :mod:`repro.analysis.risk` — sore-loser exposure tables measured from
   actual protocol runs (EXP-T1).
+
+.. note:: **Not to be confused with** :mod:`repro.lint`, the *static*
+   analysis package (the AST-based determinism linter guarding the digest
+   invariant).  This package analyzes *market/price data* for the paper's
+   economics; that one analyzes *source code*.  New price-path or
+   premium-sizing work belongs here; new lint rules belong there.
 """
 
 from repro.analysis.options import crr_price, suggest_premium

@@ -44,7 +44,6 @@ def sore_loser_exposure(premium_a: int = 2, premium_b: int = 1) -> list[Exposure
         for deviator in ("Alice", "Bob"):
             for rnd in range(horizon):
                 instance = builder()
-                spec = instance.meta["spec"]
                 result = execute(
                     instance,
                     {deviator: lambda a, r=rnd: Deviant(a, halt_round=r)},

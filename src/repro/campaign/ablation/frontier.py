@@ -39,7 +39,7 @@ from dataclasses import dataclass, replace
 from hashlib import sha256
 from typing import Iterable
 
-from repro.campaign.canon import canon_float, canon_opt
+from repro.campaign.canon import canon_float, canon_opt, fmt_fraction
 from repro.campaign.report import check_kind, register_report
 from repro.campaign.runner import CampaignReport
 
@@ -219,11 +219,17 @@ class FrontierReport:
             profitable = [
                 cell.pi for cell in row.cells if cell.deviation_profitable
             ]
+            # fmt_fraction, not %g: the printed axes must read exactly
+            # like the digest-covered scenario labels ('g' is lossy past
+            # six significant digits, so two distinct deeply-bisected
+            # premiums could print identically while differing in the
+            # digest — ungreppable).
             return (
-                f"{row.family:<12} {pivot:<14} {row.stage:<10} {row.shock:>7g}  "
-                f"{'-' if row.pi_star is None else format(row.pi_star, 'g'):>6}  "
-                f"{','.join(format(p, 'g') for p in walked) or '-':<24} "
-                f"{','.join(format(p, 'g') for p in profitable) or '-'}"
+                f"{row.family:<12} {pivot:<14} {row.stage:<10} "
+                f"{fmt_fraction(row.shock):>7}  "
+                f"{'-' if row.pi_star is None else fmt_fraction(row.pi_star):>6}  "
+                f"{','.join(fmt_fraction(p) for p in walked) or '-':<24} "
+                f"{','.join(fmt_fraction(p) for p in profitable) or '-'}"
             )
 
         for row in self.rows:

@@ -408,7 +408,9 @@ class KernelEngine:
                     )
                 else:
                     buckets.setdefault(
-                        (id(comply), shock_height),
+                        # Identity keys an in-process bucket of shared
+                        # templates; never digested or serialized.
+                        (id(comply), shock_height),  # lint: disable=DET001
                         (comply, shock_height, []),
                     )[2].append((position, scenario, shock))
             for shock_height, entries in pending.items():
@@ -419,7 +421,8 @@ class KernelEngine:
                         comply if w < 0 else kernel.walk_template(w)
                     )
                     buckets.setdefault(
-                        (id(template), shock_height),
+                        # Same in-process bucket keying as above.
+                        (id(template), shock_height),  # lint: disable=DET001
                         (template, shock_height, []),
                     )[2].append(entry)
             # Decisions and trajectory templates are in hand; distribute

@@ -176,9 +176,11 @@ class RefinedFrontierReport:
                 else "-"
             )
             lines.append(
+                # fmt_fraction, not %g: printed axes must read exactly
+                # like the digest-covered labels (see FrontierReport.table).
                 f"{row.family:<12} {row.coalition or 'pivot':<14} "
-                f"{row.stage:<10} {row.shock:>7g}  "
-                f"{'-' if row.lattice_hi is None else format(row.lattice_hi, 'g'):>11}  "
+                f"{row.stage:<10} {fmt_fraction(row.shock):>7}  "
+                f"{'-' if row.lattice_hi is None else fmt_fraction(row.lattice_hi):>11}  "
                 f"{'-' if row.pi_star is None else fmt_fraction(row.pi_star):>11}  "
                 f"{bracket:>19}  {len(row.probes)}"
             )

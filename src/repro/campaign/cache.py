@@ -73,14 +73,41 @@ def code_version(refresh: bool = False) -> str:
         _CODE_VERSION = None
     if _CODE_VERSION is None:
         root = Path(__file__).resolve().parent.parent  # src/repro
-        digest = sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
-        _CODE_VERSION = digest.hexdigest()
+        # sorted() here is load-bearing (and ORD001-guarded): rglob
+        # yields filesystem enumeration order, which differs across
+        # hosts and checkouts, and the digest below encodes file order.
+        paths = sorted(root.rglob("*.py"), key=lambda p: _source_key(root, p))
+        _CODE_VERSION = _hash_sources(root, paths)
     return _CODE_VERSION
+
+
+def _source_key(root: Path, path: Path) -> str:
+    """The canonical identity of one source file: posix relative path.
+
+    Explicitly ``as_posix()`` so both the *sort order* and the *hashed
+    name* are byte-identical across platforms — ``str(relative)`` would
+    hash ``campaign\\cache.py`` on Windows and ``campaign/cache.py`` on
+    POSIX, silently forking the code-version key (and with it every
+    cache entry) between hosts sharing a cache directory.
+    """
+    return path.relative_to(root).as_posix()
+
+
+def _hash_sources(root: Path, paths) -> str:
+    """Digest source files by (posix relative name, content) pairs.
+
+    Re-sorts by :func:`_source_key` regardless of input order — callers
+    (and tests) may hand files in any order and must get the same
+    digest, which is exactly the filesystem-order independence the
+    cache's freshness key promises.
+    """
+    digest = sha256()
+    for path in sorted(paths, key=lambda p: _source_key(root, p)):
+        digest.update(_source_key(root, path).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
 
 
 def invalidate_code_version() -> None:
@@ -113,7 +140,9 @@ class ResultCache:
         certainly dead).  Returns the number removed; every error is a
         skip, never a failure — sweeping is opportunistic hygiene.
         """
-        now = time.time()
+        # Wall time compares file mtimes for hygiene only; it never
+        # reaches a digest or report.
+        now = time.time()  # lint: disable=DET001
         removed = 0
         try:
             candidates = list(self.root.glob(".tmp-*"))

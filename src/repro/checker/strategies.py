@@ -60,7 +60,7 @@ def lag_strategies(max_lag: int = 3) -> list[NamedStrategy]:
     return [
         NamedStrategy(
             label=f"lag+{lag}",
-            transform=lambda actor, l=lag: Laggard(actor, l),
+            transform=lambda actor, rounds=lag: Laggard(actor, rounds),
         )
         for lag in range(1, max_lag + 1)
     ]

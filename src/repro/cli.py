@@ -115,7 +115,6 @@ byte-identical across serial, pooled, and refined-from-merged runs::
 from __future__ import annotations
 
 import argparse
-import sys
 
 from repro.campaign import (
     CampaignReport,

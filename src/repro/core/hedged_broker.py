@@ -38,7 +38,7 @@ from repro.core.premiums import (
 )
 from repro.crypto.hashing import Secret
 from repro.crypto.hashkeys import SignedPath
-from repro.graph.digraph import Arc, SwapGraph
+from repro.graph.digraph import Arc
 from repro.protocols.base_broker import BrokerActorBase, BrokerSpec
 from repro.protocols.instance import ProtocolInstance
 from repro.sim.runner import RunResult

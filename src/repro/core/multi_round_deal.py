@@ -31,7 +31,7 @@ and holding all hashkeys.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.chain.block import Transaction
 from repro.contracts.deal import DealDeadlines, PipelineDealContract, TradeStep

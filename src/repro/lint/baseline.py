@@ -1,0 +1,126 @@
+"""The checked-in finding baseline: known debt, explicitly carried.
+
+A baseline entry acknowledges one finding without fixing or inline-
+suppressing it — useful when a rule lands before its last findings are
+burned down, and for findings in code slated for deletion.  Entries are
+matched by :meth:`Finding.fingerprint` — ``(code, path, stripped source
+line)`` — not by line number, so unrelated edits above a finding do not
+invalidate the baseline; editing the flagged line itself does, which is
+exactly when the finding deserves a fresh look.
+
+Each entry carries a mandatory ``justification`` string: a baseline
+without reasons is just a mute button.  Matching is multiset-style
+(``count`` occurrences of the same fingerprint), and entries that match
+nothing are reported as *stale* so the file shrinks as debt is paid.
+
+Format (``lint-baseline.json``)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"code": "DET001", "path": "src/repro/x.py",
+         "line_text": "t = time.time()", "count": 1,
+         "justification": "wall time feeds a digest-excluded field"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.core import Finding, LintError
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A multiset of acknowledged finding fingerprints."""
+
+    counts: Counter = field(default_factory=Counter)
+    justifications: dict[tuple[str, str, str], str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as err:
+            raise LintError(f"cannot read baseline {path}: {err}")
+        if data.get("version") != _VERSION:
+            raise LintError(
+                f"baseline {path} has version {data.get('version')!r}, "
+                f"expected {_VERSION}"
+            )
+        baseline = cls()
+        for entry in data.get("entries", []):
+            try:
+                fingerprint = (entry["code"], entry["path"], entry["line_text"])
+                justification = entry["justification"]
+            except (KeyError, TypeError) as err:
+                raise LintError(f"malformed baseline entry {entry!r}: {err}")
+            if not justification:
+                raise LintError(
+                    f"baseline entry for {entry['code']} at {entry['path']} "
+                    "has no justification; a baseline without reasons is "
+                    "just a mute button"
+                )
+            baseline.counts[fingerprint] += int(entry.get("count", 1))
+            baseline.justifications[fingerprint] = justification
+        return baseline
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], justification: str
+    ) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            baseline.counts[fingerprint] += 1
+            baseline.justifications.setdefault(fingerprint, justification)
+        return baseline
+
+    def save(self, path: str | Path) -> None:
+        entries = [
+            {
+                "code": code,
+                "path": file_path,
+                "line_text": line_text,
+                "count": count,
+                "justification": self.justifications.get(
+                    (code, file_path, line_text), ""
+                ),
+            }
+            for (code, file_path, line_text), count in sorted(self.counts.items())
+        ]
+        Path(path).write_text(
+            json.dumps({"version": _VERSION, "entries": entries}, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def partition(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], int, list[tuple[str, str, str]]]:
+        """Split findings into (new, baselined-count, stale entries).
+
+        Consumes baseline budget first-come within a fingerprint; any
+        budget left over after all findings are seen is *stale* — the
+        acknowledged finding no longer exists and the entry should go.
+        """
+        remaining = Counter(self.counts)
+        fresh: list[Finding] = []
+        matched = 0
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if remaining[fingerprint] > 0:
+                remaining[fingerprint] -= 1
+                matched += 1
+            else:
+                fresh.append(finding)
+        stale = sorted(fp for fp, count in remaining.items() if count > 0)
+        return fresh, matched, stale

@@ -1,0 +1,22 @@
+"""Shipped rule families.  Importing this package registers every rule.
+
+One module per family; each rule documents the hazard it guards, the
+constructs it flags, and the blessed alternative.  Codes:
+
+==========  ==========================================================
+``DET001``  nondeterministic call (clock/uuid/OS entropy/``id()``)
+``DET002``  unseeded random-number generator
+``ORD001``  unsorted iteration feeding digest/JSON/report code
+``CANON001``  ad-hoc float formatting in digest/label code
+``POOL001``  unpicklable callable crossing the worker boundary
+``DIG001``  dataclass field invisible to ``digest()``/``to_json()``
+==========  ==========================================================
+"""
+
+from repro.lint.rules import (  # noqa: F401  (import = registration)
+    canonfloat,
+    determinism,
+    digestcov,
+    ordering,
+    pool,
+)

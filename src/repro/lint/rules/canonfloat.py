@@ -1,0 +1,130 @@
+"""CANON001: ad-hoc float formatting in digest- or label-producing code.
+
+Float text is part of the digest surface: premium fractions and shock
+sizes are rendered into schedule labels and hashed.  PR 4 centralized
+that rendering in :mod:`repro.campaign.canon` after ``format(x, "g")``
+was found to be *lossy* — two distinct bisected premiums could collide
+onto one label (one digest) while producing different runs.  This rule
+keeps the centralization honest: inside digest-producing or
+label-producing functions, any ``%``-format, ``format()`` call, or
+f-string placeholder whose format spec renders a float (``g``/``e``/
+``f`` family) is flagged unless the formatted value already went through
+``canon_float``/``canon_opt``/``fmt_fraction``.
+
+Presentation-only code (summary tables, CLI output) is out of scope by
+the shared digest-function definition — though using
+:func:`repro.campaign.canon.fmt_fraction` there too keeps printed axes
+greppable against digest labels.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.lint.core import (
+    Finding,
+    Rule,
+    SourceFile,
+    call_name,
+    enclosing_function,
+    is_digest_function,
+    register_rule,
+)
+
+#: a format spec that renders a float: ``g``, ``.3f``, ``e``, ``%``, ...
+_FLOAT_SPEC_RE = re.compile(r"^[<>=^+\- #0-9,._]*[gGeEfF%]$")
+#: printf-style float conversions inside a ``%`` format string.
+_PRINTF_FLOAT_RE = re.compile(r"%[-+ #0-9.]*[gGeEfF]")
+
+#: the blessed canonicalizers (matched by trailing name, any import path).
+_CANON_CALLS = frozenset({"canon_float", "canon_opt", "fmt_fraction"})
+
+#: functions whose name marks them as label producers even when they do
+#: not hash or dump JSON themselves (labels feed digests downstream).
+_LABEL_NAME_RE = re.compile(r"label|axes")
+
+
+def _is_canonicalized(node: ast.AST, aliases: dict[str, str]) -> bool:
+    """Whether the formatted value is a direct canon.* call."""
+    if isinstance(node, ast.Call):
+        name = call_name(node, aliases)
+        if name is not None and name.rsplit(".", 1)[-1] in _CANON_CALLS:
+            return True
+    return False
+
+
+def _float_spec(spec: str) -> bool:
+    return bool(_FLOAT_SPEC_RE.match(spec))
+
+
+@register_rule
+class CanonFloatRule(Rule):
+    """CANON001: float text built outside repro.campaign.canon."""
+
+    code = "CANON001"
+    name = "uncanonical-float-format"
+    summary = (
+        "float formatted with %g/:g/format() in digest- or label-producing "
+        "code; route the value through repro.campaign.canon "
+        "(canon_float / fmt_fraction) so distinct doubles cannot collide"
+    )
+
+    _ADVICE = (
+        "; use repro.campaign.canon.fmt_fraction (exact, shortest, "
+        "platform-stable) or hash repr(canon_float(x))"
+    )
+
+    def check(self, src: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(src.tree):
+            hazard = self._hazard(node, src)
+            if hazard is None:
+                continue
+            func = enclosing_function(src, node)
+            if func is None:
+                continue
+            if not (
+                is_digest_function(func, src.aliases)
+                or _LABEL_NAME_RE.search(func.name)
+            ):
+                continue
+            yield src.finding(node, self.code, hazard + self._ADVICE)
+
+    def _hazard(self, node: ast.AST, src: SourceFile) -> str | None:
+        # f"{x:g}" — a FormattedValue with a constant float-rendering spec.
+        if isinstance(node, ast.FormattedValue) and node.format_spec is not None:
+            spec = _literal_spec(node.format_spec)
+            if spec and _float_spec(spec) and not _is_canonicalized(node.value, src.aliases):
+                return f"f-string float format spec {spec!r}"
+        # format(x, "g") / x.__format__("g")
+        if isinstance(node, ast.Call):
+            name = call_name(node, src.aliases)
+            if (
+                name == "format"
+                and len(node.args) == 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+                and _float_spec(node.args[1].value)
+                and not _is_canonicalized(node.args[0], src.aliases)
+            ):
+                return f"format(x, {node.args[1].value!r})"
+        # "%g" % x
+        if (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Mod)
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.left.value, str)
+            and _PRINTF_FLOAT_RE.search(node.left.value)
+        ):
+            return f"printf-style float format {node.left.value!r}"
+        return None
+
+
+def _literal_spec(spec_node: ast.expr) -> str | None:
+    """The constant text of an f-string format spec, if it is constant."""
+    if isinstance(spec_node, ast.JoinedStr) and all(
+        isinstance(part, ast.Constant) for part in spec_node.values
+    ):
+        return "".join(str(part.value) for part in spec_node.values)
+    return None

@@ -1,0 +1,133 @@
+"""DET rules: calls whose result differs run-to-run or host-to-host.
+
+The campaign engine's contract is that a scenario's digest depends only
+on the scenario — not on when it ran, which process ran it, or what the
+allocator did.  Wall clocks, uuids, OS entropy, per-process object
+identity, and unseeded RNGs all violate that the moment their value
+reaches a digest, a label, or a report.  Rather than trace the flow,
+these rules flag the *source* anywhere under the linted tree: the rare
+legitimate use (measuring elapsed wall time into a digest-excluded
+field, generating a fresh secret in an API expressly for live use) is
+suppressed inline with a justification, which keeps every exception
+auditable in one grep (``git grep 'lint: disable=DET'``).
+
+``time.perf_counter`` is deliberately *not* flagged: it is the blessed
+way to measure elapsed time precisely because it is monotonic and
+obviously wall-clock-shaped — nobody mistakes it for reproducible data,
+and every existing use feeds digest-excluded ``elapsed_seconds`` fields.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.core import (
+    Finding,
+    Rule,
+    SourceFile,
+    call_name,
+    register_rule,
+)
+
+#: exact dotted names whose every call is nondeterministic.
+NONDETERMINISTIC_CALLS = {
+    "time.time": "wall-clock time differs per run",
+    "time.time_ns": "wall-clock time differs per run",
+    "datetime.datetime.now": "wall-clock time differs per run",
+    "datetime.datetime.utcnow": "wall-clock time differs per run",
+    "datetime.datetime.today": "wall-clock time differs per run",
+    "datetime.date.today": "wall-clock date differs per run",
+    "uuid.uuid1": "uuid1 mixes host MAC and clock",
+    "uuid.uuid4": "uuid4 draws OS entropy",
+    "os.urandom": "OS entropy differs per call",
+    "secrets.token_bytes": "OS entropy differs per call",
+    "secrets.token_hex": "OS entropy differs per call",
+    "secrets.token_urlsafe": "OS entropy differs per call",
+    "secrets.randbits": "OS entropy differs per call",
+    "id": "object identity is per-process (and per-allocation)",
+}
+
+#: the module-level functions of ``random`` share one *unseeded* global
+#: RNG; numpy's legacy ``np.random.*`` functions share another.
+_GLOBAL_RNG_MODULES = ("random.", "numpy.random.")
+_RNG_CONSTRUCTORS = {
+    "random.Random": "random.Random()",
+    "numpy.random.default_rng": "numpy.random.default_rng()",
+    "numpy.random.RandomState": "numpy.random.RandomState()",
+}
+_RNG_ALWAYS_BAD = {
+    "random.SystemRandom": "SystemRandom draws OS entropy on every call",
+}
+#: numpy.random names that are types/helpers, not global-RNG draws.
+_NUMPY_RNG_NEUTRAL = frozenset(
+    {"numpy.random.Generator", "numpy.random.BitGenerator", "numpy.random.SeedSequence"}
+)
+
+
+def _calls(src: SourceFile) -> Iterator[tuple[ast.Call, str]]:
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Call):
+            name = call_name(node, src.aliases)
+            if name is not None:
+                yield node, name
+
+
+@register_rule
+class NondeterministicCallRule(Rule):
+    """DET001: a call whose result can never be reproduced."""
+
+    code = "DET001"
+    name = "nondeterministic-call"
+    summary = (
+        "call to a wall clock, uuid, OS entropy source, or id(); its value "
+        "differs across runs/processes, so it can never feed a digest"
+    )
+
+    def check(self, src: SourceFile) -> Iterable[Finding]:
+        for node, name in _calls(src):
+            reason = NONDETERMINISTIC_CALLS.get(name)
+            if reason is None:
+                continue
+            yield src.finding(
+                node,
+                self.code,
+                f"nondeterministic call {name}(): {reason}; if the value is "
+                "genuinely wanted (never digested), suppress with a "
+                "justification",
+            )
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    """DET002: a random draw whose seed is not pinned."""
+
+    code = "DET002"
+    name = "unseeded-random"
+    summary = (
+        "use of the global random module RNG, or an RNG constructed without "
+        "a seed; results vary per process — pass an explicit seed"
+    )
+
+    def check(self, src: SourceFile) -> Iterable[Finding]:
+        for node, name in _calls(src):
+            if name in _RNG_ALWAYS_BAD:
+                yield src.finding(
+                    node, self.code, f"{name}(): {_RNG_ALWAYS_BAD[name]}"
+                )
+            elif name in _RNG_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield src.finding(
+                        node,
+                        self.code,
+                        f"{_RNG_CONSTRUCTORS[name]} without a seed draws OS "
+                        "entropy; pass an explicit seed",
+                    )
+            elif name.startswith(_GLOBAL_RNG_MODULES) and name not in _NUMPY_RNG_NEUTRAL:
+                yield src.finding(
+                    node,
+                    self.code,
+                    f"{name}() uses the shared unseeded global RNG; construct "
+                    "a seeded instance (random.Random(seed) / "
+                    "numpy.random.default_rng(seed)) instead",
+                )

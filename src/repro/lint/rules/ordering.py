@@ -1,0 +1,187 @@
+"""ORD001: unsorted iteration feeding digest/JSON/report construction.
+
+Python sets iterate in hash order (randomized per process for strings
+via ``PYTHONHASHSEED``), and ``os.listdir`` / ``Path.iterdir`` /
+``Path.rglob`` yield filesystem order (inode-creation dependent, differs
+across hosts and checkouts).  Anything built from such an iteration —
+a hash update, a JSON document, a report line — silently encodes that
+order, and the digest invariant dies the day two hosts disagree.  The
+historical example is exactly :func:`repro.campaign.cache.code_version`:
+a source-tree walk feeding a digest, correct only because of an explicit
+``sorted(...)``.
+
+The rule is scoped, not flow-sensitive: it fires on an *ordering source*
+inside a *digest-producing function* (see :func:`repro.lint.core.
+is_digest_function`) without an enclosing order-insensitive consumer —
+``sorted(...)`` being the canonical fix, while ``sum``/``min``/``max``/
+``len``/``any``/``all``/``set`` consumers are inherently order-free.
+Ordering sources are:
+
+- a directory-walk call (``os.listdir``/``os.scandir``/``os.walk``, or
+  any ``.iterdir()``/``.rglob()``/``.glob()`` method),
+- a set *expression* (display, comprehension, ``set()``/``frozenset()``
+  call) used as an iteration source or ``str.join`` argument,
+- a *name* the function can locally prove is a set — a parameter
+  annotated ``set``/``frozenset``, or a local assigned from a set
+  expression — used the same way.
+
+Outside digest-producing functions, ordering sources are allowed: plenty
+of code iterates sets where order cannot escape.  Type inference is
+deliberately local — a set arriving through an unannotated parameter is
+invisible, which is the usual static-analysis bargain: annotate it and
+the guard turns on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import (
+    Finding,
+    FuncDef,
+    Rule,
+    SourceFile,
+    call_name,
+    enclosing_function,
+    is_digest_function,
+    register_rule,
+)
+
+#: directory-walk calls: filesystem order, never sorted.
+_WALK_CALLS = frozenset({"os.listdir", "os.scandir", "os.walk"})
+#: Path methods with filesystem-ordered results.
+_WALK_METHODS = frozenset({"iterdir", "rglob", "glob"})
+#: consumers whose result does not depend on iteration order.
+_ORDER_FREE = frozenset(
+    {"sorted", "sum", "min", "max", "len", "any", "all", "set", "frozenset"}
+)
+
+
+def _set_typed_names(func: FuncDef, src: SourceFile) -> set[str]:
+    """Names the function can locally prove hold sets."""
+    names: set[str] = set()
+    for arg in [*func.args.args, *func.args.posonlyargs, *func.args.kwonlyargs]:
+        if arg.annotation is not None:
+            annotation = ast.unparse(arg.annotation).strip("\"'")
+            head = annotation.split("[")[0].split(".")[-1].lower()
+            if head in {"set", "frozenset", "abstractset", "mutableset"}:
+                names.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and _is_set_literal(node.value, src):
+                names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            annotation = ast.unparse(node.annotation).strip("\"'")
+            if annotation.split("[")[0].split(".")[-1].lower() in {
+                "set",
+                "frozenset",
+            }:
+                names.add(node.target.id)
+    return names
+
+
+def _is_set_literal(node: ast.AST, src: SourceFile) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node, src.aliases) in {"set", "frozenset"}
+    return False
+
+
+def _is_set_expr(node: ast.AST, src: SourceFile, set_names: set[str]) -> bool:
+    if _is_set_literal(node, src):
+        return True
+    return isinstance(node, ast.Name) and node.id in set_names
+
+
+def _is_walk_call(node: ast.AST, src: SourceFile) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = call_name(node, src.aliases)
+    if name in _WALK_CALLS:
+        return True
+    # Method form: anything.iterdir()/rglob()/glob() — receiver-agnostic
+    # on purpose; false positives on a non-Path ``.glob`` are unheard of
+    # in this tree and suppressible inline.
+    return isinstance(node.func, ast.Attribute) and node.func.attr in _WALK_METHODS
+
+
+def _ordering_sources(
+    func: FuncDef, src: SourceFile, set_names: set[str]
+) -> Iterable[tuple[ast.AST, str]]:
+    """(node, description) for every order-hazardous expression."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.For) and _is_set_expr(node.iter, src, set_names):
+            yield node.iter, "iteration over a set"
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for comp in node.generators:
+                if _is_set_expr(comp.iter, src, set_names):
+                    yield comp.iter, "comprehension over a set"
+        elif isinstance(node, ast.Call):
+            if _is_walk_call(node, src):
+                yield node, "directory walk (filesystem order)"
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and node.args
+                and _is_set_expr(node.args[0], src, set_names)
+            ):
+                yield node.args[0], "join over a set"
+
+
+def _order_neutralized(src: SourceFile, node: ast.AST) -> bool:
+    """True when an enclosing call makes iteration order irrelevant."""
+    child = node
+    for ancestor in src.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        if isinstance(ancestor, ast.Call):
+            name = call_name(ancestor, src.aliases)
+            # Only a call the hazardous expression flows *through* (as an
+            # argument) neutralizes it — not a call it is merely an
+            # attribute receiver of (``set(x).glob(...)`` stays hazardous).
+            if name in _ORDER_FREE and child in ancestor.args:
+                return True
+        child = ancestor
+    return False
+
+
+@register_rule
+class UnsortedOrderingRule(Rule):
+    """ORD001: hash/filesystem iteration order reaching digest code."""
+
+    code = "ORD001"
+    name = "unsorted-ordering"
+    summary = (
+        "set iteration or directory walk inside digest/JSON/report code "
+        "without an enclosing sorted(); the emitted bytes inherit a "
+        "process- or filesystem-dependent order"
+    )
+
+    def check(self, src: SourceFile) -> Iterable[Finding]:
+        for func in ast.walk(src.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not is_digest_function(func, src.aliases):
+                continue
+            set_names = _set_typed_names(func, src)
+            for node, description in _ordering_sources(func, src, set_names):
+                # Attribute each source to its *nearest* enclosing
+                # function only, so a digest-producing outer function
+                # does not double-report (or misattribute) hazards that
+                # live inside a nested helper.
+                if enclosing_function(src, node) is not func:
+                    continue
+                if _order_neutralized(src, node):
+                    continue
+                yield src.finding(
+                    node,
+                    self.code,
+                    f"{description} inside digest-producing function "
+                    f"{func.name}() without an enclosing sorted(); the "
+                    "digest would inherit nondeterministic order",
+                )

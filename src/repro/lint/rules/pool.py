@@ -1,0 +1,144 @@
+"""POOL001: unpicklable callables crossing the worker boundary.
+
+The persistent :class:`repro.campaign.pool.WorkerPool` ships work to
+forked workers as a :class:`~repro.campaign.pool.MatrixSpec` — a named
+*registered factory* plus primitive arguments — precisely because real
+callables do not survive ``pickle``: lambdas and closures fail outright,
+and a locally-defined class pickles by qualified name, which the worker
+cannot resolve.  Worse, a callable that *happens* to pickle (a module
+function captured by name) silently bypasses the worker-side registry
+audit that keys the digest contract.
+
+This rule polices the boundary statically: a ``lambda``, a nested
+(function-local) ``def``/``class``, or a reference to one, appearing
+anywhere in the arguments of ``MatrixSpec(...)``,
+``register_matrix_factory(...)``, or a ``.run_indices(...)`` call is
+flagged.  Factories must be module-level functions registered by name;
+everything they capture must arrive as primitive ``MatrixSpec`` args.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import (
+    Finding,
+    FuncDef,
+    Rule,
+    SourceFile,
+    call_name,
+    qualified_name,
+    register_rule,
+)
+
+#: constructor/registration calls whose arguments cross into workers.
+_BOUNDARY_CALLS = frozenset({"MatrixSpec", "register_matrix_factory"})
+#: method names that dispatch work to pool workers.
+_BOUNDARY_METHODS = frozenset({"run_indices", "apply_async", "imap", "imap_unordered", "map_async", "starmap"})
+
+
+def _is_boundary_call(node: ast.Call, src: SourceFile) -> bool:
+    name = call_name(node, src.aliases)
+    if name is not None and name.rsplit(".", 1)[-1] in _BOUNDARY_CALLS:
+        return True
+    return isinstance(node.func, ast.Attribute) and node.func.attr in _BOUNDARY_METHODS
+
+
+def _local_defs(func: FuncDef) -> set[str]:
+    """Names of functions/classes defined *inside* ``func``."""
+    out: set[str] = set()
+    for node in ast.walk(func):
+        if node is func:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            out.add(node.name)
+    return out
+
+
+@register_rule
+class WorkerBoundaryRule(Rule):
+    """POOL001: a callable that cannot (or must not) cross to workers."""
+
+    code = "POOL001"
+    name = "unpicklable-worker-payload"
+    summary = (
+        "lambda, closure, or locally-defined class passed across the "
+        "WorkerPool/MatrixSpec boundary; workers rebuild from registered "
+        "factory names + primitive args only"
+    )
+
+    def check(self, src: SourceFile) -> Iterable[Finding]:
+        yield from self._nested_registrations(src)
+        # Map every boundary call to its enclosing function's local defs,
+        # so Name references to closures are caught alongside lambdas.
+        enclosing_locals: dict[ast.Call, set[str]] = {}
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                locals_here = None
+                for inner in ast.walk(node):
+                    if isinstance(inner, ast.Call) and _is_boundary_call(inner, src):
+                        if locals_here is None:
+                            locals_here = _local_defs(node)
+                        enclosing_locals[inner] = locals_here
+
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.Call) and _is_boundary_call(node, src)):
+                continue
+            callee = call_name(node, src.aliases) or ast.dump(node.func)
+            local_names = enclosing_locals.get(node, set())
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                for finding in self._scan_arg(src, arg, callee, local_names):
+                    yield finding
+
+    def _nested_registrations(self, src: SourceFile) -> Iterable[Finding]:
+        """``@register_matrix_factory`` on a function-local def.
+
+        Registration publishes the function by *name* for workers to
+        rebuild from — a closure's qualified name is unresolvable in the
+        worker process, so the registration only ever works by accident
+        in the registering process itself.
+        """
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(node):
+                if inner is node or not isinstance(
+                    inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                for deco in inner.decorator_list:
+                    target = deco.func if isinstance(deco, ast.Call) else deco
+                    name = qualified_name(target, src.aliases)
+                    if name is not None and name.rsplit(".", 1)[-1] == (
+                        "register_matrix_factory"
+                    ):
+                        yield src.finding(
+                            inner,
+                            self.code,
+                            f"register_matrix_factory on function-local "
+                            f"{inner.name!r}: workers rebuild factories by "
+                            "module-level name — hoist it to module scope",
+                        )
+
+    def _scan_arg(
+        self, src: SourceFile, arg: ast.expr, callee: str, local_names: set[str]
+    ) -> Iterable[Finding]:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Lambda):
+                yield src.finding(
+                    sub,
+                    self.code,
+                    f"lambda passed into {callee}(): lambdas cannot pickle "
+                    "across the worker boundary — register a module-level "
+                    "factory and pass primitive args",
+                )
+            elif isinstance(sub, ast.Name) and sub.id in local_names:
+                yield src.finding(
+                    sub,
+                    self.code,
+                    f"locally-defined callable {sub.id!r} passed into "
+                    f"{callee}(): closures/local classes cannot pickle "
+                    "across the worker boundary — hoist it to module level "
+                    "and register it",
+                )

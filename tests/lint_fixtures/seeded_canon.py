@@ -1,0 +1,33 @@
+"""Seeded CANON001 violations (never executed; see README.md)."""
+
+from hashlib import sha256
+
+from repro.campaign.canon import canon_float, fmt_fraction
+
+
+def cell_digest(pi: float, shock: float) -> str:
+    line = f"{pi:g}|{shock:.6f}"  # CANON001 x2: lossy float specs hashed
+    return sha256(line.encode()).hexdigest()
+
+
+def axis_label(pi: float) -> str:
+    return format(pi, "g")  # CANON001: lossy 'g' in label code
+
+
+def legacy_payload(shock: float) -> str:
+    return "s=%g" % shock  # CANON001: printf float in digest code
+
+
+def canonical_is_clean(pi: float, shock: float) -> str:
+    line = f"{fmt_fraction(pi)}|{canon_float(shock)!r}"
+    return sha256(line.encode()).hexdigest()
+
+
+def presentation_is_clean(pi: float) -> str:
+    # Clean: no digest/label scope — plain progress printing.
+    return f"refining pi={pi:g}"
+
+
+def suppressed_is_fine(pi: float) -> str:
+    line = f"{pi:g}"  # lint: disable=CANON001
+    return sha256(line.encode()).hexdigest()

@@ -1,0 +1,31 @@
+"""Seeded DET001/DET002 violations (never executed; see README.md)."""
+
+import os
+import random
+import time
+import uuid
+
+
+def stamp_result(payload: dict) -> dict:
+    payload["at"] = time.time()  # DET001: wall clock
+    payload["run_id"] = str(uuid.uuid4())  # DET001: OS entropy
+    payload["nonce"] = os.urandom(8).hex()  # DET001: OS entropy
+    payload["marker"] = id(payload)  # DET001: per-process identity
+    return payload
+
+
+def jitter() -> float:
+    return random.random()  # DET002: global unseeded RNG
+
+
+def make_rng():
+    return random.Random()  # DET002: unseeded constructor
+
+
+def seeded_is_fine() -> float:
+    # Clean: an explicit seed pins the stream.
+    return random.Random(1729).random()
+
+
+def suppressed_is_fine() -> float:
+    return time.time()  # lint: disable=DET001

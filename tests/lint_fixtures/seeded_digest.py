@@ -1,0 +1,58 @@
+"""Seeded DIG001 violations (never executed; see README.md)."""
+
+import json
+from dataclasses import dataclass
+from hashlib import sha256
+
+
+@dataclass(frozen=True)
+class LeakySpec:
+    """``tolerance`` shapes results but is missing from digest()."""
+
+    kind: str
+    premium: float
+    tolerance: float  # DIG001: not hashed below — identity collision
+
+    def digest(self) -> str:
+        payload = f"{self.kind}|{self.premium!r}"
+        return sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class LossyReport:
+    """``violations`` vanishes on the first cross-host hop."""
+
+    scenarios: int
+    run_digest: str
+    violations: list  # DIG001: not serialized below
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"scenarios": self.scenarios, "run_digest": self.run_digest}
+        )
+
+
+@dataclass(frozen=True)
+class CoveredSpec:
+    """Clean: every field reaches the digest, directly or via a helper."""
+
+    kind: str
+    premium: float
+    note: str
+
+    def digest(self) -> str:
+        return sha256(self._payload().encode()).hexdigest()
+
+    def _payload(self) -> str:
+        return f"{self.kind}|{self.premium!r}|{self.note}"
+
+
+@dataclass(frozen=True)
+class SuppressedSpec:
+    """An inline disable on the field's declaration line is honored."""
+
+    kind: str
+    display_hint: str  # lint: disable=DIG001
+
+    def digest(self) -> str:
+        return sha256(self.kind.encode()).hexdigest()

@@ -1,0 +1,41 @@
+"""Seeded POOL001 violations (never executed; see README.md)."""
+
+from repro.campaign.pool import MatrixSpec, WorkerPool, register_matrix_factory
+
+
+def ship_lambda(pool: WorkerPool, digest: str):
+    spec = MatrixSpec(
+        factory="default",
+        args=(lambda: 3,),  # POOL001: lambda crosses the worker boundary
+        kwargs=(),
+    )
+    return pool.run_indices(spec, digest, [0])
+
+
+def ship_closure(pool: WorkerPool, digest: str, spec: MatrixSpec):
+    def local_builder():  # a closure: unpicklable by qualified name
+        return 7
+
+    return pool.run_indices(spec, digest, local_builder)  # POOL001
+
+
+def register_closure(premium: int):
+    @register_matrix_factory("closure-factory")  # POOL001: local factory
+    def build_matrix():
+        return premium
+
+    return build_matrix
+
+
+def primitives_are_clean(pool: WorkerPool, digest: str):
+    spec = MatrixSpec(factory="default", args=(3, "ring"), kwargs=())
+    return pool.run_indices(spec, digest, [0, 1])
+
+
+def suppressed_is_fine(pool: WorkerPool, digest: str):
+    spec = MatrixSpec(
+        factory="default",
+        args=(lambda: 3,),  # lint: disable=POOL001
+        kwargs=(),
+    )
+    return pool.run_indices(spec, digest, [0])

@@ -229,3 +229,36 @@ def test_code_version_tracks_source_changes(tmp_path, monkeypatch):
     finally:
         monkeypatch.undo()
         invalidate_code_version()
+
+
+def test_code_version_filesystem_order_independent(tmp_path):
+    """The walk is sorted before hashing: shuffled input, same digest.
+
+    This is the exact hazard ORD001 exists to catch — a directory walk
+    feeding a digest.  ``_hash_sources`` must be a pure function of the
+    tree's *contents*, never of inode-creation order.
+    """
+    from repro.campaign.cache import _hash_sources, _source_key
+
+    root = tmp_path
+    (root / "zz.py").write_text("z = 1\n")
+    pkg = root / "pkg"
+    pkg.mkdir()
+    (pkg / "aa.py").write_text("a = 2\n")
+    (root / "mm.py").write_text("m = 3\n")
+
+    paths = [root / "zz.py", pkg / "aa.py", root / "mm.py"]
+    forward = _hash_sources(root, paths)
+    assert _hash_sources(root, list(reversed(paths))) == forward
+    assert _hash_sources(root, sorted(paths)) == forward
+
+
+def test_source_key_is_posix_relative(tmp_path):
+    """Sort keys are os.sep-independent so the digest ports across hosts."""
+    from repro.campaign.cache import _source_key
+
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    path = pkg / "mod.py"
+    path.write_text("pass\n")
+    assert _source_key(tmp_path, path) == "pkg/mod.py"
