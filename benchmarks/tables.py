@@ -19,8 +19,21 @@ import pathlib
 from typing import Iterable, Sequence
 
 
-def write_bench_json(name: str, payload: dict, directory: str | None = None) -> pathlib.Path:
-    """Write ``BENCH_<name>.json`` (sorted keys, indented) and return it."""
+def write_bench_json(
+    name: str,
+    payload: dict,
+    directory: str | None = None,
+    phases: dict | None = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` (sorted keys, indented) and return it.
+
+    ``phases`` takes the ``repro.obs.phase_fragments`` of a traced run —
+    ``{phase: {count, total_seconds}}`` — and embeds it under a
+    top-level ``"phases"`` key, so committed baselines carry a
+    phase-level timing breakdown next to their headline throughput.
+    """
+    if phases:
+        payload = {**payload, "phases": phases}
     path = pathlib.Path(directory or ".") / f"BENCH_{name}.json"
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"

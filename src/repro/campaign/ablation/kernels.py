@@ -54,6 +54,7 @@ from repro.campaign.scenario import (
     ScenarioResult,
     _ledger_fingerprint,
 )
+from repro.obs import maybe_span
 from repro.parties.base import Actor
 from repro.parties.rational import Opportunist, TokenPrices
 from repro.protocols.instance import execute
@@ -327,12 +328,20 @@ class KernelEngine:
     grid runs and refinement probes alike.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self._kernels: dict[tuple[str, str, int], _CellKernel] = {}
         #: axes tuple -> (family, coalition, premium, shock, height,
         #: rational) — parsing is per distinct cell coordinate, not per
         #: scenario execution, so re-runs and refine loops skip it.
         self._coords: dict[tuple, tuple] = {}
+        #: optional repro.obs.Tracer — counts calibrations vs cell-cache
+        #: hits and vectorized replays, and wraps each cell group in a
+        #: "block" span.  Digest-inert: write-only from here, never read.
+        self.tracer = tracer
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        if self.tracer is not None:
+            self.tracer.inc(name, amount)
 
     # ------------------------------------------------------------------
     def _parse(self, scenario: Scenario) -> tuple:
@@ -380,11 +389,21 @@ class KernelEngine:
                 raise KernelUnsupported(str(err))
             kernel = _CellKernel(cell)
             self._kernels[key] = kernel
+            self._count("kernel.calibrations")
+        else:
+            self._count("kernel.cell_hits")
         return kernel
 
     # ------------------------------------------------------------------
-    def run(self, scenarios: list[Scenario]) -> list[ScenarioResult]:
-        """Run every scenario; results in input order."""
+    def run(self, scenarios: list[Scenario], meter=None) -> list[ScenarioResult]:
+        """Run every scenario; results in input order.
+
+        ``meter`` (a :class:`repro.obs.ProgressMeter`) ticks once per
+        scenario as each cell group completes; with a tracer attached,
+        every cell group is wrapped in a ``block`` span and calibration /
+        replay / cell-hit counters accumulate.  Both are observational
+        only — results are byte-identical with or without them.
+        """
         results: list[ScenarioResult | None] = [None] * len(scenarios)
         groups: dict[tuple[str, str, int], list] = {}
         for position, scenario in enumerate(scenarios):
@@ -392,81 +411,101 @@ class KernelEngine:
             groups.setdefault(coords[:3], []).append(
                 (position, scenario, coords)
             )
+        self._count("kernel.scenarios", len(scenarios))
         for (family, coalition, premium), members in groups.items():
-            start = time.perf_counter()
-            kernel = self._kernel_for(family, coalition, premium)
-            comply = kernel.comply
-            # Bucket scenarios by (template, shock height): the utility
-            # metric is one vectorized replay per bucket.
-            buckets: dict[tuple[int, int], tuple] = {}
-            pending: dict[int, list] = {}
-            for position, scenario, coords in members:
-                shock, shock_height, rational = coords[3], coords[4], coords[5]
-                if rational:
-                    pending.setdefault(shock_height, []).append(
-                        (position, scenario, shock)
-                    )
-                else:
-                    buckets.setdefault(
-                        # Identity keys an in-process bucket of shared
-                        # templates; never digested or serialized.
-                        (id(comply), shock_height),  # lint: disable=DET001
-                        (comply, shock_height, []),
-                    )[2].append((position, scenario, shock))
-            for shock_height, entries in pending.items():
-                s_arr = np.array([e[2] for e in entries], dtype=np.float64)
-                walked = kernel.walk_rounds(shock_height, s_arr)
-                for entry, w in zip(entries, walked.tolist()):
-                    template = (
-                        comply if w < 0 else kernel.walk_template(w)
-                    )
-                    buckets.setdefault(
-                        # Same in-process bucket keying as above.
-                        (id(template), shock_height),  # lint: disable=DET001
-                        (template, shock_height, []),
-                    )[2].append(entry)
-            # Decisions and trajectory templates are in hand; distribute
-            # the group's shared cost (elapsed is reported, not digested).
-            elapsed_each = (time.perf_counter() - start) / max(1, len(members))
-            # Per-scenario marginal work, inlined and hoisted: a cached
-            # property check, the utility repr, one string concat, the
-            # sha256, and a direct ScenarioResult construction (the
-            # frozen-dataclass __init__ — one object.__setattr__ per
-            # field — is bypassed; the field set mirrors condense_run).
-            new = ScenarioResult.__new__
-            for template, shock_height, entries in buckets.values():
-                s_arr = np.array([e[2] for e in entries], dtype=np.float64)
-                utilities = kernel.utilities(template, shock_height, s_arr)
-                checks = template.checks
-                ntx = template.ntx
-                reverted = template.reverted
-                premium_net = template.premium_net
-                for (position, scenario, _), utility in zip(
-                    entries, utilities.tolist()
-                ):
-                    static = checks.get(scenario.adversaries)
-                    if static is None:
-                        static = self._check(kernel, template, scenario)
-                    violations, trace, completed_pair, middle, suffix = static
-                    if utility == 0.0:
-                        utility = 0.0  # collapse -0.0, as canon_float does
-                    summary = f"{scenario.label}|{middle}{utility!r}{suffix}"
-                    result = new(ScenarioResult)
-                    result.__dict__.update({
-                        "index": scenario.index,
-                        "label": scenario.label,
-                        "axes": scenario.axes,
-                        "violations": violations,
-                        "transactions": ntx,
-                        "reverted": reverted,
-                        "premium_net": premium_net,
-                        "elapsed_seconds": elapsed_each,
-                        "digest": sha256(summary.encode()).hexdigest(),
-                        "metrics": (completed_pair, ("utility", utility)),
-                        "trace": trace,
-                    })
-                    results[position] = result
+            label = f"{family}:{coalition or '-'}[premium={premium}]"
+            with maybe_span(
+                self.tracer, "block", label=label, scenarios=len(members)
+            ):
+                self._run_group(results, family, coalition, premium, members)
+            if meter is not None:
+                meter.advance(len(members))
         return results  # type: ignore[return-value]
+
+    def _run_group(
+        self,
+        results: list,
+        family: str,
+        coalition: str,
+        premium: int,
+        members: list,
+    ) -> None:
+        """Execute one (family, coalition, premium) cell group in place."""
+        start = time.perf_counter()
+        kernel = self._kernel_for(family, coalition, premium)
+        comply = kernel.comply
+        # Bucket scenarios by (template, shock height): the utility
+        # metric is one vectorized replay per bucket.
+        buckets: dict[tuple[int, int], tuple] = {}
+        pending: dict[int, list] = {}
+        for position, scenario, coords in members:
+            shock, shock_height, rational = coords[3], coords[4], coords[5]
+            if rational:
+                pending.setdefault(shock_height, []).append(
+                    (position, scenario, shock)
+                )
+            else:
+                buckets.setdefault(
+                    # Identity keys an in-process bucket of shared
+                    # templates; never digested or serialized.
+                    (id(comply), shock_height),  # lint: disable=DET001
+                    (comply, shock_height, []),
+                )[2].append((position, scenario, shock))
+        for shock_height, entries in pending.items():
+            s_arr = np.array([e[2] for e in entries], dtype=np.float64)
+            walked = kernel.walk_rounds(shock_height, s_arr)
+            self._count("kernel.replays")
+            for entry, w in zip(entries, walked.tolist()):
+                template = (
+                    comply if w < 0 else kernel.walk_template(w)
+                )
+                buckets.setdefault(
+                    # Same in-process bucket keying as above.
+                    (id(template), shock_height),  # lint: disable=DET001
+                    (template, shock_height, []),
+                )[2].append(entry)
+        # Decisions and trajectory templates are in hand; distribute
+        # the group's shared cost (elapsed is reported, not digested).
+        elapsed_each = (time.perf_counter() - start) / max(1, len(members))
+        # Per-scenario marginal work, inlined and hoisted: a cached
+        # property check, the utility repr, one string concat, the
+        # sha256, and a direct ScenarioResult construction (the
+        # frozen-dataclass __init__ — one object.__setattr__ per
+        # field — is bypassed; the field set mirrors condense_run).
+        new = ScenarioResult.__new__
+        for template, shock_height, entries in buckets.values():
+            s_arr = np.array([e[2] for e in entries], dtype=np.float64)
+            utilities = kernel.utilities(template, shock_height, s_arr)
+            self._count("kernel.replays")
+            checks = template.checks
+            ntx = template.ntx
+            reverted = template.reverted
+            premium_net = template.premium_net
+            for (position, scenario, _), utility in zip(
+                entries, utilities.tolist()
+            ):
+                static = checks.get(scenario.adversaries)
+                if static is None:
+                    static = self._check(kernel, template, scenario)
+                violations, trace, completed_pair, middle, suffix = static
+                if utility == 0.0:
+                    utility = 0.0  # collapse -0.0, as canon_float does
+                summary = f"{scenario.label}|{middle}{utility!r}{suffix}"
+                result = new(ScenarioResult)
+                result.__dict__.update({
+                    "index": scenario.index,
+                    "label": scenario.label,
+                    "axes": scenario.axes,
+                    "violations": violations,
+                    "transactions": ntx,
+                    "reverted": reverted,
+                    "premium_net": premium_net,
+                    "elapsed_seconds": elapsed_each,
+                    "digest": sha256(summary.encode()).hexdigest(),
+                    "metrics": (completed_pair, ("utility", utility)),
+                    "trace": trace,
+                })
+                results[position] = result
 
     # ------------------------------------------------------------------
     def _check(

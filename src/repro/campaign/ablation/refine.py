@@ -338,6 +338,7 @@ class _CellProber:
         seed: int = 0,
         cache=None,
         kernel=None,
+        tracer=None,
     ) -> None:
         from repro.campaign.runner import CampaignRunner
 
@@ -348,13 +349,15 @@ class _CellProber:
         elif backend == "kernel":
             from repro.campaign.ablation.kernels import KernelEngine
 
-            kernel = KernelEngine()
+            kernel = KernelEngine(tracer=tracer)
         self._runner_cls = CampaignRunner
         self.backend = backend
         self.pool = pool
         self.seed = seed
         self.cache = cache
         self.kernel = kernel
+        #: observability only (spans/counters around each probe run).
+        self.tracer = tracer
         self.cache_hits = 0
 
     def probe(
@@ -369,6 +372,7 @@ class _CellProber:
             pool=self.pool,
             cache=self.cache,
             kernel=self.kernel,
+            tracer=self.tracer,
         ).run()
         self.cache_hits += report.cache_hits
         if not report.ok:
@@ -481,6 +485,7 @@ def refine_frontier(
     max_iterations: int = MAX_ITERATIONS,
     cache=None,
     prober: "_CellProber | None" = None,
+    tracer=None,
 ) -> RefinedFrontierReport:
     """Refine every row of a lattice frontier by adaptive bisection.
 
@@ -502,7 +507,9 @@ def refine_frontier(
             f"first (got {frontier.scenarios}/{frontier.total_scenarios})"
         )
     if prober is None:
-        prober = _CellProber(backend=backend, pool=pool, seed=seed, cache=cache)
+        prober = _CellProber(
+            backend=backend, pool=pool, seed=seed, cache=cache, tracer=tracer
+        )
     rows = [
         refine_row(row, prober, canon_float(tol), max_iterations)
         for row in (*frontier.rows, *frontier.coalition_rows)

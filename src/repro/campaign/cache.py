@@ -122,12 +122,48 @@ def invalidate_code_version() -> None:
 
 
 class ResultCache:
-    """A content-addressed store of verified scenario-block results."""
+    """A content-addressed store of verified scenario-block results.
+
+    Telemetry: when a tracer is attached (the runner binds its own via
+    the ``tracer`` property) the cache counts ``cache.hit``,
+    ``cache.miss.absent`` / ``.corrupt`` / ``.violating``,
+    ``cache.store`` / ``cache.store.skipped`` and ``cache.sweep.removed``.
+    Counters observed before a tracer attaches (the constructor's temp
+    sweep) buffer and flush on attachment.  All of it is digest-inert:
+    nothing counted here feeds a key, an entry, or a report digest.
+    """
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._tracer = None
+        self._pending_counts: dict[str, float] = {}
         self.sweep_temps()
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        if tracer is not None and self._pending_counts:
+            for name, amount in sorted(self._pending_counts.items()):
+                tracer.inc(name, amount)
+            self._pending_counts = {}
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        if self._tracer is not None:
+            self._tracer.inc(name, amount)
+        elif name.startswith("cache.sweep"):
+            # Only the constructor's sweep fires before a tracer can
+            # attach, so only sweep counts buffer; anything else observed
+            # while untraced (an earlier warm-up run against the same
+            # cache object) is deliberately dropped — a tracer must see
+            # its own run's history, not its predecessors'.
+            self._pending_counts[name] = (
+                self._pending_counts.get(name, 0) + amount
+            )
 
     def sweep_temps(
         self, max_age_seconds: float = TEMP_SWEEP_AGE_SECONDS
@@ -155,6 +191,8 @@ class ResultCache:
                     removed += 1
             except OSError:
                 continue
+        if removed:
+            self._count("cache.sweep.removed", removed)
         return removed
 
     def block_key(self, block_describe: str, size: int) -> str:
@@ -178,15 +216,27 @@ class ResultCache:
         try:
             with open(self._path(key), "r", encoding="utf-8") as handle:
                 data = json.load(handle)
+        except FileNotFoundError:
+            self._count("cache.miss.absent")
+            return None
+        except (OSError, ValueError):
+            self._count("cache.miss.corrupt")
+            return None
+        try:
             if data.get("key") != key:
+                self._count("cache.miss.corrupt")
                 return None
             results = [result_from_payload(r) for r in data["results"]]
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            self._count("cache.miss.corrupt")
             return None
         if len(results) != size:
+            self._count("cache.miss.corrupt")
             return None
         if any(result.violations for result in results):
+            self._count("cache.miss.violating")
             return None
+        self._count("cache.hit")
         return results
 
     def put(self, key: str, results: list[ScenarioResult]) -> bool:
@@ -197,6 +247,7 @@ class ResultCache:
         only ever observe complete entries.
         """
         if any(result.violations for result in results):
+            self._count("cache.store.skipped")
             return False
         payload = json.dumps(
             {"key": key, "results": [result_payload(r) for r in results]},
@@ -215,5 +266,7 @@ class ResultCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+            self._count("cache.store.skipped")
             return False
+        self._count("cache.store")
         return True

@@ -430,11 +430,18 @@ class Experiment:
         pool: WorkerPool | None = None,
         cache: ResultCache | None = None,
         matrix: ScenarioMatrix | None = None,
+        tracer=None,
+        progress=None,
     ) -> None:
         self.spec = spec
         self.pool = pool
         self.cache = cache
         self._matrix = matrix
+        #: optional repro.obs.Tracer / ProgressUpdate callback, threaded
+        #: through the runner, cache, kernel engine, and refine probes.
+        #: Observability only: traced runs are byte-identical to untraced.
+        self.tracer = tracer
+        self.progress = progress
 
     def matrix(self) -> ScenarioMatrix:
         """Build (or reuse) the spec's matrix via the audited registry."""
@@ -443,12 +450,20 @@ class Experiment:
         return self._matrix
 
     def run(self) -> ExperimentResult:
+        from repro.obs import maybe_span
+
+        with maybe_span(self.tracer, "experiment", kind=self.spec.kind):
+            return self._run_traced()
+
+    def _run_traced(self) -> ExperimentResult:
         from repro.campaign.ablation.frontier import reduce_frontier
         from repro.campaign.ablation.refine import _CellProber, refine_frontier
         from repro.campaign.runner import CampaignRunner
+        from repro.obs import maybe_span
 
         spec = self.spec
-        matrix = self.matrix()
+        with maybe_span(self.tracer, "experiment.build"):
+            matrix = self.matrix()
         pool = self.pool
         own_pool: WorkerPool | None = None
         kernel = None
@@ -461,7 +476,7 @@ class Experiment:
             # the lattice's calibrated cell templates.
             from repro.campaign.ablation.kernels import KernelEngine
 
-            kernel = KernelEngine()
+            kernel = KernelEngine(tracer=self.tracer)
             runner_backend = "kernel"
         else:
             if spec.backend == "pooled" and pool is None:
@@ -483,25 +498,30 @@ class Experiment:
                 pool=runner_pool,
                 cache=self.cache,
                 kernel=kernel,
+                tracer=self.tracer,
+                progress=self.progress,
             )
             report = runner.run()
             result = ExperimentResult(
                 spec, campaign=report, cache_hits=report.cache_hits
             )
             if spec.kind in ("ablate", "ablate-refine") and report.complete:
-                result.frontier = reduce_frontier(report)
+                with maybe_span(self.tracer, "experiment.reduce"):
+                    result.frontier = reduce_frontier(report)
             if spec.kind == "ablate-refine" and report.ok:
                 prober = _CellProber(
                     backend="process" if runner_pool is not None else "serial",
                     pool=runner_pool,
                     cache=self.cache,
                     kernel=kernel,
+                    tracer=self.tracer,
                 )
-                result.refined = refine_frontier(
-                    result.frontier,
-                    tol=spec.tol if spec.tol is not None else DEFAULT_TOL,
-                    prober=prober,
-                )
+                with maybe_span(self.tracer, "experiment.refine"):
+                    result.refined = refine_frontier(
+                        result.frontier,
+                        tol=spec.tol if spec.tol is not None else DEFAULT_TOL,
+                        prober=prober,
+                    )
                 result.cache_hits += prober.cache_hits
         finally:
             if own_pool is not None:

@@ -38,11 +38,13 @@ from __future__ import annotations
 import importlib
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.campaign.matrix import ScenarioMatrix
 from repro.campaign.scenario import Scenario, ScenarioResult, run_scenario
+from repro.obs import MetricsSnapshot, worker_sample
 
 _FACTORIES: dict[str, Callable[..., ScenarioMatrix]] = {}
 
@@ -170,6 +172,20 @@ def _run_spec_index(task: tuple[MatrixSpec, str, int]) -> ScenarioResult:
     return run_scenario(_cached_scenarios(spec, matrix_digest)[index])
 
 
+def _run_spec_index_metered(
+    task: tuple[MatrixSpec, str, int],
+) -> tuple[ScenarioResult, MetricsSnapshot]:
+    """Traced variant of :func:`_run_spec_index`: the result plus a
+    per-worker telemetry sample (scenario count + busy time keyed by the
+    worker's pid), carried back as a picklable
+    :class:`repro.obs.MetricsSnapshot` for the parent tracer to merge.
+    The scenario outcome is byte-identical to the untraced path."""
+    spec, matrix_digest, index = task
+    start = time.perf_counter()
+    result = run_scenario(_cached_scenarios(spec, matrix_digest)[index])
+    return result, worker_sample(1, time.perf_counter() - start)
+
+
 class WorkerPool:
     """A fork-based process pool that outlives individual campaign runs.
 
@@ -202,6 +218,8 @@ class WorkerPool:
         matrix_digest: str,
         indices: list[int],
         scenarios: list[Scenario] | None = None,
+        tracer=None,
+        meter=None,
     ) -> list[ScenarioResult]:
         """Run the given global scenario indices of ``spec``'s matrix.
 
@@ -212,6 +230,12 @@ class WorkerPool:
         process backend uses — so workers skip rebuilding the first
         matrix.  It is ignored once workers exist, since nothing can be
         inherited after the fork.
+
+        ``tracer``/``meter`` (a :class:`repro.obs.Tracer` and
+        :class:`repro.obs.ProgressMeter`) switch dispatch to the metered
+        task variant: results stream back in order so progress ticks as
+        workers finish, and each task's per-worker sample merges into the
+        tracer.  Outcomes are byte-identical either way.
         """
         seeded = scenarios is not None and not self.started
         if seeded:
@@ -224,7 +248,18 @@ class WorkerPool:
             _SPEC_CACHE.pop(spec, None)
         chunksize = dispatch_chunksize(len(indices), self.workers)
         tasks = [(spec, matrix_digest, index) for index in indices]
-        return pool.map(_run_spec_index, tasks, chunksize=chunksize)
+        if tracer is None and meter is None:
+            return pool.map(_run_spec_index, tasks, chunksize=chunksize)
+        results = []
+        for result, sample in pool.imap(
+            _run_spec_index_metered, tasks, chunksize=chunksize
+        ):
+            results.append(result)
+            if tracer is not None:
+                tracer.merge_snapshot(sample)
+            if meter is not None:
+                meter.advance()
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

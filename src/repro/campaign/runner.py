@@ -64,6 +64,13 @@ from repro.campaign.scenario import (
     result_payload,
     run_scenario,
 )
+from repro.obs import (
+    MetricsSnapshot,
+    ProgressMeter,
+    Tracer,
+    maybe_span,
+    worker_sample,
+)
 
 # Below this many scenarios a requested process backend runs serially:
 # forking a pool costs more than the work itself.
@@ -80,6 +87,17 @@ def _pool_init(scenarios: list[Scenario]) -> None:
 
 def _run_at(index: int) -> ScenarioResult:
     return run_scenario(_WORKER_SCENARIOS[index])
+
+
+def _run_at_metered(index: int) -> tuple[ScenarioResult, MetricsSnapshot]:
+    """Traced variant of :func:`_run_at`: the result plus a per-worker
+    telemetry sample (scenario count + busy time, keyed by worker pid).
+    The sample rides back across the fork boundary as a picklable
+    :class:`MetricsSnapshot` and is merged into the parent tracer; the
+    result itself is byte-identical to the untraced path."""
+    start = time.perf_counter()
+    result = run_scenario(_WORKER_SCENARIOS[index])
+    return result, worker_sample(1, time.perf_counter() - start)
 
 
 def selection_label(limit: int | None, shard: tuple[int, int] | None) -> str:
@@ -154,7 +172,13 @@ class CampaignReport:
     transactions: int = 0
     reverted: int = 0
     violations: list[ScenarioViolation] = field(default_factory=list)
+    #: summed per-shard compute time.  Equal to ``wall_seconds`` for a
+    #: single run; after :func:`merge_reports` it is the *aggregate*
+    #: compute across shards, which can exceed wall clock arbitrarily.
     elapsed_seconds: float = 0.0
+    #: wall-clock time observed by whoever produced this report: the run
+    #: itself, or the merge step for merged reports.  Never digested.
+    wall_seconds: float = 0.0
     results: list[ScenarioResult] = field(default_factory=list)
     by_axis: dict[str, dict[str, AxisStats]] = field(default_factory=dict)
     premium_net_hist: Counter = field(default_factory=Counter)
@@ -198,7 +222,29 @@ class CampaignReport:
         return self.scenarios == self.total_scenarios
 
     @property
+    def fresh_scenarios(self) -> int:
+        """Scenarios actually executed (not served from the cache)."""
+        return self.scenarios - self.cache_hits
+
+    @property
     def scenarios_per_second(self) -> float:
+        """Execution rate over *fresh* scenarios only.
+
+        Cache hits cost microseconds, so folding them into the rate turns
+        a fully-warm run into a meaningless divide-by-tiny-elapsed number
+        (tens of thousands "per second" of work that never ran).  A
+        fully-cached run therefore reports 0.0 here — ``summary()``
+        annotates it with the hit count instead — and
+        :attr:`served_per_second` keeps the cache-serving throughput for
+        anyone who wants it.
+        """
+        if self.elapsed_seconds <= 0 or self.fresh_scenarios <= 0:
+            return 0.0
+        return self.fresh_scenarios / self.elapsed_seconds
+
+    @property
+    def served_per_second(self) -> float:
+        """Delivery rate over *all* scenarios, cache hits included."""
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.scenarios / self.elapsed_seconds
@@ -230,9 +276,23 @@ class CampaignReport:
             if self.cache_hits
             else ""
         )
+        if self.scenarios and self.fresh_scenarios == 0:
+            # Fully cache-warm: an execution rate would be nonsense (the
+            # run executed nothing), so annotate with the hit count.
+            rate = f"all {self.cache_hits} cached"
+        else:
+            rate = f"{self.scenarios_per_second:.0f}/s"
+        if self.wall_seconds and abs(self.wall_seconds - self.elapsed_seconds) > 1e-9:
+            # Merged shards: summed compute is not wall clock — show both.
+            timing = (
+                f"{self.elapsed_seconds:.2f}s compute / "
+                f"{self.wall_seconds:.2f}s wall"
+            )
+        else:
+            timing = f"{self.elapsed_seconds:.2f}s"
         return (
             f"{self.scenarios} scenarios, {self.transactions} transactions, "
-            f"{self.elapsed_seconds:.2f}s ({self.scenarios_per_second:.0f}/s, "
+            f"{timing} ({rate}, "
             f"backend={self.backend}{cached}){coverage}: {status}"
         )
 
@@ -262,6 +322,7 @@ class CampaignReport:
                 "transactions": self.transactions,
                 "reverted": self.reverted,
                 "elapsed_seconds": self.elapsed_seconds,
+                "wall_seconds": self.wall_seconds,
                 "cache_hits": self.cache_hits,
                 # Redundant with per-result violations/traces (from_json
                 # rebuilds them via _fold_results), but kept complete for
@@ -291,6 +352,9 @@ class CampaignReport:
             limit=data["limit"],
             shard=shard,
             elapsed_seconds=data["elapsed_seconds"],
+            # Older reports predate the compute/wall split, where the
+            # single field served both roles.
+            wall_seconds=data.get("wall_seconds", data["elapsed_seconds"]),
             cache_hits=data.get("cache_hits", 0),
         )
         _fold_results(
@@ -352,6 +416,8 @@ class CampaignRunner:
         pool: WorkerPool | None = None,
         cache: ResultCache | None = None,
         kernel: object | None = None,
+        tracer: Tracer | None = None,
+        progress=None,
     ) -> None:
         if backend not in ("serial", "process", "kernel"):
             raise ValueError(
@@ -403,14 +469,72 @@ class CampaignRunner:
         self.pool = pool
         self.cache = cache
         self.kernel = kernel
+        #: observability only — spans/counters around the run.  Digest-inert
+        #: by contract: traced and untraced runs are byte-identical
+        #: (tests/test_obs.py proves it across all backends).
+        self.tracer = tracer
+        #: optional ``ProgressUpdate -> None`` callback, throttled.
+        self.progress = progress
 
     # ------------------------------------------------------------------
     # backends
     # ------------------------------------------------------------------
-    def _run_serial(self, scenarios: list[Scenario]) -> list[ScenarioResult]:
-        return [run_scenario(s) for s in scenarios]
+    def _block_groups(
+        self, scenarios: list[Scenario]
+    ) -> list[tuple[str, list[Scenario]]]:
+        """Partition an index-ordered scenario list by owning block.
 
-    def _run_kernel(self, scenarios: list[Scenario]) -> list[ScenarioResult]:
+        Telemetry-only: drives the per-block spans of a traced serial
+        run.  Scenario lists arrive in ascending global-index order
+        (``matrix.scenarios`` guarantees it), so one pass over the
+        matrix's block geometry groups them without reordering.
+        """
+        ranges = self.matrix.block_ranges()
+        groups: list[tuple[str, list[Scenario]]] = []
+        position = 0
+        for scenario in scenarios:
+            while position < len(ranges):
+                start, size, block = ranges[position]
+                if scenario.index < start + size:
+                    break
+                position += 1
+            if position >= len(ranges):  # pragma: no cover - geometry bug
+                label = "?"
+            else:
+                _, _, block = ranges[position]
+                axes = ",".join(f"{a}={v}" for a, v in block.extra_axes)
+                label = f"{block.family}:{block.schedule}"
+                if axes:
+                    label = f"{label}[{axes}]"
+            if groups and groups[-1][0] == label:
+                groups[-1][1].append(scenario)
+            else:
+                groups.append((label, [scenario]))
+        return groups
+
+    def _run_serial(
+        self,
+        scenarios: list[Scenario],
+        tracer: Tracer | None = None,
+        meter: ProgressMeter | None = None,
+    ) -> list[ScenarioResult]:
+        if tracer is None and meter is None:
+            return [run_scenario(s) for s in scenarios]
+        results: list[ScenarioResult] = []
+        for label, group in self._block_groups(scenarios):
+            with maybe_span(tracer, "block", label=label, scenarios=len(group)):
+                for scenario in group:
+                    results.append(run_scenario(scenario))
+                    if meter is not None:
+                        meter.advance()
+        return results
+
+    def _run_kernel(
+        self,
+        scenarios: list[Scenario],
+        tracer: Tracer | None = None,
+        meter: ProgressMeter | None = None,
+    ) -> list[ScenarioResult]:
         if self.kernel is None:
             from repro.campaign.ablation.kernels import KernelEngine
 
@@ -418,15 +542,36 @@ class CampaignRunner:
             # the calibrated cell templates; callers with longer lifetimes
             # (the refine prober) pass their own shared engine instead.
             self.kernel = KernelEngine()
-        return self.kernel.run(scenarios)
+        if tracer is not None and getattr(self.kernel, "tracer", None) is None:
+            self.kernel.tracer = tracer
+        return self.kernel.run(scenarios, meter=meter)
 
-    def _run_process(self, scenarios: list[Scenario]) -> list[ScenarioResult]:
+    def _run_process(
+        self,
+        scenarios: list[Scenario],
+        tracer: Tracer | None = None,
+        meter: ProgressMeter | None = None,
+    ) -> list[ScenarioResult]:
         ctx = multiprocessing.get_context("fork")
         chunksize = dispatch_chunksize(len(scenarios), self.workers)
         with ctx.Pool(
             processes=self.workers, initializer=_pool_init, initargs=(scenarios,)
         ) as pool:
-            return pool.map(_run_at, range(len(scenarios)), chunksize=chunksize)
+            if tracer is None and meter is None:
+                return pool.map(_run_at, range(len(scenarios)), chunksize=chunksize)
+            # Traced dispatch streams ordered results so progress can tick
+            # as workers finish; each task carries back a per-worker
+            # MetricsSnapshot sample that merges into the parent tracer.
+            results = []
+            for result, sample in pool.imap(
+                _run_at_metered, range(len(scenarios)), chunksize=chunksize
+            ):
+                results.append(result)
+                if tracer is not None:
+                    tracer.merge_snapshot(sample)
+                if meter is not None:
+                    meter.advance()
+            return results
 
     # ------------------------------------------------------------------
     # driver
@@ -493,48 +638,75 @@ class CampaignRunner:
             self.cache.put(key, block_results)
 
     def run(self) -> CampaignReport:
+        with maybe_span(self.tracer, "campaign.run"):
+            return self._run_traced()
+
+    def _run_traced(self) -> CampaignReport:
+        tracer = self.tracer
         total = len(self.matrix)
         # Normalize no-op selections so the digest reflects the *effective*
         # coverage: limit >= total and shard 1/1 are full runs.
         limit = self.limit if self.limit is not None and self.limit < total else None
         shard = self.shard if self.shard is not None and self.shard[1] > 1 else None
-        indices = self.matrix.selection(limit=limit, shard=shard)
-        matrix_digest = self.matrix.digest()
+        with maybe_span(tracer, "campaign.expand"):
+            indices = self.matrix.selection(limit=limit, shard=shard)
+            matrix_digest = self.matrix.digest()
 
         start = time.perf_counter()
         hits: dict[int, ScenarioResult] = {}
         pending: list[tuple[str, int, int]] = []
         if self.cache is not None:
-            hits, pending = self._consult_cache(indices)
+            if tracer is not None:
+                self.cache.tracer = tracer
+            with maybe_span(tracer, "campaign.cache"):
+                hits, pending = self._consult_cache(indices)
         to_run = [i for i in indices if i not in hits] if hits else indices
         backend = self._resolve_backend(len(to_run))
-        if backend == "process:pooled":
-            if self.matrix.spec is None:  # add_block after construction
-                raise ValueError(
-                    "pool reuse needs a rebuildable matrix: the matrix was "
-                    "modified after this runner was constructed, clearing "
-                    "its rebuild spec"
-                )
-            # Before the pool's first fork, hand it the parent-side
-            # expansion so workers inherit the table instead of rebuilding.
-            seed = None if self.pool.started else list(self.matrix.scenarios())
-            fresh = self.pool.run_indices(
-                self.matrix.spec, matrix_digest, to_run, scenarios=seed
+        meter: ProgressMeter | None = None
+        if tracer is not None or self.progress is not None:
+            meter = ProgressMeter(
+                total=len(indices), callback=self.progress, tracer=tracer
             )
-        else:
-            if self.cache is None:
-                scenarios = list(self.matrix.scenarios(limit=limit, shard=shard))
+            if hits:
+                meter.advance(len(hits))
+        with maybe_span(
+            tracer, "campaign.dispatch", backend=backend, scenarios=len(to_run)
+        ):
+            if backend == "process:pooled":
+                if self.matrix.spec is None:  # add_block after construction
+                    raise ValueError(
+                        "pool reuse needs a rebuildable matrix: the matrix was "
+                        "modified after this runner was constructed, clearing "
+                        "its rebuild spec"
+                    )
+                # Before the pool's first fork, hand it the parent-side
+                # expansion so workers inherit the table instead of rebuilding.
+                seed = None if self.pool.started else list(self.matrix.scenarios())
+                fresh = self.pool.run_indices(
+                    self.matrix.spec,
+                    matrix_digest,
+                    to_run,
+                    scenarios=seed,
+                    tracer=tracer,
+                    meter=meter,
+                )
             else:
-                scenarios = list(self.matrix.scenarios(indices=to_run))
-            if backend == "process":
-                fresh = self._run_process(scenarios)
-            elif backend == "kernel":
-                fresh = self._run_kernel(scenarios)
-            else:
-                fresh = self._run_serial(scenarios)
+                if self.cache is None:
+                    scenarios = list(
+                        self.matrix.scenarios(limit=limit, shard=shard)
+                    )
+                else:
+                    scenarios = list(self.matrix.scenarios(indices=to_run))
+                if backend == "process":
+                    fresh = self._run_process(scenarios, tracer=tracer, meter=meter)
+                elif backend == "kernel":
+                    fresh = self._run_kernel(scenarios, tracer=tracer, meter=meter)
+                else:
+                    fresh = self._run_serial(scenarios, tracer=tracer, meter=meter)
         ran = {result.index: result for result in fresh}
         if pending:
-            self._store_blocks(pending, ran)
+            with maybe_span(tracer, "campaign.store", blocks=len(pending)):
+                self._store_blocks(pending, ran)
         if hits:
             results = [
                 hits[index] if index in hits else ran[index]
@@ -543,6 +715,8 @@ class CampaignRunner:
         else:
             results = fresh
         elapsed = time.perf_counter() - start
+        if meter is not None:
+            meter.finish()
 
         if backend == "process:pooled":
             workers = self.pool.workers
@@ -558,12 +732,14 @@ class CampaignRunner:
             limit=limit,
             shard=shard,
             elapsed_seconds=elapsed,
+            wall_seconds=elapsed,
             cache_hits=len(hits),
         )
         preamble = _digest_preamble(
             report.matrix_digest, total, len(results), limit, shard
         )
-        return _fold_results(report, results, preamble)
+        with maybe_span(tracer, "campaign.fold", scenarios=len(results)):
+            return _fold_results(report, results, preamble)
 
 
 def merge_reports(reports: Iterable[CampaignReport]) -> CampaignReport:
@@ -578,8 +754,11 @@ def merge_reports(reports: Iterable[CampaignReport]) -> CampaignReport:
     the digest preamble — cannot match any fuller run.
 
     ``elapsed_seconds`` sums the shards (total compute, not wall clock);
-    ``workers`` sums too, as the aggregate parallelism.
+    ``workers`` sums too, as the aggregate parallelism.  ``wall_seconds``
+    records the merge step's own wall clock, so the two timings stop
+    masquerading as one another in ``summary()``.
     """
+    merge_start = time.perf_counter()
     reports = list(reports)
     if not reports:
         raise ValueError("nothing to merge: empty report list")
@@ -616,6 +795,7 @@ def merge_reports(reports: Iterable[CampaignReport]) -> CampaignReport:
         limit=first.limit,
         shard=None,
         elapsed_seconds=sum(report.elapsed_seconds for report in reports),
+        cache_hits=sum(report.cache_hits for report in reports),
     )
     preamble = _digest_preamble(
         merged.matrix_digest,
@@ -624,4 +804,6 @@ def merge_reports(reports: Iterable[CampaignReport]) -> CampaignReport:
         merged.limit,
         None,
     )
-    return _fold_results(merged, results, preamble)
+    merged = _fold_results(merged, results, preamble)
+    merged.wall_seconds = time.perf_counter() - merge_start
+    return merged

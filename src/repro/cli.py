@@ -348,6 +348,52 @@ def _open_cache(args) -> ResultCache | None:
         raise SystemExit(f"error opening cache {path}: {err}")
 
 
+def _progress_printer():
+    """A throttled stderr progress line: done/total, percent, ETA."""
+    import sys
+
+    state = {"width": 0}
+
+    def show(update) -> None:
+        message = (
+            f"\r{update.done}/{update.total} scenarios "
+            f"({update.fraction:.0%})"
+        )
+        if update.eta is not None:
+            message += f", eta {update.eta:.1f}s"
+        padding = max(0, state["width"] - (len(message) - 1))
+        state["width"] = len(message) - 1
+        sys.stderr.write(message + " " * padding)
+        if update.total and update.done >= update.total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    return show
+
+
+def _obs_from_args(args):
+    """The --trace/--progress wiring shared by every engine subcommand.
+
+    Returns ``(tracer, progress)``: a :class:`repro.obs.Tracer` writing a
+    JSONL sink when ``--trace FILE`` was given (the caller must close
+    it), and a throttled stderr progress callback for ``--progress``.
+    Telemetry is digest-inert — a traced run reproduces the untraced
+    digests byte-identically (CI's trace-smoke job asserts it).
+    """
+    trace_path = getattr(args, "trace", None)
+    want_progress = getattr(args, "progress", False)
+    tracer = None
+    if trace_path:
+        from repro.obs import Tracer, TraceWriter
+
+        try:
+            tracer = Tracer(TraceWriter(trace_path))
+        except OSError as err:
+            raise SystemExit(f"error opening trace file {trace_path}: {err}")
+    progress = _progress_printer() if want_progress else None
+    return tracer, progress
+
+
 def _spec_from_args(kind: str, args) -> ExperimentSpec:
     """One spec constructor behind both `spec` and the legacy shims."""
     backend = "pooled" if getattr(args, "pooled", False) else args.backend
@@ -456,13 +502,22 @@ def _run_experiment(spec: ExperimentSpec, args, list_only: bool = False):
     _print_matrix_breakdown(matrix, label)
     if list_only:
         return None
+    tracer, progress = _obs_from_args(args)
     try:
-        result = Experiment(spec, cache=cache, matrix=matrix).run()
+        result = Experiment(
+            spec, cache=cache, matrix=matrix, tracer=tracer, progress=progress
+        ).run()
     except ExperimentError as err:
         raise SystemExit(f"error: {err}")
     except (ValueError, RuntimeError) as err:
         # RuntimeError: a bisection probe violated a protocol property
         raise SystemExit(f"error: {err}")
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if getattr(args, "trace", None):
+        print(f"trace written to {args.trace} "
+              f"(summarize with: python -m repro.obs summarize {args.trace})")
     report = result.campaign
     print()
     if spec.kind == "campaign":
@@ -679,6 +734,7 @@ def _refine_from_file(args) -> None:
     print(f"lattice frontier loaded from {args.from_report}")
     print(frontier.summary())
     pool = WorkerPool(workers=args.workers) if args.pooled else None
+    tracer, _ = _obs_from_args(args)
     try:
         refined = refine_frontier(
             frontier,
@@ -686,6 +742,7 @@ def _refine_from_file(args) -> None:
             backend="process" if args.pooled else "serial",
             pool=pool,
             cache=_open_cache(args),
+            tracer=tracer,
         )
     except (ValueError, RuntimeError) as err:
         # RuntimeError: a bisection probe violated a protocol property
@@ -693,6 +750,8 @@ def _refine_from_file(args) -> None:
     finally:
         if pool is not None:
             pool.close()
+        if tracer is not None:
+            tracer.close()
     _print_refined(refined)
     if args.refined_out:
         _write_json(args.refined_out, refined.to_json(), "refined frontier")
@@ -761,6 +820,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--adversaries", type=int, default=1)
     p.set_defaults(func=cmd_check)
 
+    def obs_flags(p):
+        """--trace/--progress: the digest-inert telemetry layer, shared
+        by every engine subcommand (spec, run, and shim alike)."""
+        p.add_argument("--trace", default=None, metavar="FILE.jsonl",
+                       help="write a JSONL span/counter trace of the run "
+                            "(inspect with python -m repro.obs summarize); "
+                            "digests are byte-identical with or without it")
+        p.add_argument("--progress", action="store_true",
+                       help="stream scenarios done/total + ETA to stderr")
+
     def exec_flags(p):
         """--backend/--pooled/--workers/--cache: execution layout, shared
         by every engine subcommand (spec and shim alike)."""
@@ -774,6 +843,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache", default=None, metavar="DIR",
                        help="incremental result cache: serve already-"
                             "verified scenario blocks from this store")
+        obs_flags(p)
 
     def campaign_flags(p):
         """The campaign matrix/selection flags (spec and shim alike)."""
@@ -886,6 +956,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the refined frontier as JSON")
     p.add_argument("--list", action="store_true",
                    help="print the matrix breakdown and exit")
+    obs_flags(p)
     expect_flag(p, "primary report")
     p.set_defaults(func=cmd_run)
 

@@ -15,6 +15,12 @@ auditable in one grep (``git grep 'lint: disable=DET'``).
 way to measure elapsed time precisely because it is monotonic and
 obviously wall-clock-shaped — nobody mistakes it for reproducible data,
 and every existing use feeds digest-excluded ``elapsed_seconds`` fields.
+The same blessing extends to the :mod:`repro.obs` span API built on top
+of it — ``Tracer.span``/``maybe_span``, ``maybe_inc``, and
+``ProgressMeter`` are *write-only* from engine code, so instrumenting a
+hot path cannot perturb a digest.  The boundary runs the other way:
+telemetry must never be read back inside digest-producing code, which
+is exactly what DET003 guards.
 """
 
 from __future__ import annotations
@@ -27,6 +33,8 @@ from repro.lint.core import (
     Rule,
     SourceFile,
     call_name,
+    enclosing_function,
+    is_digest_function,
     register_rule,
 )
 
@@ -131,3 +139,81 @@ class UnseededRandomRule(Rule):
                     "a seeded instance (random.Random(seed) / "
                     "numpy.random.default_rng(seed)) instead",
                 )
+
+
+#: telemetry *write* helpers — blessed even in digest scope, because a
+#: write cannot feed a value back into the digest.
+_OBS_WRITES = frozenset({"maybe_span", "maybe_inc", "span", "inc", "observe"})
+
+#: method names that read a value *out* of the telemetry layer.
+_TELEMETRY_READBACKS = frozenset(
+    {"snapshot", "counter", "timing", "merge_snapshot", "phase_fragments"}
+)
+
+#: receiver-name fragments that mark a call chain as telemetry-flavored.
+#: ``chain.ledger.snapshot()`` (simulation state) stays clean because no
+#: segment smells like telemetry; ``tracer.metrics.snapshot()`` trips.
+_TELEMETRY_MARKERS = ("tracer", "metric", "meter", "snap", "telemetry", "obs")
+
+
+@register_rule
+class TelemetryInDigestRule(Rule):
+    """DET003: a telemetry value read back inside digest-producing code.
+
+    The :mod:`repro.obs` contract is write-only instrumentation: spans,
+    counters, and progress marks carry run-varying timing, pids, and
+    throughput — none of which may reach a digest, a canonical label, or
+    a transport payload.  Writes (``maybe_span``, ``inc``) are harmless
+    anywhere; *readbacks* (``snapshot()``, ``counter()``, ``timing()``,
+    ``phase_fragments()``) inside a digest function smuggle that
+    run-varying state into exactly the scope the digest invariant
+    protects.
+    """
+
+    code = "DET003"
+    name = "telemetry-in-digest"
+    summary = (
+        "telemetry readback (snapshot/counter/timing/phase_fragments) or "
+        "repro.obs object inside digest-producing code; trace and metrics "
+        "values vary per run and must never feed a digest"
+    )
+
+    def check(self, src: SourceFile) -> Iterable[Finding]:
+        digest_cache: dict[ast.AST, bool] = {}
+
+        def in_digest_scope(node: ast.AST) -> tuple[bool, str]:
+            func = enclosing_function(src, node)
+            if func is None:
+                return False, ""
+            if func not in digest_cache:
+                digest_cache[func] = is_digest_function(func, src.aliases)
+            return digest_cache[func], func.name
+
+        for node, name in _calls(src):
+            segments = name.split(".")
+            if name.startswith("repro.obs."):
+                if segments[-1] in _OBS_WRITES:
+                    continue
+                hit, scope = in_digest_scope(node)
+                if hit:
+                    yield src.finding(
+                        node,
+                        self.code,
+                        f"{name}() inside digest-producing {scope}(): "
+                        "repro.obs objects carry run-varying telemetry; keep "
+                        "them out of digest scope",
+                    )
+            elif segments[-1] in _TELEMETRY_READBACKS and any(
+                marker in segment.lower()
+                for segment in segments[:-1]
+                for marker in _TELEMETRY_MARKERS
+            ):
+                hit, scope = in_digest_scope(node)
+                if hit:
+                    yield src.finding(
+                        node,
+                        self.code,
+                        f"telemetry readback {name}() inside digest-producing "
+                        f"{scope}(): the value varies per run/process and "
+                        "must never feed a digest, label, or payload",
+                    )

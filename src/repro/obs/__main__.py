@@ -1,0 +1,66 @@
+"""CLI for trace files: ``python -m repro.obs {summarize,validate}``."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .schema import TraceSchemaError, validate_trace_file
+from .summarize import summarize_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect JSONL trace files emitted by --trace runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser(
+        "summarize",
+        help="phase breakdown, slowest blocks, cache hit-rate, worker skew",
+    )
+    p_sum.add_argument("trace", help="path to a TRACE.jsonl file")
+    p_sum.add_argument(
+        "--top-blocks",
+        type=int,
+        default=5,
+        help="how many of the slowest block spans to list (default 5)",
+    )
+
+    p_val = sub.add_parser(
+        "validate",
+        help="check every event against the committed trace-schema.json",
+    )
+    p_val.add_argument("trace", help="path to a TRACE.jsonl file")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "validate":
+        try:
+            count = validate_trace_file(args.trace)
+        except (TraceSchemaError, OSError) as exc:
+            print(f"invalid trace: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.trace}: {count} events ok")
+        return 0
+    try:
+        summary = summarize_trace(args.trace)
+    except (TraceSchemaError, OSError) as exc:
+        print(f"cannot summarize: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(summary.render(top_blocks=args.top_blocks))
+    except BrokenPipeError:
+        # Output piped into head/less that closed early — not an error.
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # doesn't raise a second time (the pattern from the python docs).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

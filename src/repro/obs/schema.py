@@ -1,0 +1,109 @@
+"""Validate trace JSONL files against the committed event schema.
+
+CI's ``trace-smoke`` job runs ``python -m repro.obs validate`` over every
+trace it produces; the schema itself lives in ``trace-schema.json`` next
+to this module so external consumers can read the same contract.  The
+validator is deliberately dependency-free (the CI image installs only
+numpy/pytest): the schema's type vocabulary is the five JSON primitives
+the trace format actually uses, not full JSON Schema.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+SCHEMA_PATH = Path(__file__).with_name("trace-schema.json")
+
+#: schema type name -> accepted python types.  ``bool`` is a subclass of
+#: ``int`` in python, so integer/number checks must exclude it explicitly.
+_TYPE_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "object": lambda v: isinstance(v, dict),
+}
+
+
+class TraceSchemaError(ValueError):
+    """A trace event (or file) that violates the committed schema."""
+
+
+def load_schema() -> dict:
+    return json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+
+
+def validate_trace_event(event: object, schema: dict | None = None) -> None:
+    """Raise :class:`TraceSchemaError` unless ``event`` matches a shape."""
+    if schema is None:
+        schema = load_schema()
+    if not isinstance(event, dict):
+        raise TraceSchemaError(f"trace event must be an object, got {type(event).__name__}")
+    kind = event.get("type")
+    shapes = schema["events"]
+    if kind not in shapes:
+        raise TraceSchemaError(f"unknown trace event type {kind!r}")
+    shape = shapes[kind]
+    required = shape["required"]
+    optional = shape["optional"]
+    for name, type_name in required.items():
+        if name not in event:
+            raise TraceSchemaError(f"{kind} event missing required field {name!r}")
+        if not _TYPE_CHECKS[type_name](event[name]):
+            raise TraceSchemaError(
+                f"{kind} event field {name!r} must be {type_name}, "
+                f"got {type(event[name]).__name__}"
+            )
+    for name, value in event.items():
+        if name in required:
+            continue
+        if name not in optional:
+            raise TraceSchemaError(f"{kind} event has unknown field {name!r}")
+        type_name = optional[name]
+        if not _TYPE_CHECKS[type_name](value):
+            raise TraceSchemaError(
+                f"{kind} event field {name!r} must be {type_name}, "
+                f"got {type(value).__name__}"
+            )
+
+
+def iter_trace_events(path: str | Path) -> Iterator[dict]:
+    """Yield parsed events from a JSONL trace file (no validation)."""
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(f"line {lineno}: invalid JSON: {exc}") from exc
+
+
+def validate_trace_file(path: str | Path) -> int:
+    """Validate every line of a trace file; return the event count.
+
+    Beyond per-event shapes, enforces the file-level contract: the first
+    event is the ``meta`` header with a known format version.
+    """
+    schema = load_schema()
+    count = 0
+    for event in iter_trace_events(path):
+        if count == 0:
+            if event.get("type") != "meta":
+                raise TraceSchemaError("first trace event must be the meta header")
+            if event.get("version") != schema["version"]:
+                raise TraceSchemaError(
+                    f"trace format version {event.get('version')!r} does not match "
+                    f"schema version {schema['version']}"
+                )
+        try:
+            validate_trace_event(event, schema)
+        except TraceSchemaError as exc:
+            raise TraceSchemaError(f"event {count + 1}: {exc}") from None
+        count += 1
+    if count == 0:
+        raise TraceSchemaError("trace file is empty")
+    return count

@@ -1,0 +1,227 @@
+"""Offline trace reports: ``python -m repro.obs summarize TRACE.jsonl``.
+
+Reads a JSONL trace produced by :class:`repro.obs.Tracer` and condenses
+it into the questions an operator actually asks of a campaign run:
+
+- **phase breakdown** — where did the wall-clock go (expand, cache
+  consult, dispatch, fold, reduce), and what fraction of the root span
+  is accounted for by named child spans (the ≥95% coverage contract);
+- **slowest blocks** — the per-block spans that dominated dispatch;
+- **cache behaviour** — hit-rate with the miss taxonomy (absent,
+  corrupt, violating) and store counts;
+- **kernel engine** — template calibrations vs. vectorized replays and
+  cell-cache hits;
+- **worker skew** — per-worker scenario counts and busy time carried
+  back over the fork boundary, condensed to a max/mean imbalance ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .schema import iter_trace_events
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    name: str
+    count: int
+    total: float
+    share: float  # fraction of root wall-clock
+
+
+@dataclass(frozen=True)
+class BlockRow:
+    label: str
+    duration: float
+    scenarios: int
+
+
+@dataclass(frozen=True)
+class WorkerRow:
+    pid: int
+    scenarios: int
+    busy_seconds: float
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``summarize`` reports, parsed once from the JSONL."""
+
+    wall_seconds: float = 0.0
+    root_name: str = ""
+    phases: list[PhaseRow] = field(default_factory=list)
+    coverage: float = 0.0
+    blocks: list[BlockRow] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    workers: list[WorkerRow] = field(default_factory=list)
+    progress_done: int = 0
+    progress_total: int = 0
+
+    # -- cache ---------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return int(self.counters.get("cache.hit", 0))
+
+    @property
+    def cache_misses(self) -> int:
+        return int(
+            sum(
+                value
+                for name, value in self.counters.items()
+                if name.startswith("cache.miss")
+            )
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        consulted = self.cache_hits + self.cache_misses
+        return self.cache_hits / consulted if consulted else 0.0
+
+    # -- workers -------------------------------------------------------
+    @property
+    def worker_skew(self) -> float:
+        """max/mean scenarios per worker; 1.0 = perfectly balanced."""
+        counts = [row.scenarios for row in self.workers]
+        if not counts or sum(counts) == 0:
+            return 0.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 0.0
+
+    def render(self, top_blocks: int = 5) -> str:
+        lines = []
+        root = self.root_name or "(no root span)"
+        lines.append(
+            f"trace: {root} — {self.wall_seconds:.3f}s wall, "
+            f"{self.coverage:.1%} covered by named phases"
+        )
+        if self.progress_total:
+            lines.append(
+                f"progress: {self.progress_done}/{self.progress_total} scenarios"
+            )
+        if self.phases:
+            lines.append("phases:")
+            for row in self.phases:
+                lines.append(
+                    f"  {row.name:<28} {row.total:>9.3f}s  "
+                    f"{row.share:>6.1%}  x{row.count}"
+                )
+        if self.blocks:
+            lines.append(f"slowest blocks (top {min(top_blocks, len(self.blocks))}):")
+            for row in self.blocks[:top_blocks]:
+                lines.append(
+                    f"  {row.label:<40} {row.duration:>9.3f}s  "
+                    f"{row.scenarios} scenarios"
+                )
+        consulted = self.cache_hits + self.cache_misses
+        if consulted:
+            miss_parts = ", ".join(
+                f"{name.split('cache.miss.', 1)[1]}={int(value)}"
+                for name, value in sorted(self.counters.items())
+                if name.startswith("cache.miss.") and value
+            )
+            detail = f" (miss: {miss_parts})" if miss_parts else ""
+            lines.append(
+                f"cache: {self.cache_hits}/{consulted} hits "
+                f"({self.cache_hit_rate:.1%}), "
+                f"{int(self.counters.get('cache.store', 0))} stores{detail}"
+            )
+        if any(name.startswith("kernel.") for name in self.counters):
+            lines.append(
+                "kernel: "
+                f"{int(self.counters.get('kernel.calibrations', 0))} calibrations, "
+                f"{int(self.counters.get('kernel.replays', 0))} vectorized replays, "
+                f"{int(self.counters.get('kernel.cell_hits', 0))} cell-cache hits, "
+                f"{int(self.counters.get('kernel.scenarios', 0))} scenarios"
+            )
+        if self.workers:
+            lines.append(
+                f"workers: {len(self.workers)} "
+                f"(skew max/mean = {self.worker_skew:.2f})"
+            )
+            for row in sorted(self.workers, key=lambda r: r.pid):
+                lines.append(
+                    f"  pid {row.pid:<8} {row.scenarios:>6} scenarios  "
+                    f"{row.busy_seconds:>9.3f}s busy"
+                )
+        return "\n".join(lines)
+
+
+def summarize_trace(path: str | Path) -> TraceSummary:
+    """Parse one trace file into a :class:`TraceSummary`."""
+    spans: list[dict] = []
+    counters: dict[str, float] = {}
+    timings: dict[str, dict] = {}
+    progress_done = 0
+    progress_total = 0
+    for event in iter_trace_events(path):
+        kind = event.get("type")
+        if kind == "span":
+            spans.append(event)
+        elif kind == "counter":
+            counters[event["name"]] = event["value"]
+        elif kind == "timing":
+            timings[event["name"]] = event
+        elif kind == "progress":
+            # Keep the largest-scope progress stream: nested probe runs
+            # (refinement cells) emit their own tiny done/total marks.
+            if event["total"] >= progress_total:
+                progress_done = event["done"]
+                progress_total = event["total"]
+
+    summary = TraceSummary(counters=counters)
+    summary.progress_done = progress_done
+    summary.progress_total = progress_total
+
+    roots = [span for span in spans if span["depth"] == 0]
+    if roots:
+        # A trace normally has one root (the outermost instrumented call);
+        # if several appear (e.g. sequential runs into one file), treat
+        # their concatenation as the wall-clock budget.
+        summary.wall_seconds = sum(span["dur"] for span in roots)
+        summary.root_name = roots[-1]["name"]
+
+    root_names = {span["name"] for span in roots}
+    children = [
+        span
+        for span in spans
+        if span["depth"] == 1 and span["parent"] in root_names
+    ]
+    by_name: dict[str, list[float]] = {}
+    for span in children:
+        by_name.setdefault(span["name"], []).append(span["dur"])
+    phases = [
+        PhaseRow(
+            name=name,
+            count=len(durs),
+            total=sum(durs),
+            share=(sum(durs) / summary.wall_seconds) if summary.wall_seconds else 0.0,
+        )
+        for name, durs in by_name.items()
+    ]
+    summary.phases = sorted(phases, key=lambda row: (-row.total, row.name))
+    if summary.wall_seconds:
+        summary.coverage = sum(span["dur"] for span in children) / summary.wall_seconds
+
+    block_spans = [span for span in spans if span["name"] == "block"]
+    blocks = [
+        BlockRow(
+            label=str(span.get("attrs", {}).get("label", "?")),
+            duration=span["dur"],
+            scenarios=int(span.get("attrs", {}).get("scenarios", 0)),
+        )
+        for span in block_spans
+    ]
+    summary.blocks = sorted(blocks, key=lambda row: -row.duration)
+
+    workers: dict[int, WorkerRow] = {}
+    for name, value in counters.items():
+        if name.startswith("worker.") and name.endswith(".scenarios"):
+            pid = int(name.split(".")[1])
+            busy = timings.get(f"worker.{pid}.busy_seconds", {}).get("total", 0.0)
+            workers[pid] = WorkerRow(
+                pid=pid, scenarios=int(value), busy_seconds=busy
+            )
+    summary.workers = sorted(workers.values(), key=lambda row: row.pid)
+    return summary

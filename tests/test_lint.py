@@ -119,6 +119,64 @@ class TestDeterminismRules:
 
 
 # ----------------------------------------------------------------------
+# DET003
+# ----------------------------------------------------------------------
+class TestTelemetryInDigestRule:
+    def test_snapshot_readback_in_digest_scope(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "from hashlib import sha256\n"
+            "def run_digest(tracer, payload):\n"
+            "    h = sha256(payload)\n"
+            "    h.update(str(tracer.metrics.snapshot()).encode())\n"
+            "    return h.hexdigest()\n",
+        )
+        assert codes_of(result) == ["DET003"]
+
+    def test_obs_call_in_payload_scope(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "import json\n"
+            "from repro.obs import phase_fragments\n"
+            "def bench_payload(snap):\n"
+            "    return json.dumps(phase_fragments(snap))\n",
+        )
+        assert codes_of(result) == ["DET003"]
+
+    def test_write_only_span_is_blessed(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "from hashlib import sha256\n"
+            "from repro.obs import maybe_span\n"
+            "def spec_digest(tracer, payload):\n"
+            "    with maybe_span(tracer, 'digest'):\n"
+            "        return sha256(payload).hexdigest()\n",
+        )
+        assert result.ok
+
+    def test_readback_outside_digest_scope_is_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "def render(tracer):\n"
+            "    snap = tracer.metrics.snapshot()\n"
+            "    return len(snap.counters)\n",
+        )
+        assert result.ok
+
+    def test_simulation_snapshot_is_not_telemetry(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "from hashlib import sha256\n"
+            "def state_digest(chain):\n"
+            "    h = sha256()\n"
+            "    for k, v in sorted(chain.ledger.snapshot().items()):\n"
+            "        h.update(f'{k}={v}'.encode())\n"
+            "    return h.hexdigest()\n",
+        )
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
 # ORD001
 # ----------------------------------------------------------------------
 class TestOrderingRule:
@@ -387,7 +445,15 @@ class TestSeededFixtures:
     def test_every_family_fires(self):
         result = lint_paths([FIXTURES])
         found = set(codes_of(result))
-        assert found == {"DET001", "DET002", "ORD001", "CANON001", "POOL001", "DIG001"}
+        assert found == {
+            "DET001",
+            "DET002",
+            "DET003",
+            "ORD001",
+            "CANON001",
+            "POOL001",
+            "DIG001",
+        }
 
     def test_fixture_suppressions_honored(self):
         result = lint_paths([FIXTURES])
@@ -522,7 +588,15 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("DET001", "DET002", "ORD001", "CANON001", "POOL001", "DIG001"):
+        for code in (
+            "DET001",
+            "DET002",
+            "DET003",
+            "ORD001",
+            "CANON001",
+            "POOL001",
+            "DIG001",
+        ):
             assert code in out
 
     def test_write_baseline_then_clean(self, tmp_path, capsys, monkeypatch):
@@ -563,6 +637,7 @@ class TestWholeTree:
             "CANON001",
             "DET001",
             "DET002",
+            "DET003",
             "DIG001",
             "ORD001",
             "POOL001",
