@@ -501,7 +501,10 @@ class KernelEngine:
                     "reverted": reverted,
                     "premium_net": premium_net,
                     "elapsed_seconds": elapsed_each,
-                    "digest": sha256(summary.encode()).hexdigest(),
+                    # Same conservative flow-pass artifact as condense_run:
+                    # properties only membership-test the adversary
+                    # frozenset, so its order never reaches the summary.
+                    "digest": sha256(summary.encode()).hexdigest(),  # lint: disable=FLOW002
                     "metrics": (completed_pair, ("utility", utility)),
                     "trace": trace,
                 })

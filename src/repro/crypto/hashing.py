@@ -14,7 +14,11 @@ from dataclasses import dataclass, field
 
 def sha256_hex(data: bytes) -> str:
     """Return the SHA-256 digest of ``data`` as a hex string."""
-    return hashlib.sha256(data).hexdigest()
+    # Hashing OS entropy is this primitive's whole point: hashlocks and
+    # public keys digest live secrets (Secret.generate / KeyPair.generate),
+    # which is HTLC protocol behavior, not reproducibility-digest material.
+    # Campaign scenarios use the deterministic from_text/from_seed paths.
+    return hashlib.sha256(data).hexdigest()  # lint: disable=FLOW001
 
 
 @dataclass(frozen=True)

@@ -11,12 +11,13 @@ but a reviewer should replace).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.lint.baseline import Baseline
-from repro.lint.core import LintError, all_rules
-from repro.lint.engine import lint_paths
+from repro.lint.core import LintError, SourceFile, all_rules
+from repro.lint.engine import discover_files, lint_paths
 
 DEFAULT_BASELINE = "lint-baseline.json"
 
@@ -65,9 +66,90 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="list rule codes and exit"
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help=(
+            "output format: text (default) or a machine-readable JSON "
+            "object with code/path/line/message/fingerprint/chain per "
+            "finding (CI annotations consume this)"
+        ),
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("json", "dot"),
+        metavar="{json,dot}",
+        help=(
+            "export the interprocedural call graph (with taint "
+            "annotations) for the given paths instead of linting; the "
+            "export is byte-identical across runs"
+        ),
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "cross-check heuristic digest findings (ORD001/CANON001) "
+            "against the flow analysis; unconfirmed ones gain an "
+            "AUDIT001 companion finding"
+        ),
+    )
+    parser.add_argument(
         "-q", "--quiet", action="store_true", help="print findings only"
     )
     return parser
+
+
+def _export_graph(paths: list[str], fmt: str) -> int:
+    """``--graph``: print the annotated call graph and exit."""
+    from repro.lint.flow import export_graph
+    from repro.lint.flow.rules import analyze
+
+    cwd = Path.cwd()
+    sources = []
+    for file_path in discover_files(paths):
+        try:
+            sources.append(SourceFile.load(file_path, cwd))
+        except SyntaxError as err:
+            print(
+                f"error: cannot parse {file_path}: {err.msg}", file=sys.stderr
+            )
+            return 2
+    program, analysis = analyze(sources)
+    sys.stdout.write(export_graph(program, analysis, fmt))
+    return 0
+
+
+def _render_json(result) -> str:
+    payload = {
+        "findings": [
+            {
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "fingerprint": list(f.fingerprint()),
+                "chain": list(f.chain),
+                "source": (
+                    {"path": f.source_ref[0], "line": f.source_ref[1]}
+                    if f.source_ref is not None
+                    else None
+                ),
+            }
+            for f in result.findings
+        ],
+        "files": result.files,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "stale_baseline": [
+            {"code": code, "path": path, "line_text": line_text}
+            for code, path, line_text in result.stale_baseline
+        ],
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -78,6 +160,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{rule.code}  {rule.name}")
             print(f"    {rule.summary}")
         return 0
+
+    if args.graph:
+        try:
+            return _export_graph(args.paths, args.graph)
+        except LintError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
 
     try:
         rules = (
@@ -90,7 +179,9 @@ def main(argv: list[str] | None = None) -> int:
             if args.baseline is not None or Path(baseline_path).exists():
                 baseline = Baseline.load(baseline_path)
 
-        result = lint_paths(args.paths, rules=rules, baseline=baseline)
+        result = lint_paths(
+            args.paths, rules=rules, baseline=baseline, audit=args.audit
+        )
     except LintError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
@@ -106,6 +197,10 @@ def main(argv: list[str] | None = None) -> int:
                 "replace the FIXME justifications before committing"
             )
         return 0
+
+    if args.fmt == "json":
+        sys.stdout.write(_render_json(result))
+        return 0 if result.ok else 1
 
     for finding in result.findings:
         print(finding.render())

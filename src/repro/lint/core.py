@@ -51,6 +51,17 @@ class Finding:
     message: str
     #: the stripped source line, for fingerprinting and display.
     line_text: str = field(default="", compare=False)
+    #: inclusive line span an inline suppression may sit on.  Defaults to
+    #: the finding line alone; :meth:`SourceFile.finding` widens it to the
+    #: enclosing statement (decorators included), so a ``# lint: disable``
+    #: on any line of a decorated or multi-line statement suppresses.
+    span: tuple[int, int] | None = field(default=None, compare=False)
+    #: source→sink call chain for flow findings (function labels in
+    #: traversal order); empty for single-site rules.
+    chain: tuple[str, ...] = field(default=(), compare=False)
+    #: (path, line) of the taint *source* for flow findings — the audit
+    #: uses it to match heuristic findings against flow confirmations.
+    source_ref: tuple[str, int] | None = field(default=None, compare=False)
 
     def fingerprint(self) -> tuple[str, str, str]:
         """Baseline identity: stable across pure line-number churn."""
@@ -113,6 +124,45 @@ class SourceFile:
     def is_suppressed(self, code: str, lineno: int) -> bool:
         return code in self.suppressions.get(lineno, frozenset())
 
+    def is_suppressed_span(self, code: str, span: tuple[int, int]) -> bool:
+        """Whether a disable marker for ``code`` sits anywhere in ``span``."""
+        start, end = span
+        return any(
+            self.is_suppressed(code, lineno) for lineno in range(start, end + 1)
+        )
+
+    def suppression_span(self, node: ast.AST) -> tuple[int, int]:
+        """Lines an inline suppression for ``node``'s finding may occupy.
+
+        The flagged construct's own lines, widened to its nearest enclosing
+        *statement*: every line of a simple statement (so the marker can sit
+        on any physical line of a multi-line call), or just the header of a
+        compound statement — decorators through the line before the body —
+        so a marker inside a function body never mutes a finding on the
+        ``def`` itself.
+        """
+        lineno = getattr(node, "lineno", 1)
+        end = getattr(node, "end_lineno", None) or lineno
+        stmt: ast.stmt | None = node if isinstance(node, ast.stmt) else None
+        if stmt is None:
+            for ancestor in self.ancestors(node):
+                if isinstance(ancestor, ast.stmt):
+                    stmt = ancestor
+                    break
+        if stmt is None:
+            return (lineno, end)
+        start = stmt.lineno
+        decorators = getattr(stmt, "decorator_list", None)
+        if decorators:
+            start = min([start, *(deco.lineno for deco in decorators)])
+        body = getattr(stmt, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            # Compound statement: the span is its header only.
+            stmt_end = max(stmt.lineno, body[0].lineno - 1)
+        else:
+            stmt_end = stmt.end_lineno or start
+        return (min(start, lineno), max(stmt_end, lineno))
+
     def finding(self, node: ast.AST, code: str, message: str) -> Finding:
         lineno = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
@@ -123,6 +173,7 @@ class SourceFile:
             code=code,
             message=message,
             line_text=self.line_at(lineno),
+            span=self.suppression_span(node),
         )
 
 
@@ -263,6 +314,26 @@ class Rule:
     summary: str = ""
 
     def check(self, src: SourceFile) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ProgramRule(Rule):
+    """A rule that needs the *whole program*, not one file at a time.
+
+    The engine calls :meth:`check_program` once, after every file has
+    been parsed, with the full list of sources — the flow rules build
+    their call graph from it, and the digest-exclusion staleness check
+    cross-references allowlist entries against every seen dataclass.
+    Findings still anchor to one (path, line) each, so suppressions and
+    the baseline work unchanged.
+    """
+
+    def check(self, src: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def check_program(
+        self, sources: "list[SourceFile]"
+    ) -> Iterable[Finding]:  # pragma: no cover
         raise NotImplementedError
 
 

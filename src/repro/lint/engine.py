@@ -14,7 +14,14 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.lint.baseline import Baseline
-from repro.lint.core import Finding, LintError, Rule, SourceFile, all_rules
+from repro.lint.core import (
+    Finding,
+    LintError,
+    ProgramRule,
+    Rule,
+    SourceFile,
+    all_rules,
+)
 
 
 @dataclass
@@ -71,12 +78,29 @@ def lint_paths(
     paths: Sequence[str | Path],
     rules: Iterable[Rule] | None = None,
     baseline: Baseline | None = None,
+    audit: bool = False,
 ) -> LintResult:
-    """Run rules over the trees/files given; fold in suppressions/baseline."""
+    """Run rules over the trees/files given; fold in suppressions/baseline.
+
+    With ``audit=True``, every heuristic digest-scope finding (ORD001 /
+    CANON001) left after suppression is cross-checked against the flow
+    analysis: a finding the interprocedural pass cannot confirm gains an
+    ``AUDIT001`` companion, so heuristic false positives surface instead
+    of silently diverging from the authoritative flow pass.
+    """
     active = list(rules) if rules is not None else all_rules()
     result = LintResult()
     raw: list[Finding] = []
+    sources: list[SourceFile] = []
     cwd = Path.cwd()
+
+    def fold(src: SourceFile, finding: Finding) -> None:
+        span = finding.span or (finding.line, finding.line)
+        if src.is_suppressed_span(finding.code, span):
+            result.suppressed += 1
+        else:
+            raw.append(finding)
+
     for file_path in discover_files(paths):
         result.files += 1
         try:
@@ -92,12 +116,30 @@ def lint_paths(
                 )
             )
             continue
+        sources.append(src)
         for rule in active:
+            if isinstance(rule, ProgramRule):
+                continue
             for finding in rule.check(src):
-                if src.is_suppressed(finding.code, finding.line):
-                    result.suppressed += 1
-                else:
-                    raw.append(finding)
+                fold(src, finding)
+
+    by_path = {src.display_path: src for src in sources}
+    for rule in active:
+        if not isinstance(rule, ProgramRule):
+            continue
+        for finding in rule.check_program(sources):
+            src = by_path.get(finding.path)
+            if src is None:
+                raw.append(finding)
+            else:
+                fold(src, finding)
+
+    if audit:
+        # Imported here, not at module top: the audit is the only engine
+        # feature that depends on the flow package.
+        from repro.lint.flow.rules import crosscheck
+
+        raw.extend(crosscheck(sources, raw))
     raw.sort()
     if baseline is not None:
         fresh, matched, stale = baseline.partition(raw)

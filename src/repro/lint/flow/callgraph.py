@@ -1,0 +1,653 @@
+"""Module-level call graph over the parsed program.
+
+Nodes are functions and methods (nested ``def``\\ s included, with
+``outer.<locals>.inner`` qualnames); edges are resolved call sites.
+Resolution reuses :class:`repro.lint.core.SourceFile`'s import-alias
+table and adds:
+
+- **bare names** through the lexical scope chain (nested defs, then
+  module-level functions/classes, then builtins),
+- **module-qualified calls** (``canon.fmt_fraction`` after ``import
+  repro.campaign.canon as canon``), following one-hop re-exports
+  through package ``__init__`` aliases,
+- **``self.method()`` / ``cls.method()``** dispatch into the enclosing
+  class, then its resolvable bases,
+- **typed receivers** — a local annotated with a class, or assigned
+  from a constructor call, dispatches ``local.method()`` by class,
+- **dataclass constructors** — ``Report(field=...)`` becomes an edge
+  onto the class, with arguments mapped onto declared fields.
+
+Anything else — dynamic dispatch, unresolvable heads, attributes a
+module does not define — is recorded as an :class:`OpenEdge` with a
+reason.  Open edges are part of the exported graph: the analysis is
+honest about where it cannot see.
+
+:func:`export_graph` renders the graph (plus optional taint
+annotations) as JSON or DOT.  Both renderings are fully sorted, so two
+runs over the same tree emit byte-identical artifacts — the analyzer
+obeys the determinism rules it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.lint.core import FuncDef, SourceFile, qualified_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.flow.summaries import FlowAnalysis
+
+#: import heads modeled as known-external (stdlib + numpy): calls into
+#: them resolve as *external* — the taint tables model their behavior —
+#: rather than as open edges.
+KNOWN_EXTERNAL_HEADS = frozenset(
+    {
+        "abc", "argparse", "ast", "base64", "bisect", "builtins",
+        "collections", "contextlib", "copy", "csv", "dataclasses",
+        "datetime", "decimal", "enum", "errno", "fractions", "functools",
+        "gc", "hashlib", "heapq", "hmac", "importlib", "inspect", "io",
+        "itertools", "json", "logging", "math", "multiprocessing",
+        "numpy", "operator", "os", "pathlib", "pickle", "platform",
+        "pprint", "queue", "random", "re", "secrets", "shutil", "signal",
+        "socket", "statistics", "string", "struct", "subprocess", "sys",
+        "tempfile", "textwrap", "threading", "time", "tokenize",
+        "traceback", "types", "typing", "unicodedata", "uuid",
+        "warnings", "weakref", "zlib",
+    }
+)
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+#: how many re-export hops (`from repro.lint import Baseline` landing in
+#: a package ``__init__`` alias) resolution will follow.
+_REEXPORT_HOPS = 5
+
+
+@dataclass(frozen=True, order=True)
+class FuncId:
+    """Stable identity of one function, method, or class in the graph."""
+
+    module: str
+    qualname: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzable function plus everything resolution needs."""
+
+    fid: FuncId
+    node: FuncDef
+    src: SourceFile
+    class_name: str | None = None
+    #: parameter names in call-mapping order (``self``/``cls`` excluded).
+    params: tuple[str, ...] = ()
+    param_index: dict[str, int] = field(default_factory=dict)
+    #: the bound first-argument name for methods (``self``/``cls``).
+    self_name: str | None = None
+    #: nested ``def``\ s visible from this function's body, by bare name.
+    nested: dict[str, FuncId] = field(default_factory=dict)
+    parent: FuncId | None = None
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, dataclass fields, and resolvable bases."""
+
+    fid: FuncId
+    node: ast.ClassDef
+    src: SourceFile
+    is_dataclass: bool = False
+    #: declared dataclass fields in constructor order.
+    fields: tuple[str, ...] = ()
+    field_nodes: dict[str, ast.AnnAssign] = field(default_factory=dict)
+    methods: dict[str, FuncId] = field(default_factory=dict)
+    bases: tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.fid.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class CallSite:
+    """One resolved (or deliberately unresolved) call expression."""
+
+    node: ast.Call
+    kind: str  # "internal" | "constructor" | "external" | "open"
+    target: FuncId | None = None
+    cls: ClassInfo | None = None
+    external: str | None = None
+    reason: str = ""
+
+
+@dataclass(frozen=True, order=True)
+class OpenEdge:
+    """A call the graph could not resolve — recorded, never dropped."""
+
+    caller: str
+    callee: str
+    path: str
+    line: int
+    reason: str
+
+
+def module_name(src: SourceFile) -> str:
+    """Dotted module name: walk up through ``__init__.py`` packages.
+
+    ``src/repro/campaign/canon.py`` → ``repro.campaign.canon``; a file
+    outside any package (a test fixture in a tmp dir) is just its stem.
+    """
+    path = src.path
+    parts = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _is_dataclass_def(node: ast.ClassDef, src: SourceFile) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = qualified_name(target, src.aliases)
+        if name is not None and name.rsplit(".", 1)[-1] == "dataclass":
+            return True
+    return False
+
+
+def _declared_fields(node: ast.ClassDef) -> list[tuple[str, ast.AnnAssign]]:
+    out = []
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and not stmt.target.id.startswith("_")
+        ):
+            annotation = ast.unparse(stmt.annotation) if stmt.annotation else ""
+            if "ClassVar" in annotation:
+                continue
+            out.append((stmt.target.id, stmt))
+    return out
+
+
+class Program:
+    """Index + call graph over a list of parsed sources."""
+
+    def __init__(self, sources: list[SourceFile]) -> None:
+        self.sources = list(sources)
+        #: dotted module name → source.
+        self.modules: dict[str, SourceFile] = {}
+        self.functions: dict[FuncId, FunctionInfo] = {}
+        self.classes: dict[FuncId, ClassInfo] = {}
+        #: (module, bare name) → FuncId of a module-level function.
+        self.module_functions: dict[tuple[str, str], FuncId] = {}
+        #: (module, bare name) → ClassInfo of a module-level class.
+        self.module_classes: dict[tuple[str, str], ClassInfo] = {}
+        self.callsites: dict[FuncId, list[CallSite]] = {}
+        self.open_edges: list[OpenEdge] = []
+        #: per-function locally-provable receiver types.
+        self._local_types: dict[FuncId, dict[str, ClassInfo]] = {}
+
+        for src in self.sources:
+            self._index_module(src)
+        for fid in sorted(self.functions):
+            info = self.functions[fid]
+            self._local_types[fid] = self._infer_local_types(info)
+        for fid in sorted(self.functions):
+            self._resolve_callsites(self.functions[fid])
+
+    # -- indexing ------------------------------------------------------
+    def _index_module(self, src: SourceFile) -> None:
+        mod = module_name(src)
+        self.modules[mod] = src
+        self._index_body(src, mod, src.tree.body, prefix="", class_info=None,
+                         enclosing=None)
+
+    def _index_body(
+        self,
+        src: SourceFile,
+        mod: str,
+        body: list[ast.stmt],
+        prefix: str,
+        class_info: ClassInfo | None,
+        enclosing: FunctionInfo | None,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(src, mod, stmt, prefix, class_info,
+                                     enclosing)
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(src, mod, stmt, prefix)
+
+    def _index_function(
+        self,
+        src: SourceFile,
+        mod: str,
+        node: FuncDef,
+        prefix: str,
+        class_info: ClassInfo | None,
+        enclosing: FunctionInfo | None,
+    ) -> None:
+        qualname = f"{prefix}{node.name}"
+        fid = FuncId(mod, qualname)
+        is_method = class_info is not None and not any(
+            isinstance(d, ast.Name) and d.id == "staticmethod"
+            for d in node.decorator_list
+        )
+        positional = [*node.args.posonlyargs, *node.args.args]
+        self_name = None
+        if is_method and positional:
+            self_name = positional[0].arg
+            positional = positional[1:]
+        params = tuple(
+            arg.arg for arg in [*positional, *node.args.kwonlyargs]
+        )
+        info = FunctionInfo(
+            fid=fid,
+            node=node,
+            src=src,
+            class_name=class_info.name if class_info else None,
+            params=params,
+            param_index={name: i for i, name in enumerate(params)},
+            self_name=self_name,
+            parent=enclosing.fid if enclosing else None,
+        )
+        self.functions[fid] = info
+        if class_info is not None:
+            class_info.methods[node.name] = fid
+        if enclosing is not None:
+            enclosing.nested[node.name] = fid
+        if prefix == "" and class_info is None:
+            self.module_functions[(mod, node.name)] = fid
+        self._index_body(
+            src, mod, node.body, prefix=f"{qualname}.<locals>.",
+            class_info=None, enclosing=info,
+        )
+
+    def _index_class(
+        self, src: SourceFile, mod: str, node: ast.ClassDef, prefix: str
+    ) -> None:
+        qualname = f"{prefix}{node.name}"
+        fid = FuncId(mod, qualname)
+        declared = _declared_fields(node)
+        info = ClassInfo(
+            fid=fid,
+            node=node,
+            src=src,
+            is_dataclass=_is_dataclass_def(node, src),
+            fields=tuple(name for name, _ in declared),
+            field_nodes={name: stmt for name, stmt in declared},
+            bases=tuple(
+                name
+                for name in (
+                    qualified_name(base, src.aliases) for base in node.bases
+                )
+                if name is not None
+            ),
+        )
+        self.classes[fid] = info
+        if prefix == "":
+            self.module_classes[(mod, node.name)] = info
+        self._index_body(src, mod, node.body, prefix=f"{qualname}.",
+                         class_info=info, enclosing=None)
+
+    # -- lookups -------------------------------------------------------
+    def class_named(self, mod: str, name: str) -> ClassInfo | None:
+        """A class reachable as ``name`` from module ``mod``."""
+        found = self.module_classes.get((mod, name))
+        if found is not None:
+            return found
+        src = self.modules.get(mod)
+        if src is None:
+            return None
+        dotted = src.aliases.get(name)
+        if dotted is None:
+            return None
+        resolved = self._resolve_dotted(mod, dotted, hops=_REEXPORT_HOPS)
+        if isinstance(resolved, ClassInfo):
+            return resolved
+        return None
+
+    def method_of(self, cls: ClassInfo, name: str) -> FuncId | None:
+        """Resolve ``name`` on ``cls``, then its resolvable bases."""
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current.fid.label in seen:
+                continue
+            seen.add(current.fid.label)
+            if name in current.methods:
+                return current.methods[name]
+            for base in current.bases:
+                base_cls = self.class_named(
+                    current.fid.module, base.rsplit(".", 1)[-1]
+                )
+                if base_cls is None and "." in base:
+                    resolved = self._resolve_dotted(
+                        current.fid.module, base, hops=_REEXPORT_HOPS
+                    )
+                    base_cls = resolved if isinstance(resolved, ClassInfo) else None
+                if base_cls is not None:
+                    queue.append(base_cls)
+        return None
+
+    def class_of_annotation(
+        self, mod: str, annotation: ast.expr | None
+    ) -> ClassInfo | None:
+        if annotation is None:
+            return None
+        text = ast.unparse(annotation).strip("\"'")
+        head = text.split("[")[0].strip().strip("\"'")
+        # Optional[X] / X | None → X.
+        if head.startswith("Optional"):
+            inner = text.split("[", 1)
+            head = inner[1].rstrip("]").strip() if len(inner) == 2 else head
+        head = head.split("|")[0].strip().strip("\"'")
+        name = head.rsplit(".", 1)[-1]
+        if not name.isidentifier():
+            return None
+        return self.class_named(mod, name)
+
+    def _infer_local_types(self, info: FunctionInfo) -> dict[str, ClassInfo]:
+        mod = info.fid.module
+        types: dict[str, ClassInfo] = {}
+        args = info.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            cls = self.class_of_annotation(mod, arg.annotation)
+            if cls is not None:
+                types[arg.arg] = cls
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                cls = self.class_of_annotation(mod, node.annotation)
+                if cls is not None:
+                    types[node.target.id] = cls
+            elif (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                name = qualified_name(node.value.func, info.src.aliases)
+                if name is not None:
+                    cls = self.class_named(mod, name.rsplit(".", 1)[-1])
+                    # Only a *direct* constructor call types the local —
+                    # a same-named helper would resolve to a function.
+                    if cls is not None and self._resolve_dotted(
+                        mod, name, hops=_REEXPORT_HOPS
+                    ) is cls:
+                        types[node.targets[0].id] = cls
+        return types
+
+    def local_types(self, fid: FuncId) -> dict[str, ClassInfo]:
+        return self._local_types.get(fid, {})
+
+    # -- call resolution -----------------------------------------------
+    def _resolve_dotted(
+        self, mod: str, dotted: str, hops: int
+    ) -> FunctionInfo | ClassInfo | str | None:
+        """Resolve a dotted name from module ``mod``.
+
+        Returns a FunctionInfo/ClassInfo for internal targets, the dotted
+        string for known-external targets, or None (unresolved).
+        """
+        if hops <= 0:
+            return None
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            name = parts[0]
+            fid = self.module_functions.get((mod, name))
+            if fid is not None:
+                return self.functions[fid]
+            cls = self.module_classes.get((mod, name))
+            if cls is not None:
+                return cls
+            src = self.modules.get(mod)
+            if src is not None and name in src.aliases and src.aliases[name] != name:
+                return self._resolve_dotted(mod, src.aliases[name], hops - 1)
+            if name in _BUILTIN_NAMES:
+                return name
+            return None
+        # Longest module prefix wins: "repro.campaign.canon.canon_float"
+        # resolves inside repro.campaign.canon even though "repro" and
+        # "repro.campaign" are modules too.
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                rest = parts[cut:]
+                if len(rest) == 1:
+                    resolved = self._resolve_dotted(prefix, rest[0], hops - 1)
+                    if resolved is not None and not isinstance(resolved, str):
+                        return resolved
+                    return None
+                if len(rest) == 2:
+                    cls = self.class_named(prefix, rest[0])
+                    if cls is not None:
+                        method = self.method_of(cls, rest[1])
+                        if method is not None:
+                            return self.functions[method]
+                    return None
+                return None
+        # Class attribute within the *calling* module: ClassName.method.
+        if len(parts) == 2:
+            cls = self.class_named(mod, parts[0])
+            if cls is not None:
+                method = self.method_of(cls, parts[1])
+                if method is not None:
+                    return self.functions[method]
+        if parts[0] in KNOWN_EXTERNAL_HEADS:
+            return dotted
+        return None
+
+    def _resolve_callsites(self, info: FunctionInfo) -> None:
+        sites: list[CallSite] = []
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                sites.append(self._resolve_call(info, node))
+        self.callsites[info.fid] = sites
+        for site in sites:
+            if site.kind == "open":
+                self.open_edges.append(
+                    OpenEdge(
+                        caller=info.fid.label,
+                        callee=_callee_text(site.node),
+                        path=info.src.display_path,
+                        line=site.node.lineno,
+                        reason=site.reason,
+                    )
+                )
+
+    def _resolve_call(self, info: FunctionInfo, call: ast.Call) -> CallSite:
+        func = call.func
+        mod = info.fid.module
+
+        # self.method() / cls.method() / typed_local.method()
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            head = func.value.id
+            receiver_cls: ClassInfo | None = None
+            if info.self_name is not None and head == info.self_name:
+                receiver_cls = self.class_named(mod, info.class_name or "")
+            elif head in self.local_types(info.fid):
+                receiver_cls = self.local_types(info.fid)[head]
+            if receiver_cls is not None:
+                target = self.method_of(receiver_cls, func.attr)
+                if target is not None:
+                    return CallSite(call, "internal", target=target)
+                return CallSite(
+                    call, "open",
+                    reason=f"no method {func.attr!r} on {receiver_cls.name}",
+                )
+
+        name = qualified_name(func, info.src.aliases)
+        if name is None:
+            return CallSite(call, "open", reason="dynamic callee")
+
+        # Lexical scope chain: nested defs shadow module-level names.
+        if "." not in name:
+            scope: FunctionInfo | None = info
+            while scope is not None:
+                if name in scope.nested:
+                    return CallSite(
+                        call, "internal", target=scope.nested[name]
+                    )
+                scope = (
+                    self.functions.get(scope.parent)
+                    if scope.parent is not None
+                    else None
+                )
+
+        resolved = self._resolve_dotted(mod, name, hops=_REEXPORT_HOPS)
+        if isinstance(resolved, FunctionInfo):
+            return CallSite(call, "internal", target=resolved.fid)
+        if isinstance(resolved, ClassInfo):
+            return CallSite(call, "constructor", cls=resolved)
+        if isinstance(resolved, str):
+            return CallSite(call, "external", external=resolved)
+        if isinstance(func, ast.Attribute):
+            return CallSite(call, "open", reason="unresolved receiver")
+        return CallSite(call, "open", reason=f"unresolved name {name!r}")
+
+
+def _callee_text(call: ast.Call) -> str:
+    try:
+        return ast.unparse(call.func)
+    except Exception:  # pragma: no cover - unparse is total on parsed ASTs
+        return "<unprintable>"
+
+
+# ----------------------------------------------------------------------
+# export
+# ----------------------------------------------------------------------
+def export_graph(
+    program: Program,
+    analysis: "FlowAnalysis | None" = None,
+    fmt: str = "json",
+) -> str:
+    """Render the call graph (+ taint annotations) as JSON or DOT.
+
+    Every list is sorted and the JSON is dumped with sorted keys, so the
+    export is byte-identical across runs — node and edge counts are
+    stable, and diffing two exports is meaningful.
+    """
+    nodes = []
+    for fid in sorted(program.functions):
+        info = program.functions[fid]
+        entry: dict = {
+            "id": fid.label,
+            "module": fid.module,
+            "qualname": fid.qualname,
+            "path": info.src.display_path,
+            "line": info.node.lineno,
+            "kind": "method" if info.class_name else "function",
+        }
+        if analysis is not None:
+            summary = analysis.summaries.get(fid)
+            if summary is not None:
+                ret_kinds = summary.return_kinds()
+                sink_params = sorted(summary.param_sinks)
+                if ret_kinds:
+                    entry["ret_taints"] = sorted(ret_kinds)
+                if sink_params:
+                    entry["sink_params"] = sink_params
+        nodes.append(entry)
+    for fid in sorted(program.classes):
+        info = program.classes[fid]
+        nodes.append(
+            {
+                "id": fid.label,
+                "module": fid.module,
+                "qualname": fid.qualname,
+                "path": info.src.display_path,
+                "line": info.node.lineno,
+                "kind": "dataclass" if info.is_dataclass else "class",
+            }
+        )
+
+    edges = []
+    for fid in sorted(program.callsites):
+        info = program.functions[fid]
+        for site in program.callsites[fid]:
+            if site.kind == "internal" and site.target is not None:
+                edges.append(
+                    {
+                        "caller": fid.label,
+                        "callee": site.target.label,
+                        "kind": "call",
+                        "line": site.node.lineno,
+                        "path": info.src.display_path,
+                    }
+                )
+            elif site.kind == "constructor" and site.cls is not None:
+                edges.append(
+                    {
+                        "caller": fid.label,
+                        "callee": site.cls.fid.label,
+                        "kind": "constructor",
+                        "line": site.node.lineno,
+                        "path": info.src.display_path,
+                    }
+                )
+    edges.sort(key=lambda e: (e["caller"], e["callee"], e["path"], e["line"]))
+
+    opens = [
+        {
+            "caller": edge.caller,
+            "callee": edge.callee,
+            "path": edge.path,
+            "line": edge.line,
+            "reason": edge.reason,
+        }
+        for edge in sorted(program.open_edges)
+    ]
+
+    if fmt == "json":
+        payload = {
+            "version": 1,
+            "nodes": nodes,
+            "edges": edges,
+            "open_edges": opens,
+            "counts": {
+                "nodes": len(nodes),
+                "edges": len(edges),
+                "open_edges": len(opens),
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if fmt == "dot":
+        lines = ["digraph callgraph {", "  rankdir=LR;"]
+        for node in nodes:
+            shape = {
+                "method": "box",
+                "function": "ellipse",
+                "dataclass": "component",
+                "class": "folder",
+            }[node["kind"]]
+            taints = ",".join(node.get("ret_taints", []))
+            suffix = f"\\n[{taints}]" if taints else ""
+            lines.append(
+                f'  "{node["id"]}" [shape={shape}, '
+                f'label="{node["qualname"]}{suffix}"];'
+            )
+        for edge in edges:
+            style = "dashed" if edge["kind"] == "constructor" else "solid"
+            lines.append(
+                f'  "{edge["caller"]}" -> "{edge["callee"]}" [style={style}];'
+            )
+        for edge in opens:
+            lines.append(
+                f'  "{edge["caller"]}" -> "open:{edge["callee"]}" '
+                f'[style=dotted, color=gray];'
+            )
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+    raise ValueError(f"unknown graph format {fmt!r} (expected json or dot)")

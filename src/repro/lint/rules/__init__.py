@@ -10,6 +10,11 @@ constructs it flags, and the blessed alternative.  Codes:
 ``CANON001``  ad-hoc float formatting in digest/label code
 ``POOL001``  unpicklable callable crossing the worker boundary
 ``DIG001``  dataclass field invisible to ``digest()``/``to_json()``
+``DIG002``  stale ``DIGEST_EXCLUSIONS`` allowlist entry
+``FLOW001``  nondeterministic value flows into a digest sink
+``FLOW002``  iteration-order-unstable value flows into a digest sink
+``FLOW003``  lossy float text flows into a digest sink
+``AUDIT001``  heuristic finding the flow analysis cannot confirm
 ==========  ==========================================================
 """
 
@@ -20,3 +25,7 @@ from repro.lint.rules import (  # noqa: F401  (import = registration)
     ordering,
     pool,
 )
+
+# The flow package imports the heuristic rule tables above, so it must
+# register last — after every per-file family is importable.
+from repro.lint.flow import rules as _flow_rules  # noqa: F401,E402

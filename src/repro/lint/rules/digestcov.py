@@ -40,6 +40,7 @@ from typing import Iterable
 from repro.lint.core import (
     Finding,
     FuncDef,
+    ProgramRule,
     Rule,
     SourceFile,
     call_name,
@@ -269,3 +270,53 @@ class DigestCoverageRule(Rule):
                     "cross-host hop — serialize it, or allowlist it in "
                     "DIGEST_EXCLUSIONS with a justification",
                 )
+
+
+@register_rule
+class StaleExclusionRule(ProgramRule):
+    """DIG002: a ``DIGEST_EXCLUSIONS`` entry that no longer matches.
+
+    An allowlist only stays trustworthy if every entry still points at a
+    live field: an entry surviving a field rename silently re-opens the
+    DIG001 hole it once documented (the renamed field gets flagged, the
+    reviewer sees a justification for the *old* name, and the table rots
+    into noise).  This whole-program check cross-references each
+    ``ClassName.field`` entry against every dataclass the run parsed and
+    reports entries whose class is present but no longer declares the
+    field.  Classes absent from the linted tree are skipped — linting a
+    fixture directory must not indict the shipped allowlist.
+    """
+
+    code = "DIG002"
+    name = "stale-digest-exclusion"
+    summary = (
+        "DIGEST_EXCLUSIONS entry names a field its dataclass no longer "
+        "declares; remove or update the allowlist entry"
+    )
+
+    def check_program(self, sources: list[SourceFile]) -> Iterable[Finding]:
+        declared: dict[str, list[tuple[SourceFile, ast.ClassDef, set[str]]]] = {}
+        for src in sources:
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.ClassDef) and _is_dataclass(node, src):
+                    fields = {name for name, _ in _declared_fields(node)}
+                    declared.setdefault(node.name, []).append(
+                        (src, node, fields)
+                    )
+
+        for key in sorted(DIGEST_EXCLUSIONS):
+            class_name, _, field_name = key.partition(".")
+            owners = declared.get(class_name)
+            if not owners:
+                continue
+            if any(field_name in fields for _, _, fields in owners):
+                continue
+            src, node, _ = owners[0]
+            yield src.finding(
+                node,
+                self.code,
+                f"stale DIGEST_EXCLUSIONS entry {key!r}: dataclass "
+                f"{class_name} no longer declares field {field_name!r} — "
+                "remove the entry (or update it to the renamed field) in "
+                "repro.lint.rules.digestcov",
+            )

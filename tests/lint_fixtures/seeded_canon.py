@@ -30,4 +30,4 @@ def presentation_is_clean(pi: float) -> str:
 
 def suppressed_is_fine(pi: float) -> str:
     line = f"{pi:g}"  # lint: disable=CANON001
-    return sha256(line.encode()).hexdigest()
+    return sha256(line.encode()).hexdigest()  # lint: disable=FLOW003

@@ -47,5 +47,5 @@ def presentation_is_clean(members: set) -> list:
 def suppressed_is_fine(members: set) -> str:
     digest = sha256()
     for member in members:  # lint: disable=ORD001
-        digest.update(str(member).encode())
+        digest.update(str(member).encode())  # lint: disable=FLOW002
     return digest.hexdigest()

@@ -190,7 +190,9 @@ class TestOrderingRule:
             "        h.update(p.read_bytes())\n"
             "    return h.hexdigest()\n",
         )
-        assert codes_of(result) == ["ORD001"]
+        # The heuristic flags the walk; the flow pass independently
+        # confirms the tainted bytes reach the hash sink.
+        assert sorted(codes_of(result)) == ["FLOW002", "ORD001"]
 
     def test_sorted_walk_is_clean(self, tmp_path):
         result = lint_snippet(
@@ -253,7 +255,7 @@ class TestOrderingRule:
             "        h.update(p.read_bytes())\n"
             "    return h.hexdigest()\n",
         )
-        assert codes_of(result) == ["ORD001"]
+        assert sorted(codes_of(result)) == ["FLOW002", "ORD001"]
 
 
 # ----------------------------------------------------------------------
@@ -267,7 +269,7 @@ class TestCanonFloatRule:
             "def cell_digest(pi):\n"
             "    return sha256(f'{pi:g}'.encode()).hexdigest()\n",
         )
-        assert codes_of(result) == ["CANON001"]
+        assert sorted(codes_of(result)) == ["CANON001", "FLOW003"]
 
     def test_format_call_and_printf_in_label_code(self, tmp_path):
         result = lint_snippet(
@@ -275,7 +277,13 @@ class TestCanonFloatRule:
             "def axis_label(pi, shock):\n"
             "    return format(pi, 'g') + '%g' % shock\n",
         )
-        assert codes_of(result) == ["CANON001", "CANON001"]
+        # Both lossy spellings, each confirmed end-to-end at the label.
+        assert sorted(codes_of(result)) == [
+            "CANON001",
+            "CANON001",
+            "FLOW003",
+            "FLOW003",
+        ]
 
     def test_canonicalized_value_is_clean(self, tmp_path):
         result = lint_snippet(
@@ -439,6 +447,67 @@ class TestDigestCoverageRule:
 
 
 # ----------------------------------------------------------------------
+# DIG002
+# ----------------------------------------------------------------------
+class TestStaleExclusionRule:
+    SPEC = (
+        "from dataclasses import dataclass\n"
+        "from hashlib import sha256\n"
+        "@dataclass\n"
+        "class ExperimentSpec:\n"
+        "    kind: str\n"
+        "    backend: str\n"
+        "    def digest(self):\n"
+        "        return sha256(self.kind.encode()).hexdigest()\n"
+    )
+
+    def test_stale_entry_flagged(self, tmp_path, monkeypatch):
+        from repro.lint.rules import digestcov
+
+        monkeypatch.setattr(
+            digestcov,
+            "DIGEST_EXCLUSIONS",
+            {"ExperimentSpec.vanished": "justified a field that is gone"},
+        )
+        result = lint_snippet(tmp_path, self.SPEC, select=["DIG002"])
+        assert codes_of(result) == ["DIG002"]
+        assert "ExperimentSpec.vanished" in result.findings[0].message
+
+    def test_live_entry_clean(self, tmp_path, monkeypatch):
+        from repro.lint.rules import digestcov
+
+        monkeypatch.setattr(
+            digestcov,
+            "DIGEST_EXCLUSIONS",
+            {"ExperimentSpec.backend": "placement, not content"},
+        )
+        result = lint_snippet(tmp_path, self.SPEC, select=["DIG002"])
+        assert result.ok
+
+    def test_absent_class_skipped(self, tmp_path, monkeypatch):
+        # Linting a directory that never declares the class (e.g. the
+        # fixture tree) must not indict the shipped allowlist.
+        from repro.lint.rules import digestcov
+
+        monkeypatch.setattr(
+            digestcov,
+            "DIGEST_EXCLUSIONS",
+            {"SomeOtherClass.field": "irrelevant here"},
+        )
+        result = lint_snippet(tmp_path, self.SPEC, select=["DIG002"])
+        assert result.ok
+
+    def test_shipped_allowlist_is_live(self):
+        # The committed table itself must pass its own staleness check
+        # against the shipped tree (also covered by the whole-tree
+        # smoke, but pinned here so a rename fails with a clear name).
+        result = lint_paths(
+            [REPO_ROOT / "src" / "repro"], rules=all_rules(["DIG002"])
+        )
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+
+# ----------------------------------------------------------------------
 # committed seeded fixtures (what CI's lint job runs)
 # ----------------------------------------------------------------------
 class TestSeededFixtures:
@@ -453,6 +522,9 @@ class TestSeededFixtures:
             "CANON001",
             "POOL001",
             "DIG001",
+            "FLOW001",
+            "FLOW002",
+            "FLOW003",
         }
 
     def test_fixture_suppressions_honored(self):
@@ -596,6 +668,10 @@ class TestCli:
             "CANON001",
             "POOL001",
             "DIG001",
+            "DIG002",
+            "FLOW001",
+            "FLOW002",
+            "FLOW003",
         ):
             assert code in out
 
@@ -613,6 +689,109 @@ class TestCli:
         (tmp_path / "broken.py").write_text("def f(:\n")
         assert lint_main([str(tmp_path), "--no-baseline"]) == 1
         assert "LINT901" in capsys.readouterr().out
+
+    def test_syntax_error_finding_is_deterministic(self, tmp_path, capsys):
+        # The failure path is part of the contract: same broken file,
+        # same finding text, across runs (CI diffs on it).
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        outs = []
+        for _ in range(2):
+            assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1]
+
+    def test_format_json_machine_readable(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import time\ndef f():\n    return time.time()\n"
+        )
+        assert (
+            lint_main([str(tmp_path), "--no-baseline", "--format", "json"])
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        [finding] = payload["findings"]
+        assert finding["code"] == "DET001"
+        assert finding["line"] == 3
+        assert finding["path"].endswith("bad.py")
+        assert isinstance(finding["fingerprint"], list)
+        # Non-flow findings carry an empty chain and a null source.
+        assert finding["chain"] == []
+        assert finding["source"] is None
+
+    def test_format_json_carries_flow_chain(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(
+            "import hashlib, time\n"
+            "def stamp():\n"
+            "    return time.perf_counter()\n"
+            "def run_digest():\n"
+            "    return hashlib.sha256(repr(stamp()).encode()).hexdigest()\n"
+        )
+        assert (
+            lint_main([str(tmp_path), "--no-baseline", "--format", "json"])
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        [finding] = payload["findings"]
+        assert finding["code"] == "FLOW001"
+        assert finding["chain"] == ["mod.stamp", "mod.run_digest"]
+        assert finding["source"]["line"] == 3
+
+    def test_format_json_exit_zero_on_clean(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("def f():\n    return 1\n")
+        assert (
+            lint_main([str(tmp_path), "--no-baseline", "--format", "json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["findings"] == []
+
+
+# ----------------------------------------------------------------------
+# suppression placement on hard statement shapes
+# ----------------------------------------------------------------------
+class TestSuppressionPlacement:
+    def test_multi_line_statement_any_line_works(self, tmp_path):
+        # The flagged call opens on one line, the disable marker sits on
+        # the closing line — the statement's span carries it.
+        result = lint_snippet(
+            tmp_path,
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time(\n"
+            "    )  # lint: disable=DET001\n",
+        )
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_decorated_statement_marker_on_def_line(self, tmp_path):
+        # POOL001 anchors at the decorator; the marker on the def line
+        # still falls inside the decorated statement's header span.
+        result = lint_snippet(
+            tmp_path,
+            "from repro.campaign.pool import register_matrix_factory\n"
+            "def make(premium):\n"
+            "    @register_matrix_factory('bad')\n"
+            "    def factory():  # lint: disable=POOL001\n"
+            "        return premium\n"
+            "    return factory\n",
+        )
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_marker_in_body_does_not_mute_header_finding(self, tmp_path):
+        # A disable inside the function *body* must not reach a finding
+        # anchored on the decorator/header.
+        result = lint_snippet(
+            tmp_path,
+            "from repro.campaign.pool import register_matrix_factory\n"
+            "def make(premium):\n"
+            "    @register_matrix_factory('bad')\n"
+            "    def factory():\n"
+            "        return premium  # lint: disable=POOL001\n"
+            "    return factory\n",
+        )
+        assert codes_of(result) == ["POOL001"]
 
 
 # ----------------------------------------------------------------------
@@ -634,11 +813,16 @@ class TestWholeTree:
 
     def test_rule_registry_complete(self):
         assert rule_codes() == (
+            "AUDIT001",
             "CANON001",
             "DET001",
             "DET002",
             "DET003",
             "DIG001",
+            "DIG002",
+            "FLOW001",
+            "FLOW002",
+            "FLOW003",
             "ORD001",
             "POOL001",
         )
