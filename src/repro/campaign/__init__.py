@@ -38,7 +38,7 @@ enumeration, execution, and property evaluation all live here.
 
 from repro.campaign.matrix import ScenarioMatrix, enumerate_profiles
 from repro.campaign.pool import MatrixSpec, WorkerPool, register_matrix_factory
-from repro.campaign.cache import ResultCache, code_version
+from repro.campaign.cache import ResultCache, code_version, shared_cache
 from repro.campaign.report import (
     Report,
     merge_reports_any,
@@ -120,4 +120,5 @@ __all__ = [
     "registered_report_kinds",
     "report_from_json",
     "run_scenario",
+    "shared_cache",
 ]

@@ -60,6 +60,8 @@ from repro.campaign.ablation.grid import (
     closed_form_pi_star,
     coalition_deterrence_stake,
     deterrence_stake,
+    is_graph_family,
+    parse_graph_family,
     premium_base,
     shocked_notional,
 )
@@ -74,6 +76,15 @@ from repro.campaign.ablation.refine import (
     RefinedFrontierReport,
     RefinedRow,
     refine_frontier,
+    refined_row_from_payload,
+    refined_row_payload,
+)
+from repro.campaign.ablation.rowstore import (
+    load_row,
+    row_descriptor,
+    row_key,
+    store_refined_rows,
+    store_row,
 )
 
 __all__ = [
@@ -101,8 +112,17 @@ __all__ = [
     "closed_form_pi_star",
     "coalition_deterrence_stake",
     "deterrence_stake",
+    "is_graph_family",
+    "load_row",
+    "parse_graph_family",
     "premium_base",
     "reduce_frontier",
     "refine_frontier",
+    "refined_row_from_payload",
+    "refined_row_payload",
+    "row_descriptor",
+    "row_key",
     "shocked_notional",
+    "store_refined_rows",
+    "store_row",
 ]

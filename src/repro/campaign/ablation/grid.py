@@ -84,6 +84,45 @@ ABLATION_COALITIONS = {
 #: the principal notional every family's π is sized against.
 PRINCIPAL = 100
 
+#: graph-shaped family kinds the grid prices beyond the named §5.2 four:
+#: ``ring:N`` / ``complete:N`` (plus the literal ``figure3``) name a
+#: multi-party swap over that digraph, hedged by the generic §7.1
+#: Equations 1–2 schedule.
+GRAPH_FAMILY_KINDS = ("ring", "complete")
+
+
+def parse_graph_family(family: str):
+    """``(graph, leaders)`` for a graph-shaped family name, else ``None``.
+
+    ``ring:N`` pins the canonical single leader ``P0`` (any one vertex
+    breaks the only cycle); ``figure3`` pins the paper's leader ``A``;
+    ``complete:N`` needs a genuine feedback vertex set, so it takes the
+    deterministic :func:`~repro.graph.feedback.minimum_feedback_vertex_set`.
+    The leaders are part of the family's identity: the same graph under a
+    different leader set prices differently, and a name must mean one cell.
+    """
+    from repro.graph.digraph import complete_graph, figure3_graph, ring_graph
+
+    if family == "figure3":
+        return figure3_graph(), ("A",)
+    kind, sep, count = family.partition(":")
+    if not sep or kind not in GRAPH_FAMILY_KINDS or not count.isdigit():
+        return None
+    n = int(count)
+    if n < 2:
+        return None
+    if kind == "ring":
+        return ring_graph(n), ("P0",)
+    from repro.graph.feedback import minimum_feedback_vertex_set
+
+    graph = complete_graph(n)
+    return graph, minimum_feedback_vertex_set(graph)
+
+
+def is_graph_family(family: str) -> bool:
+    """True iff ``family`` names a graph-shaped multi-party cell."""
+    return parse_graph_family(family) is not None
+
 
 def scaled_premium(fraction: float, base: int = PRINCIPAL) -> int:
     """The integer premium a fraction π buys on a ``base`` principal."""
@@ -572,6 +611,67 @@ def _auction_cell(premium: int) -> FamilyCell:
     )
 
 
+def _graph_cell(family: str, premium: int) -> FamilyCell:
+    """A multi-party cell over an arbitrary deal graph (``ring:N``,
+    ``complete:N``, ``figure3``).
+
+    The generalization of :func:`_multi_party_cell`: same rational pivot
+    construction, same stage aliases, same properties — only the digraph
+    (and with it the Equations 1–2 premium schedule the builder derives)
+    varies.  The pivot is the first follower in sorted order, and the
+    shock lands on its incoming asset from its first sorted in-neighbor,
+    mirroring the ring:3 cell's ``p0-token`` choice.
+    """
+    from repro.checker import properties as props
+    from repro.core.hedged_multi_party import HedgedMultiPartySwap
+    from repro.parties.rational import completion_gain_terms, swap_party_model
+
+    parsed = parse_graph_family(family)
+    if parsed is None:
+        raise ValueError(
+            f"not a graph-shaped family {family!r}: use ring:N, "
+            "complete:N, or figure3"
+        )
+    graph, leaders = parsed
+    builder = lambda p=premium, g=graph, l=leaders: HedgedMultiPartySwap(
+        graph=g, premium=p, leaders=l
+    ).build()
+    probe = builder()
+    contracts = tuple(probe.contracts.values())
+    schedule = probe.meta["schedule"]
+    pivot = min(p for p in graph.parties if p not in leaders)
+    shocked_neighbor = min(graph.in_neighbors(pivot))
+    shocked = f"{shocked_neighbor.lower()}-token"
+
+    def model_factory(prices):
+        return swap_party_model(pivot, prices, contracts)
+
+    def gain_terms(view):
+        return [list(completion_gain_terms(pivot, view, contracts))]
+
+    return FamilyCell(
+        family=family,
+        coalition="",
+        premium=premium,
+        pivots=(pivot,),
+        metrics_parties=(pivot,),
+        builder=builder,
+        contracts=contracts,
+        base_values=(),
+        shocked=shocked,
+        # Same stage aliases as ring:3: followers hold their escrow and
+        # redemption premiums by phase 3, principals are not yet locked.
+        named={"pre-stake": 0, "staked": schedule.p3_start},
+        horizon=schedule.horizon,
+        properties=(props.no_stuck_escrow, props.multi_party_lemmas),
+        completed=_multi_party_completed(probe),
+        schedule_prefix=f"{family}/",
+        model_factory=model_factory,
+        gain_terms=gain_terms,
+        gain_shape="single",
+    )
+
+
 _CELL_BUILDERS = {
     ("two-party", ""): _two_party_cell,
     ("multi-party", ""): _multi_party_cell,
@@ -593,9 +693,12 @@ def family_cell(family: str, coalition: str, premium: int) -> FamilyCell:
     """
     builder = _CELL_BUILDERS.get((family, coalition))
     if builder is None:
+        if not coalition and is_graph_family(family):
+            return _graph_cell(family, premium)
         raise ValueError(
             f"unknown ablation cell ({family!r}, {coalition!r}); "
-            f"known: {sorted(_CELL_BUILDERS)}"
+            f"known: {sorted(_CELL_BUILDERS)} or a graph-shaped family "
+            "(ring:N, complete:N, figure3) with no coalition"
         )
     return builder(premium)
 
@@ -861,12 +964,26 @@ class AblationGrid:
         )
 
 
+def _family_adder(family: str):
+    """The matrix adder for ``family``: a registered named family's, or a
+    fresh generic one for a graph-shaped family."""
+    adder = _FAMILY_ADDERS.get(family)
+    if adder is not None:
+        return adder
+    return _make_adder(family)
+
+
 def _validate_grid(families, stages) -> None:
-    unknown = set(families) - set(_FAMILY_ADDERS)
+    unknown = {
+        family
+        for family in families
+        if family not in _FAMILY_ADDERS and not is_graph_family(family)
+    }
     if unknown:
         raise ValueError(
             f"unknown ablation families {sorted(unknown)}; "
-            f"known: {sorted(_FAMILY_ADDERS)}"
+            f"known: {sorted(_FAMILY_ADDERS)} or graph-shaped "
+            "(ring:N, complete:N, figure3)"
         )
     bad_stages = [stage for stage in stages if not valid_stage(stage)]
     if bad_stages:
@@ -948,7 +1065,7 @@ def ablation_matrix(
     stages = kwargs["stages"]
     matrix = ScenarioMatrix(seed=seed)
     for family in families:
-        _FAMILY_ADDERS[family](matrix, premium_fractions, shock_fractions, stages)
+        _family_adder(family)(matrix, premium_fractions, shock_fractions, stages)
         if coalitions:
             for coalition in ABLATION_COALITIONS.get(family, ()):
                 _COALITION_ADDERS[(family, coalition)](
@@ -976,9 +1093,11 @@ def ablation_cell(
     worker-side digest audit as full grids.  ``coalition`` selects a named
     joint-pivot cell instead of the family's single pivot.
     """
-    if family not in _FAMILY_ADDERS:
+    if family not in _FAMILY_ADDERS and not is_graph_family(family):
         raise ValueError(
-            f"unknown ablation family {family!r}; known: {sorted(_FAMILY_ADDERS)}"
+            f"unknown ablation family {family!r}; known: "
+            f"{sorted(_FAMILY_ADDERS)} or graph-shaped "
+            "(ring:N, complete:N, figure3)"
         )
     if not valid_stage(stage) or stage == STAGE_ALL:
         raise ValueError(
@@ -997,7 +1116,7 @@ def ablation_cell(
             )
         adder(matrix, (pi,), (shock,), (stage,))
     else:
-        _FAMILY_ADDERS[family](matrix, (pi,), (shock,), (stage,))
+        _family_adder(family)(matrix, (pi,), (shock,), (stage,))
     matrix.spec = MatrixSpec(
         factory="ablation_cell",
         kwargs=(

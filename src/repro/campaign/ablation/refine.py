@@ -124,6 +124,70 @@ class RefinedRow:
         return self.pi_hi - self.pi_lo
 
 
+def refined_row_payload(row: RefinedRow) -> dict:
+    """One row's canonical JSON payload — the exact shape
+    :meth:`RefinedFrontierReport.to_json` embeds, factored out so the
+    quote row store serializes rows byte-identically to the report."""
+    return {
+        "family": row.family,
+        "stage": row.stage,
+        "shock": canon_float(row.shock),
+        "coalition": row.coalition,
+        "lattice_lo": canon_opt(row.lattice_lo),
+        "lattice_hi": canon_opt(row.lattice_hi),
+        "pi_lo": canon_opt(row.pi_lo),
+        "pi_hi": canon_opt(row.pi_hi),
+        "pi_star": canon_opt(row.pi_star),
+        "iterations": row.iterations,
+        "converged": row.converged,
+        "probes": [
+            {
+                "pi": canon_float(probe.cell.pi),
+                "walked": probe.cell.walked,
+                "rational_utility": canon_float(probe.cell.rational_utility),
+                "comply_utility": canon_float(probe.cell.comply_utility),
+                "victim_net": probe.cell.victim_net,
+                "run_digest": probe.run_digest,
+            }
+            for probe in row.probes
+        ],
+    }
+
+
+def refined_row_from_payload(data: dict) -> RefinedRow:
+    """Rebuild one :class:`RefinedRow` from :func:`refined_row_payload`."""
+    return RefinedRow(
+        family=data["family"],
+        stage=data["stage"],
+        shock=canon_float(data["shock"]),
+        coalition=data["coalition"],
+        lattice_lo=canon_opt(data["lattice_lo"]),
+        lattice_hi=canon_opt(data["lattice_hi"]),
+        pi_lo=canon_opt(data["pi_lo"]),
+        pi_hi=canon_opt(data["pi_hi"]),
+        pi_star=canon_opt(data["pi_star"]),
+        iterations=int(data["iterations"]),
+        converged=bool(data["converged"]),
+        probes=tuple(
+            ProbeCell(
+                cell=FrontierCell(
+                    family=data["family"],
+                    stage=data["stage"],
+                    shock=canon_float(data["shock"]),
+                    pi=canon_float(probe["pi"]),
+                    walked=bool(probe["walked"]),
+                    rational_utility=canon_float(probe["rational_utility"]),
+                    comply_utility=canon_float(probe["comply_utility"]),
+                    victim_net=int(probe["victim_net"]),
+                    coalition=data["coalition"],
+                ),
+                run_digest=probe["run_digest"],
+            )
+            for probe in data["probes"]
+        ),
+    )
+
+
 @register_report("refined-frontier")
 @dataclass(frozen=True)
 class RefinedFrontierReport:
@@ -205,37 +269,7 @@ class RefinedFrontierReport:
                 "kind": self.kind,
                 "base_digest": self.base_digest,
                 "tol": canon_float(self.tol),
-                "rows": [
-                    {
-                        "family": row.family,
-                        "stage": row.stage,
-                        "shock": canon_float(row.shock),
-                        "coalition": row.coalition,
-                        "lattice_lo": canon_opt(row.lattice_lo),
-                        "lattice_hi": canon_opt(row.lattice_hi),
-                        "pi_lo": canon_opt(row.pi_lo),
-                        "pi_hi": canon_opt(row.pi_hi),
-                        "pi_star": canon_opt(row.pi_star),
-                        "iterations": row.iterations,
-                        "converged": row.converged,
-                        "probes": [
-                            {
-                                "pi": canon_float(probe.cell.pi),
-                                "walked": probe.cell.walked,
-                                "rational_utility": canon_float(
-                                    probe.cell.rational_utility
-                                ),
-                                "comply_utility": canon_float(
-                                    probe.cell.comply_utility
-                                ),
-                                "victim_net": probe.cell.victim_net,
-                                "run_digest": probe.run_digest,
-                            }
-                            for probe in row.probes
-                        ],
-                    }
-                    for row in self.rows
-                ],
+                "rows": [refined_row_payload(row) for row in self.rows],
                 "digest": self.digest,
             },
             indent=None,
@@ -246,41 +280,7 @@ class RefinedFrontierReport:
     def from_json(cls, text: str) -> "RefinedFrontierReport":
         data = json.loads(text)
         check_kind(cls, data)
-        rows = tuple(
-            RefinedRow(
-                family=row["family"],
-                stage=row["stage"],
-                shock=canon_float(row["shock"]),
-                coalition=row["coalition"],
-                lattice_lo=canon_opt(row["lattice_lo"]),
-                lattice_hi=canon_opt(row["lattice_hi"]),
-                pi_lo=canon_opt(row["pi_lo"]),
-                pi_hi=canon_opt(row["pi_hi"]),
-                pi_star=canon_opt(row["pi_star"]),
-                iterations=int(row["iterations"]),
-                converged=bool(row["converged"]),
-                probes=tuple(
-                    ProbeCell(
-                        cell=FrontierCell(
-                            family=row["family"],
-                            stage=row["stage"],
-                            shock=canon_float(row["shock"]),
-                            pi=canon_float(probe["pi"]),
-                            walked=bool(probe["walked"]),
-                            rational_utility=canon_float(
-                                probe["rational_utility"]
-                            ),
-                            comply_utility=canon_float(probe["comply_utility"]),
-                            victim_net=int(probe["victim_net"]),
-                            coalition=row["coalition"],
-                        ),
-                        run_digest=probe["run_digest"],
-                    )
-                    for probe in row["probes"]
-                ),
-            )
-            for row in data["rows"]
-        )
+        rows = tuple(refined_row_from_payload(row) for row in data["rows"])
         report = cls(
             base_digest=data["base_digest"],
             tol=canon_float(data["tol"]),

@@ -270,3 +270,77 @@ class ResultCache:
             return False
         self._count("cache.store")
         return True
+
+    # ------------------------------------------------------------------
+    # generic JSON entries (refined-row store, future derived artifacts)
+    # ------------------------------------------------------------------
+    def get_entry(self, key: str) -> "dict | None":
+        """A generic JSON payload stored under ``key``, or None on a miss.
+
+        Same miss discipline as :meth:`get`: malformed entries and
+        key mismatches read as misses, never errors — a derived-artifact
+        store can only ever short-circuit work it can vouch for.
+        """
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            self._count("cache.miss.absent")
+            return None
+        except (OSError, ValueError):
+            self._count("cache.miss.corrupt")
+            return None
+        if not isinstance(data, dict) or data.get("key") != key:
+            self._count("cache.miss.corrupt")
+            return None
+        payload = data.get("payload")
+        if not isinstance(payload, dict):
+            self._count("cache.miss.corrupt")
+            return None
+        self._count("cache.hit")
+        return payload
+
+    def put_entry(self, key: str, payload: dict) -> bool:
+        """Store a generic JSON payload under ``key`` (atomic write)."""
+        text = json.dumps(
+            {"key": key, "payload": payload},
+            indent=None,
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            self._count("cache.store.skipped")
+            return False
+        self._count("cache.store")
+        return True
+
+
+_SHARED_CACHES: dict[Path, ResultCache] = {}
+
+
+def shared_cache(root: str | os.PathLike) -> ResultCache:
+    """The process-wide :class:`ResultCache` for ``root`` (memoized).
+
+    Every in-process consumer of one cache directory — a CLI run, the
+    quote engine's tier-2/3 ladder, refinement probes — must share one
+    warm object, both so cheap re-lookups stay in the same open store and
+    so a tracer attached by one consumer sees the whole run's counters.
+    Keyed on the resolved path, so ``.cache`` and ``./cache`` coalesce.
+    """
+    resolved = Path(root).resolve()
+    cache = _SHARED_CACHES.get(resolved)
+    if cache is None:
+        cache = ResultCache(resolved)
+        _SHARED_CACHES[resolved] = cache
+    return cache

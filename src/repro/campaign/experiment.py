@@ -419,9 +419,15 @@ class Experiment:
     ``pool`` supplies a caller-owned persistent worker pool (left open);
     with ``backend="pooled"`` and no pool, the facade creates one for the
     run and closes it after.  ``cache`` is the incremental result cache,
-    threaded through the campaign run *and* every refinement probe.
+    threaded through the campaign run *and* every refinement probe; when
+    attached, an ``ablate-refine`` run also stores its refined rows in
+    the quote row store (:mod:`repro.campaign.ablation.rowstore`), so any
+    refinement warms the quote engine's tier-2 path.
     ``matrix`` short-circuits the factory rebuild when the caller already
-    built it (the CLI prints the breakdown first).
+    built it (the CLI prints the breakdown first).  ``kernel`` supplies a
+    caller-owned :class:`~repro.campaign.ablation.kernels.KernelEngine`
+    so repeated narrow runs (the quote engine's tier-3 fallbacks) reuse
+    calibrated cell templates across experiments.
     """
 
     def __init__(
@@ -432,10 +438,12 @@ class Experiment:
         matrix: ScenarioMatrix | None = None,
         tracer=None,
         progress=None,
+        kernel=None,
     ) -> None:
         self.spec = spec
         self.pool = pool
         self.cache = cache
+        self.kernel = kernel
         self._matrix = matrix
         #: optional repro.obs.Tracer / ProgressUpdate callback, threaded
         #: through the runner, cache, kernel engine, and refine probes.
@@ -476,7 +484,9 @@ class Experiment:
             # the lattice's calibrated cell templates.
             from repro.campaign.ablation.kernels import KernelEngine
 
-            kernel = KernelEngine(tracer=self.tracer)
+            kernel = self.kernel
+            if kernel is None:
+                kernel = KernelEngine(tracer=self.tracer)
             runner_backend = "kernel"
         else:
             if spec.backend == "pooled" and pool is None:
@@ -523,6 +533,19 @@ class Experiment:
                         prober=prober,
                     )
                 result.cache_hits += prober.cache_hits
+                if self.cache is not None:
+                    # Feed the quote row store: every refined row this run
+                    # measured becomes a tier-2 answer for the quote
+                    # engine (keyed by grid coordinates + tol + seed).
+                    from repro.campaign.ablation.rowstore import (
+                        store_refined_rows,
+                    )
+
+                    store_refined_rows(
+                        self.cache,
+                        result.refined,
+                        seed=dict(spec.matrix.kwargs).get("seed", 0),
+                    )
         finally:
             if own_pool is not None:
                 own_pool.close()

@@ -131,6 +131,7 @@ from repro.campaign import (
     refine_frontier,
     refine_spec,
     report_from_json,
+    shared_cache,
 )
 from repro.campaign.ablation import (
     ABLATION_FAMILIES,
@@ -343,7 +344,11 @@ def _open_cache(args) -> ResultCache | None:
     if not path:
         return None
     try:
-        return ResultCache(path)
+        # shared_cache, not a fresh ResultCache: every consumer of one
+        # cache directory in this process — an experiment run, the quote
+        # engine's tier-2/3 ladder, refinement probes — must see the same
+        # warm store (and the same attached tracer).
+        return shared_cache(path)
     except OSError as err:
         raise SystemExit(f"error opening cache {path}: {err}")
 
@@ -761,6 +766,148 @@ def _refine_from_file(args) -> None:
         )
 
 
+def _tiers_from_args(args) -> tuple[int, ...]:
+    text = getattr(args, "tiers", None)
+    if not text:
+        from repro.quote import ALL_TIERS
+
+        return ALL_TIERS
+    try:
+        return tuple(int(t) for t in text.split(",") if t.strip())
+    except ValueError:
+        raise SystemExit(
+            f"error: --tiers takes a comma list from 1,2,3 — got {text!r}"
+        )
+
+
+def _print_quote(quote, label: str = "quote") -> None:
+    from repro.campaign.canon import fmt_fraction
+
+    pivot = quote.coalition or "pivot"
+    print(
+        f"{label}: family={quote.family} pivot={pivot} "
+        f"stage={quote.stage} shock={fmt_fraction(quote.shock)} "
+        f"tol={fmt_fraction(quote.tol)}"
+    )
+    if quote.hedgeable:
+        print(
+            f"pi*: {fmt_fraction(quote.pi_star)}  "
+            f"premium: {quote.premium} (base {quote.base})"
+        )
+        total = sum(entry.amount for entry in quote.schedule)
+        print(f"schedule: {len(quote.schedule)} deposits, total {total}")
+        for entry in quote.schedule:
+            path = "->".join(entry.path) if entry.path else "-"
+            print(
+                f"  {entry.kind:<10} {entry.depositor:<6} "
+                f"{entry.arc[0]}->{entry.arc[1]}  round {entry.round}  "
+                f"amount {entry.amount:>5}  path {path}"
+            )
+    else:
+        print("pi*: un-hedgeable (no premium up to the ceiling deters this walk)")
+    print(f"tier: {quote.tier}")
+    print(f"latency: {quote.latency_ms:.3f} ms")
+    print(f"provenance: {quote.provenance}")
+    print(f"quote digest: {quote.digest()}")
+
+
+def _quote_request_from_args(args):
+    from repro.quote import QuoteRequest
+
+    return QuoteRequest(
+        family=args.family or "",
+        graph=args.graph or "",
+        coalition=args.coalition or "",
+        shock=args.shock,
+        stage=args.stage,
+        tol=args.tol,
+        seed=args.seed,
+    )
+
+
+def cmd_quote(args) -> None:
+    from repro.quote import QuoteEngine
+
+    tracer, _ = _obs_from_args(args)
+    try:
+        request = _quote_request_from_args(args)
+        engine = QuoteEngine(cache=_open_cache(args), tracer=tracer)
+        quote = engine.quote(request, tiers=_tiers_from_args(args))
+    finally:
+        if tracer is not None:
+            tracer.close()
+    print(f"request digest: {request.digest()}")
+    _print_quote(quote)
+    if args.out:
+        _write_json(args.out, quote.to_json(), "quote")
+    if args.expect and quote.digest() != args.expect:
+        raise SystemExit(
+            f"digest mismatch: quote {quote.digest()} != expected {args.expect}"
+        )
+
+
+def cmd_quote_batch(args) -> None:
+    import json
+
+    from repro.quote import QuoteEngine, QuoteRequest, batch_digest, quote_batch
+
+    try:
+        with open(args.requests, "r", encoding="utf-8") as handle:
+            items = json.load(handle)
+    except (OSError, ValueError) as err:
+        raise SystemExit(f"error reading {args.requests}: {err}")
+    if not isinstance(items, list):
+        raise SystemExit(
+            f"error: {args.requests} must hold a JSON array of quote requests"
+        )
+    requests = [
+        QuoteRequest.from_json(json.dumps(item)) for item in items
+    ]
+    tracer, progress = _obs_from_args(args)
+    try:
+        engine = QuoteEngine(cache=_open_cache(args), tracer=tracer)
+        quotes = quote_batch(
+            engine, requests, tiers=_tiers_from_args(args), progress=progress
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    from repro.campaign.canon import fmt_fraction
+
+    tiers_served = {tier: 0 for tier in (1, 2, 3)}
+    for index, quote in enumerate(quotes):
+        tiers_served[quote.tier] += 1
+        answer = (
+            fmt_fraction(quote.pi_star) if quote.hedgeable else "un-hedgeable"
+        )
+        pivot = quote.coalition or "pivot"
+        print(
+            f"[{index}] {quote.family:<12} {pivot:<14} {quote.stage:<10} "
+            f"shock={fmt_fraction(quote.shock)}  pi*={answer:<14} "
+            f"premium={quote.premium if quote.premium is not None else '-':>4}  "
+            f"tier: {quote.tier}"
+        )
+    print(
+        f"{len(quotes)} quotes: "
+        + ", ".join(f"tier {t}: {n}" for t, n in sorted(tiers_served.items()))
+    )
+    digest = batch_digest(quotes)
+    print(f"batch digest: {digest}")
+    if args.out:
+        payload = json.dumps(
+            {
+                "quotes": [json.loads(quote.to_json()) for quote in quotes],
+                "digest": digest,
+            },
+            indent=2,
+        )
+        _write_json(args.out, payload, "quote batch")
+    if args.expect and digest != args.expect:
+        raise SystemExit(
+            f"digest mismatch: batch {digest} != expected {args.expect}"
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1006,6 +1153,65 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the refined frontier as JSON")
     expect_flag(p, "refined")
     p.set_defaults(func=cmd_ablate_refine)
+
+    # ------------------------------------------------------------------
+    # the premium-quoting service
+    # ------------------------------------------------------------------
+    from repro.quote import DEFAULT_SHOCK
+
+    def quote_common_flags(p):
+        """The assumption/ladder flags shared by quote and quote-batch."""
+        p.add_argument("--tiers", default=None, metavar="T1,T2,...",
+                       help="restrict the answer ladder (default 1,2,3): "
+                            "1 closed forms, 2 cached refined rows, "
+                            "3 narrow measurement fallback")
+        p.add_argument("--cache", default=None, metavar="DIR",
+                       help="shared result cache: tier 2 reads refined "
+                            "rows from it, tier 3 stores them back")
+        p.add_argument("--out", default=None, metavar="PATH",
+                       help="write the quote (JSON, digest-stamped)")
+        obs_flags(p)
+
+    p = sub.add_parser(
+        "quote",
+        help="price one cross-chain deal: deterring pi*, integer premium, "
+             "per-arc deposit schedule",
+    )
+    shape = p.add_mutually_exclusive_group(required=True)
+    shape.add_argument("--family", default=None,
+                       help="a named family: " + ",".join(ABLATION_FAMILIES))
+    shape.add_argument("--graph", default=None, metavar="SHAPE",
+                       help="a graph-shaped deal: ring:N, complete:N, "
+                            "figure3")
+    p.add_argument("--coalition", default=None,
+                   help="price a named joint pivot (e.g. multi-party "
+                        "P1+P2, broker seller+buyer)")
+    p.add_argument("--shock", type=float, default=DEFAULT_SHOCK,
+                   help="relative price drop to deter "
+                        f"(default {DEFAULT_SHOCK})")
+    p.add_argument("--stage", default="staked",
+                   help="shock stage: pre-stake, staked, or round:K "
+                        "(default staked)")
+    p.add_argument("--tol", type=float, default=DEFAULT_TOL,
+                   help="premium-fraction tolerance on pi* "
+                        f"(default {DEFAULT_TOL} = 1/64)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="matrix identity seed for measurement fallbacks")
+    quote_common_flags(p)
+    expect_flag(p, "quote")
+    p.set_defaults(func=cmd_quote)
+
+    p = sub.add_parser(
+        "quote-batch",
+        help="price a basket of deals from a JSON request list "
+             "(grouped by cell, results in input order)",
+    )
+    p.add_argument("requests", metavar="REQUESTS.json",
+                   help="a JSON array of quote-request objects "
+                        "(same fields as the quote flags)")
+    quote_common_flags(p)
+    expect_flag(p, "batch")
+    p.set_defaults(func=cmd_quote_batch)
 
     p = sub.add_parser(
         "ablate-merge",

@@ -72,6 +72,16 @@ DIGEST_EXCLUSIONS: dict[str, str] = {
     "CampaignReport.premium_net_hist": (
         "derived histogram; rebuilt from results on load, see by_axis"
     ),
+    # -- Quote: identity covers the answer, not the service path --------
+    "Quote.tier": (
+        "which ladder rung answered is service metadata; a closed form, "
+        "a cache hit, and a fresh measurement of one request must attest "
+        "to the same quote digest (serialized for ops, never hashed)"
+    ),
+    "Quote.latency_ms": (
+        "wall-clock is telemetry; hashing it would fork traced/untraced "
+        "and cold/warm digests of identical answers, see tier"
+    ),
 }
 
 

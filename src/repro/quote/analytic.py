@@ -1,0 +1,76 @@
+"""Analytic π* hints for graph-shaped deals.
+
+The §5.2 families have exact closed forms (:func:`~repro.campaign.
+ablation.grid.closed_form_pi_star`); arbitrary graphs do not get one for
+free, but the same walk-or-comply inequality still pins the answer to a
+narrow band: at the ``staked`` stage the pivot walks exactly when its
+shock-side gain exceeds its total staked premium, and the staked premium
+is *linear* in the integer premium ``p`` (Equations 1–2 are), so
+
+    π* ≈ shock · notional / (slope · base)
+
+where ``slope`` is the pivot's total stake per unit premium and
+``notional`` is the amount delivered to the pivot in the shocked token.
+The hint is analytic, not authoritative — integer premium rounding and
+stage timing can shift the measured boundary by a grid step — so the
+quote engine uses it only to center tier-3 bisection brackets (and the
+parity tests use it to sanity-check tier-3 answers to within tolerance).
+"""
+
+from __future__ import annotations
+
+from repro.campaign.ablation.grid import PRINCIPAL, parse_graph_family
+from repro.core.premiums import (
+    escrow_premium_amounts,
+    redemption_premium_flow,
+)
+from repro.graph.digraph import SwapGraph
+
+
+def graph_pivot(graph: SwapGraph, leaders: tuple[str, ...]) -> str:
+    """The canonical sore-loser candidate: the least non-leader party."""
+    return min(p for p in graph.parties if p not in leaders)
+
+
+def graph_stake_slope(
+    graph: SwapGraph, leaders: tuple[str, ...], pivot: str
+) -> int:
+    """The pivot's total staked premium per unit ``p``.
+
+    Both recurrences are linear in ``p`` with zero intercept, so
+    evaluating them at ``p = 1`` yields the slope exactly: the escrow
+    premiums the pivot posts on its outgoing arcs plus every redemption
+    premium the compliant flow has the pivot deposit.
+    """
+    escrow = escrow_premium_amounts(graph, leaders, 1)
+    slope = sum(
+        amount for arc, amount in escrow.items() if arc[0] == pivot
+    )
+    for deposit in redemption_premium_flow(graph, leaders, 1):
+        if deposit.depositor == pivot:
+            slope += deposit.amount
+    return slope
+
+
+def analytic_pi_star_hint(family: str, shock: float) -> float | None:
+    """An analytic π* estimate for a graph family, or None if unknown.
+
+    Centers the walk-or-comply boundary for the grid's canonical pivot:
+    the gain side is ``shock`` times the notional the shocked in-neighbor
+    owes the pivot; the stake side is ``slope(pivot) · π · PRINCIPAL``.
+    """
+    parsed = parse_graph_family(family)
+    if parsed is None:
+        return None
+    graph, leaders = parsed
+    pivot = graph_pivot(graph, leaders)
+    shocked_neighbor = min(graph.in_neighbors(pivot))
+    notional = sum(
+        graph.specs[arc].amount
+        for arc in graph.in_arcs(pivot)
+        if arc[0] == shocked_neighbor
+    )
+    slope = graph_stake_slope(graph, leaders, pivot)
+    if slope <= 0 or notional <= 0:
+        return None
+    return (shock * notional) / (slope * PRINCIPAL)

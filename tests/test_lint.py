@@ -531,6 +531,13 @@ class TestSeededFixtures:
         result = lint_paths([FIXTURES])
         assert result.suppressed >= 5  # one suppressed case per family
 
+    def test_seeded_quote_codes(self):
+        """The quote-layer fixture: telemetry smuggled into a payload
+        (DIG001) and a tier set hashed in iteration order (ORD001, with
+        the flow pass confirming the set-to-hash path as FLOW002)."""
+        result = lint_paths([FIXTURES / "seeded_quote.py"])
+        assert sorted(codes_of(result)) == ["DIG001", "FLOW002", "ORD001"]
+
     def test_cli_exits_nonzero_on_fixtures(self):
         proc = subprocess.run(
             [sys.executable, "-m", "repro.lint", str(FIXTURES), "--no-baseline"],

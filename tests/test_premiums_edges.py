@@ -1,0 +1,146 @@
+"""Equations 1–2 edge cases: multi-leader graphs, base cases, scale.
+
+The quote engine leans on the premium recurrences in corners the
+original §7.1 walkthrough never exercises: graphs whose minimum feedback
+vertex set has several leaders, beneficiaries already on the premium
+path, and dense graphs where only the member-subset memo keeps Equation
+1 tractable.  These tests pin that territory.
+"""
+
+import pytest
+
+from repro.core.premiums import (
+    escrow_premium_amounts,
+    leader_redemption_total,
+    redemption_premium_amount,
+    redemption_premium_flow,
+)
+from repro.errors import GraphError
+from repro.graph.digraph import complete_graph, ring_graph
+from repro.graph.feedback import (
+    is_feedback_vertex_set,
+    minimum_feedback_vertex_set,
+)
+
+
+# ----------------------------------------------------------------------
+# multi-leader graphs
+# ----------------------------------------------------------------------
+class TestMultiLeader:
+    def test_ring4_with_two_leaders(self):
+        """{P0, P2} is a (non-minimum) feedback vertex set of the 4-ring:
+        both equations stay well-defined with the extra leader."""
+        graph = ring_graph(4)
+        leaders = ("P0", "P2")
+        assert is_feedback_vertex_set(graph, frozenset(leaders))
+        escrow = escrow_premium_amounts(graph, leaders, 1)
+        # each arc into a leader carries that leader's redemption total;
+        # each arc into a follower covers the follower's outgoing escrows
+        for (u, v), amount in escrow.items():
+            if v in leaders:
+                assert amount == leader_redemption_total(graph, v, 1)
+            else:
+                assert amount == sum(
+                    escrow[arc] for arc in graph.out_arcs(v)
+                )
+
+    def test_ring4_two_leader_flow_covers_both_origins(self):
+        graph = ring_graph(4)
+        deposits = redemption_premium_flow(graph, ("P0", "P2"), 3)
+        by_leader = {}
+        for deposit in deposits:
+            by_leader.setdefault(deposit.leader, []).append(deposit)
+        assert set(by_leader) == {"P0", "P2"}
+        for leader, flow in by_leader.items():
+            # round 0 is the leader's own origination on its in-arcs
+            origin = [d for d in flow if d.round == 0]
+            assert all(d.depositor == leader for d in origin)
+            assert all(d.path == (leader,) for d in origin)
+            # each leader's premium propagates independently around the
+            # whole ring: one deposit per arc, paths ending at the leader
+            assert {d.arc for d in flow} == set(graph.arcs)
+            assert all(d.path[-1] == leader for d in flow)
+
+    def test_complete4_minimum_fvs_is_multi_leader(self):
+        """A complete digraph needs n-1 leaders (any two survivors form
+        a 2-cycle) — the densest multi-leader configuration we quote."""
+        graph = complete_graph(4)
+        leaders = minimum_feedback_vertex_set(graph)
+        assert len(leaders) == 3
+        escrow = escrow_premium_amounts(graph, leaders, 1)
+        assert set(escrow) == set(graph.arcs)
+        assert all(amount >= 1 for amount in escrow.values())
+
+    def test_non_fvs_leader_set_rejected(self):
+        with pytest.raises(GraphError):
+            escrow_premium_amounts(complete_graph(4), ("P0",), 1)
+
+
+# ----------------------------------------------------------------------
+# Equation 1 base cases
+# ----------------------------------------------------------------------
+class TestBeneficiaryOnPath:
+    def test_beneficiary_on_path_pays_exactly_p(self):
+        """The paper's cycle clause: a beneficiary already on the path
+        passes nothing through, for leaders and followers alike."""
+        graph = ring_graph(3)
+        # leader case: path ends at the leader
+        assert redemption_premium_amount(graph, ("P1", "P2", "P0"), "P0", 7) == 7
+        # follower case on a dense graph: P1 is mid-path, still just p
+        dense = complete_graph(4)
+        assert redemption_premium_amount(dense, ("P1", "P2", "P3"), "P3", 7) == 7
+        assert redemption_premium_amount(dense, ("P1", "P2", "P3"), "P2", 7) == 7
+
+    def test_amount_depends_only_on_path_members(self):
+        """Equation 1's recursion tests path membership, never order —
+        the member-subset memo's correctness condition."""
+        dense = complete_graph(4)
+        via_one = redemption_premium_amount(dense, ("P1", "P2", "P0"), "P3", 5)
+        via_other = redemption_premium_amount(dense, ("P2", "P1", "P0"), "P3", 5)
+        assert via_one == via_other
+
+    def test_empty_and_broken_paths_rejected(self):
+        graph = ring_graph(3)
+        with pytest.raises(GraphError):
+            redemption_premium_amount(graph, (), "P0", 1)
+        with pytest.raises(GraphError):
+            redemption_premium_amount(graph, ("P0", "P2"), "P1", 1)
+
+
+# ----------------------------------------------------------------------
+# complete:6 — exactness at memo-required scale
+# ----------------------------------------------------------------------
+class TestCompleteSixExactness:
+    def test_integer_exactness_and_linearity(self):
+        """complete:6 is intractable without the member-subset memo; with
+        it, amounts stay exact integers and perfectly linear in p."""
+        graph = complete_graph(6)
+        leaders = minimum_feedback_vertex_set(graph)
+        assert len(leaders) == 5
+        unit = escrow_premium_amounts(graph, leaders, 1)
+        scaled = escrow_premium_amounts(graph, leaders, 13)
+        for arc, amount in unit.items():
+            assert isinstance(amount, int)
+            assert scaled[arc] == 13 * amount  # no float drift anywhere
+
+    def test_memo_is_shared_across_calls(self):
+        graph = complete_graph(6)
+        redemption_premium_amount(graph, ("P5",), "P0", 2)
+        memo = graph.__dict__["_equation1_memo"]
+        filled = len(memo)
+        assert filled > 0
+        # a second query over the same territory adds no new states
+        redemption_premium_amount(graph, ("P5",), "P0", 2)
+        assert len(memo) == filled
+        # distinct graph instances never share entries
+        other = complete_graph(6)
+        assert "_equation1_memo" not in other.__dict__
+
+    def test_flow_is_deterministic_and_integral(self):
+        graph = complete_graph(6)
+        leaders = minimum_feedback_vertex_set(graph)
+        first = redemption_premium_flow(graph, leaders, 3)
+        second = redemption_premium_flow(graph, leaders, 3)
+        assert first == second
+        assert all(isinstance(d.amount, int) for d in first)
+        assert all(d.depositor == d.path[0] for d in first)

@@ -1,0 +1,417 @@
+"""The premium-quoting service: requests, quotes, schedules, the ladder.
+
+The digest-invariance suite here is the quote layer's instance of the
+repo-wide standing invariant: traced and untraced runs — and every tier
+that answers the same question — produce byte-identical quote digests.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.ablation.grid import closed_form_pi_star, parse_graph_family
+from repro.campaign.ablation.refine import DEFAULT_TOL
+from repro.campaign.ablation.rowstore import (
+    load_row,
+    row_descriptor,
+    row_key,
+    store_row,
+)
+from repro.campaign.cache import ResultCache, shared_cache
+from repro.campaign.experiment import Experiment, refine_spec
+from repro.core.premiums import escrow_premium_amounts
+from repro.graph.digraph import ring_graph
+from repro.quote import (
+    Quote,
+    QuoteEngine,
+    QuoteError,
+    QuoteRequest,
+    batch_cells,
+    batch_digest,
+    deposit_schedule,
+    quote_batch,
+    quote_for,
+)
+
+
+# ----------------------------------------------------------------------
+# QuoteRequest: validation, identity, serialization
+# ----------------------------------------------------------------------
+class TestQuoteRequest:
+    def test_exactly_one_shape(self):
+        with pytest.raises(QuoteError):
+            QuoteRequest()
+        with pytest.raises(QuoteError):
+            QuoteRequest(family="two-party", graph="ring:4")
+
+    def test_unknown_family_and_graph(self):
+        with pytest.raises(QuoteError):
+            QuoteRequest(family="ring:4")  # graphs go through graph=
+        with pytest.raises(QuoteError):
+            QuoteRequest(graph="two-party")
+        with pytest.raises(QuoteError):
+            QuoteRequest(graph="ring:1")
+
+    def test_coalition_rules(self):
+        QuoteRequest(family="multi-party", coalition="P1+P2")
+        with pytest.raises(QuoteError):
+            QuoteRequest(graph="ring:4", coalition="P1+P2")
+        with pytest.raises(QuoteError):
+            QuoteRequest(family="two-party", coalition="P1+P2")
+
+    def test_stage_and_assumption_bounds(self):
+        QuoteRequest(family="two-party", stage="round:3")
+        with pytest.raises(QuoteError):
+            QuoteRequest(family="two-party", stage="all")
+        with pytest.raises(QuoteError):
+            QuoteRequest(family="two-party", stage="mid-flight")
+        with pytest.raises(QuoteError):
+            QuoteRequest(family="two-party", shock=0.0)
+        with pytest.raises(QuoteError):
+            QuoteRequest(family="two-party", shock=1.0)
+        with pytest.raises(QuoteError):
+            QuoteRequest(family="two-party", tol=0.0)
+
+    def test_ring3_normalizes_to_multi_party(self):
+        assert QuoteRequest(graph="ring:3").cell_family == "multi-party"
+        assert QuoteRequest(graph="ring:4").cell_family == "ring:4"
+        assert QuoteRequest(family="broker").cell_family == "broker"
+
+    def test_digest_covers_every_field(self):
+        base = QuoteRequest(family="two-party")
+        variants = [
+            QuoteRequest(family="multi-party"),
+            QuoteRequest(family="two-party", shock=0.06),
+            QuoteRequest(family="two-party", stage="pre-stake"),
+            QuoteRequest(family="two-party", tol=0.03125),
+            QuoteRequest(family="two-party", seed=7),
+        ]
+        digests = {base.digest()} | {v.digest() for v in variants}
+        assert len(digests) == 1 + len(variants)
+        assert base.digest() == QuoteRequest(family="two-party").digest()
+
+    def test_json_round_trip_verifies_digest(self):
+        request = QuoteRequest(graph="ring:5", shock=0.06, seed=3)
+        again = QuoteRequest.from_json(request.to_json())
+        assert again == request
+        tampered = json.loads(request.to_json())
+        tampered["shock"] = 0.07
+        with pytest.raises(QuoteError):
+            QuoteRequest.from_json(json.dumps(tampered))
+
+
+# ----------------------------------------------------------------------
+# Quote: premium quantization, digest surface, serialization
+# ----------------------------------------------------------------------
+class TestQuote:
+    def test_premium_is_smallest_clearing_integer(self):
+        request = QuoteRequest(family="two-party")
+        assert quote_for(request, pi_star=0.045, base=100, provenance="x").premium == 5
+        assert quote_for(request, pi_star=0.05, base=100, provenance="x").premium == 5
+        assert quote_for(request, pi_star=0.0501, base=100, provenance="x").premium == 6
+        assert quote_for(request, pi_star=None, base=100, provenance="x").premium is None
+
+    def test_digest_excludes_tier_and_latency(self):
+        request = QuoteRequest(family="two-party")
+        fast = quote_for(
+            request, pi_star=0.045, base=100, provenance="x", tier=1, latency_ms=0.2
+        )
+        slow = quote_for(
+            request, pi_star=0.045, base=100, provenance="x", tier=3, latency_ms=90.0
+        )
+        assert fast.digest() == slow.digest()
+        assert fast.to_json() != slow.to_json()  # tier/latency still serialized
+
+    def test_digest_covers_the_answer(self):
+        request = QuoteRequest(family="two-party")
+        one = quote_for(request, pi_star=0.045, base=100, provenance="x")
+        other = quote_for(request, pi_star=0.05, base=100, provenance="x")
+        assert one.digest() != other.digest()
+        assert one.digest() != quote_for(
+            request, pi_star=0.045, base=100, provenance="y"
+        ).digest()
+
+    def test_json_round_trip_verifies_digest(self):
+        engine = QuoteEngine()
+        quote = engine.quote(QuoteRequest(family="multi-party"), tiers=(1,))
+        again = Quote.from_json(quote.to_json())
+        assert again == quote
+        assert again.digest() == quote.digest()
+        tampered = json.loads(quote.to_json())
+        tampered["premium"] = 1
+        with pytest.raises(QuoteError):
+            Quote.from_json(json.dumps(tampered))
+
+
+# ----------------------------------------------------------------------
+# deposit schedules
+# ----------------------------------------------------------------------
+class TestDepositSchedule:
+    def test_two_party_matches_equation_two(self):
+        schedule = deposit_schedule("two-party", 5)
+        escrow = {
+            entry.arc: entry.amount
+            for entry in schedule
+            if entry.kind == "escrow"
+        }
+        assert escrow == escrow_premium_amounts(ring_graph(2), ("P0",), 5)
+        redemptions = [e for e in schedule if e.kind == "redemption"]
+        assert all(e.depositor == e.path[0] for e in redemptions)
+
+    def test_graph_family_schedule(self):
+        graph, leaders = parse_graph_family("ring:5")
+        schedule = deposit_schedule("ring:5", 2)
+        escrow = {
+            entry.arc: entry.amount
+            for entry in schedule
+            if entry.kind == "escrow"
+        }
+        assert escrow == escrow_premium_amounts(graph, leaders, 2)
+
+    def test_broker_has_all_three_tables(self):
+        schedule = deposit_schedule("broker", 3)
+        kinds = {entry.kind for entry in schedule}
+        assert kinds == {"trading", "escrow", "redemption"}
+        # both escrow arcs carry the full trading total (§8.1)
+        escrow = [e.amount for e in schedule if e.kind == "escrow"]
+        trading_total = sum(e.amount for e in schedule if e.kind == "trading")
+        assert escrow == [trading_total, trading_total]
+
+    def test_auction_flat_per_bidder(self):
+        schedule = deposit_schedule("auction", 4)
+        assert [entry.amount for entry in schedule] == [4, 4]
+        assert {entry.depositor for entry in schedule} == {"Alice"}
+
+    def test_zero_premium_empty_and_errors(self):
+        assert deposit_schedule("two-party", 0) == ()
+        with pytest.raises(QuoteError):
+            deposit_schedule("two-party", -1)
+        with pytest.raises(QuoteError):
+            deposit_schedule("no-such-family", 3)
+
+
+# ----------------------------------------------------------------------
+# the row store
+# ----------------------------------------------------------------------
+class TestRowStore:
+    def _refined_row(self, **overrides):
+        spec = refine_spec(
+            families=("two-party",),
+            premium_fractions=(0.0, 0.08),
+            shock_fractions=(0.045,),
+            stages=("staked",),
+            engine="kernel",
+        )
+        report = Experiment(spec).run().refined
+        row = report.row("two-party", "staked", 0.045)
+        if overrides:
+            from dataclasses import replace
+
+            row = replace(row, **overrides)
+        return row
+
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        row = self._refined_row()
+        descriptor = row_descriptor(
+            "two-party", "", "staked", 0.045, DEFAULT_TOL, 0
+        )
+        assert store_row(cache, descriptor, row)
+        assert load_row(cache, descriptor) == row
+        other = row_descriptor("two-party", "", "staked", 0.06, DEFAULT_TOL, 0)
+        assert load_row(cache, other) is None
+
+    def test_unconverged_bracket_is_ineligible(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        row = self._refined_row(converged=False)
+        descriptor = row_descriptor(
+            "two-party", "", "staked", 0.045, DEFAULT_TOL, 0
+        )
+        assert not store_row(cache, descriptor, row)
+        assert load_row(cache, descriptor) is None
+
+    def test_undeterred_row_is_a_final_answer(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        row = self._refined_row(converged=False, pi_hi=None, pi_star=None)
+        descriptor = row_descriptor(
+            "two-party", "", "staked", 0.045, DEFAULT_TOL, 0
+        )
+        assert store_row(cache, descriptor, row)
+        loaded = load_row(cache, descriptor)
+        assert loaded.pi_star is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        row = self._refined_row()
+        descriptor = row_descriptor(
+            "two-party", "", "staked", 0.045, DEFAULT_TOL, 0
+        )
+        store_row(cache, descriptor, row)
+        path = tmp_path / f"{row_key(descriptor)}.json"
+        path.write_text('{"key": "mismatch", "payload": {}}')
+        assert load_row(cache, descriptor) is None
+
+    def test_experiment_run_warms_the_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = refine_spec(
+            families=("two-party",),
+            premium_fractions=(0.0, 0.08),
+            shock_fractions=(0.045,),
+            stages=("staked",),
+            engine="kernel",
+        )
+        Experiment(spec, cache=cache).run()
+        # a plain refinement sweep makes the quote a tier-2 hit
+        engine = QuoteEngine(cache=cache)
+        quote = engine.quote(QuoteRequest(family="two-party"), tiers=(2,))
+        assert quote.tier == 2
+        assert quote.pi_star is not None
+
+    def test_shared_cache_memoizes_per_root(self, tmp_path):
+        first = shared_cache(tmp_path / "store")
+        second = shared_cache(tmp_path / "store")
+        other = shared_cache(tmp_path / "elsewhere")
+        assert first is second
+        assert first is not other
+
+
+# ----------------------------------------------------------------------
+# the engine ladder
+# ----------------------------------------------------------------------
+class TestQuoteEngine:
+    def test_tier1_matches_closed_form(self):
+        engine = QuoteEngine()
+        quote = engine.quote(QuoteRequest(family="two-party"), tiers=(1,))
+        assert quote.tier == 1
+        assert quote.pi_star == closed_form_pi_star("two-party", 0.045)
+        assert quote.premium == 5
+        assert quote.schedule  # priced arc by arc
+        assert quote.provenance.startswith("closed-form|")
+
+    def test_pre_stake_is_unhedgeable_analytically(self):
+        engine = QuoteEngine()
+        quote = engine.quote(
+            QuoteRequest(family="two-party", stage="pre-stake"), tiers=(1,)
+        )
+        assert quote.tier == 1
+        assert not quote.hedgeable
+        assert quote.schedule == ()
+
+    def test_tier2_requires_warm_cache(self):
+        engine = QuoteEngine()  # no cache attached
+        with pytest.raises(QuoteError):
+            engine.quote(QuoteRequest(family="two-party"), tiers=(2,))
+
+    def test_tier3_stores_back_for_tier2(self, tmp_path):
+        engine = QuoteEngine(cache=ResultCache(tmp_path))
+        request = QuoteRequest(graph="ring:4")
+        cold = engine.quote(request)
+        warm = engine.quote(request)
+        assert (cold.tier, warm.tier) == (3, 2)
+        assert cold.digest() == warm.digest()
+        assert cold.provenance == warm.provenance
+        assert cold.to_json() != warm.to_json()  # tier/latency differ
+
+    def test_unknown_tier_rejected(self):
+        engine = QuoteEngine()
+        with pytest.raises(QuoteError):
+            engine.quote(QuoteRequest(family="two-party"), tiers=(1, 4))
+
+    def test_request_digest_binds_answer_to_question(self):
+        engine = QuoteEngine()
+        request = QuoteRequest(family="auction", shock=0.06)
+        quote = engine.quote(request, tiers=(1,))
+        assert quote.request_digest == request.digest()
+
+
+# ----------------------------------------------------------------------
+# digest invariance: repeated, traced, batched
+# ----------------------------------------------------------------------
+class TestDigestInvariance:
+    def test_repeated_quotes_byte_identical(self):
+        engine = QuoteEngine()
+        request = QuoteRequest(family="multi-party", coalition="P1+P2")
+        digests = {engine.quote(request, tiers=(1,)).digest() for _ in range(3)}
+        assert len(digests) == 1
+
+    def test_traced_equals_untraced(self, tmp_path):
+        from repro.obs import Tracer, TraceWriter
+
+        request = QuoteRequest(graph="ring:4")
+        plain = QuoteEngine(cache=ResultCache(tmp_path / "plain")).quote(request)
+
+        tracer = Tracer(TraceWriter(str(tmp_path / "trace.jsonl")))
+        traced_engine = QuoteEngine(
+            cache=ResultCache(tmp_path / "traced"), tracer=tracer
+        )
+        traced = traced_engine.quote(request)
+        tracer.close()
+
+        assert traced.digest() == plain.digest()
+        events = (tmp_path / "trace.jsonl").read_text()
+        assert "quote.tier3" in events
+
+    def test_batch_members_match_single_quotes(self, tmp_path):
+        requests = [
+            QuoteRequest(family="two-party"),
+            QuoteRequest(graph="ring:4"),
+            QuoteRequest(family="broker", coalition="seller+buyer"),
+            QuoteRequest(graph="ring:4"),
+        ]
+        batch = quote_batch(
+            QuoteEngine(cache=ResultCache(tmp_path / "batch")), requests
+        )
+        singles = [
+            QuoteEngine(cache=ResultCache(tmp_path / "single")).quote(r)
+            for r in requests
+        ]
+        assert [q.digest() for q in batch] == [q.digest() for q in singles]
+        assert batch_digest(batch) == batch_digest(singles)
+
+
+# ----------------------------------------------------------------------
+# batching
+# ----------------------------------------------------------------------
+class TestQuoteBatch:
+    def test_results_in_input_order(self):
+        engine = QuoteEngine()
+        requests = [
+            QuoteRequest(family="auction"),
+            QuoteRequest(family="two-party"),
+            QuoteRequest(family="multi-party"),
+        ]
+        quotes = quote_batch(engine, requests, tiers=(1,))
+        assert [q.family for q in quotes] == ["auction", "two-party", "multi-party"]
+        assert [q.request_digest for q in quotes] == [r.digest() for r in requests]
+
+    def test_cells_group_by_family_and_coalition(self):
+        requests = [
+            QuoteRequest(family="multi-party"),
+            QuoteRequest(family="multi-party", coalition="P1+P2"),
+            QuoteRequest(graph="ring:3"),  # same cell as multi-party pivot
+            QuoteRequest(family="two-party"),
+        ]
+        cells = batch_cells(requests)
+        assert [cell for cell, _ in cells] == [
+            ("multi-party", ""),
+            ("multi-party", "P1+P2"),
+            ("two-party", ""),
+        ]
+        assert dict(cells)[("multi-party", "")] == [0, 2]
+
+    def test_duplicate_measurement_promotes_within_batch(self, tmp_path):
+        engine = QuoteEngine(cache=ResultCache(tmp_path))
+        requests = [QuoteRequest(graph="ring:4"), QuoteRequest(graph="ring:4")]
+        quotes = quote_batch(engine, requests)
+        assert [q.tier for q in quotes] == [3, 2]
+        assert quotes[0].digest() == quotes[1].digest()
+
+    def test_progress_callback_sees_every_quote(self):
+        seen = []
+        quote_batch(
+            QuoteEngine(),
+            [QuoteRequest(family="two-party"), QuoteRequest(family="broker")],
+            tiers=(1,),
+            progress=lambda update: seen.append((update.done, update.total)),
+        )
+        assert seen[-1] == (2, 2)
